@@ -1,0 +1,102 @@
+// Ablation study for the engine-profile design choices DESIGN.md calls
+// out. Three sweeps on the TiDB-like profile with fibenchmark (fast loads):
+//
+//  A. Replication lag: freshness of the columnar replica (how stale an
+//     analytical audit is immediately after a burst of commits).
+//  B. OLAP row-store fraction: how much of the paper's OLTP/OLAP
+//     interference comes from analytical statements landing on the row
+//     store versus the replica.
+//  C. Isolation level: retry/abort profile of the same contended workload
+//     under snapshot isolation versus read committed.
+#include "bench/bench_common.h"
+
+namespace olxp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  PrintHeader("Ablation: engine knobs (fibenchmark, tidb-like base)",
+              "design-choice sensitivity, no direct paper analogue");
+
+  // ---------- A: replication lag vs observed staleness ----------
+  std::printf("[A] replication lag -> replica staleness after a commit "
+              "burst\n");
+  std::printf("%10s %16s\n", "lag(ms)", "stale rows seen");
+  for (int64_t lag_ms : {0, 20, 100, 300}) {
+    engine::EngineProfile p = engine::EngineProfile::TiDbLike();
+    p.replication_lag_micros = lag_ms * 1000;
+    p.olap_row_fraction = 0.0;  // audits always hit the replica
+    benchfw::BenchmarkSuite suite = benchmarks::MakeFibenchmark(opts.Load());
+    engine::Database db(p);
+    if (!benchfw::SetUp(db, suite).ok()) return 1;
+    auto s = db.CreateSession();
+    s->set_charging_enabled(false);
+    // Burst of 200 deposits, then immediately audit via the replica.
+    for (int i = 1; i <= 200; ++i) {
+      (void)s->Execute(
+          "UPDATE checking SET bal = bal + 1 WHERE custid = ?",
+          {Value::Int(i)});
+    }
+    auto audit = s->Execute(
+        "SELECT COUNT(*) FROM checking WHERE bal > 1000.5");
+    int64_t fresh = audit.ok() ? audit->rows[0][0].AsInt() : -1;
+    std::printf("%10lld %16lld\n", static_cast<long long>(lag_ms),
+                static_cast<long long>(200 - fresh));
+  }
+
+  // ---------- B: OLAP routing fraction vs OLTP interference ----------
+  std::printf("\n[B] olap_row_fraction -> OLTP latency under 2 qps OLAP\n");
+  std::printf("%10s %14s\n", "fraction", "oltp mean(ms)");
+  for (double frac : {0.0, 0.3, 0.65, 1.0}) {
+    engine::EngineProfile p = engine::EngineProfile::TiDbLike();
+    p.olap_row_fraction = frac;
+    benchfw::BenchmarkSuite suite = benchmarks::MakeFibenchmark(opts.Load());
+    engine::Database db(p);
+    if (!benchfw::SetUp(db, suite).ok()) return 1;
+    benchfw::AgentConfig oltp;
+    oltp.kind = benchfw::AgentKind::kOltp;
+    oltp.request_rate = opts.quick ? 50 : 150;
+    oltp.threads = 8;
+    benchfw::AgentConfig olap;
+    olap.kind = benchfw::AgentKind::kOlap;
+    olap.request_rate = 2;
+    olap.threads = 2;
+    benchfw::RunConfig cfg = opts.Run();
+    if (!opts.quick && cfg.measure_seconds < 4) cfg.measure_seconds = 4;
+    auto r = Cell(db, suite, {oltp, olap}, cfg);
+    std::printf("%10.2f %14.2f\n", frac,
+                r.Of(benchfw::AgentKind::kOltp).latency.Mean() / 1000.0);
+  }
+
+  // ---------- C: isolation level vs abort/retry profile ----------
+  std::printf("\n[C] isolation level under hotspot contention "
+              "(closed loop, 12 threads)\n");
+  std::printf("%22s %10s %10s %10s %12s\n", "isolation", "tput", "retries",
+              "errors", "lock waits");
+  for (auto iso : {txn::IsolationLevel::kSnapshotIsolation,
+                   txn::IsolationLevel::kReadCommitted}) {
+    engine::EngineProfile p = engine::EngineProfile::TiDbLike();
+    p.isolation = iso;
+    benchfw::BenchmarkSuite suite = benchmarks::MakeFibenchmark(opts.Load());
+    engine::Database db(p);
+    if (!benchfw::SetUp(db, suite).ok()) return 1;
+    benchfw::AgentConfig oltp;
+    oltp.kind = benchfw::AgentKind::kOltp;
+    oltp.request_rate = -1;
+    oltp.threads = 12;
+    auto r = Cell(db, suite, {oltp}, opts.Run());
+    const auto& k = r.Of(benchfw::AgentKind::kOltp);
+    std::printf("%22s %10.0f %10llu %10llu %12llu\n",
+                txn::IsolationLevelName(iso),
+                k.Throughput(r.measure_seconds),
+                static_cast<unsigned long long>(k.retries),
+                static_cast<unsigned long long>(k.errors),
+                static_cast<unsigned long long>(r.lock_acquisitions));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace olxp::bench
+
+int main(int argc, char** argv) { return olxp::bench::Main(argc, argv); }

@@ -1,0 +1,96 @@
+#ifndef OLXP_BENCH_BENCH_COMMON_H_
+#define OLXP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "benchfw/driver.h"
+#include "benchfw/report.h"
+#include "benchmarks/chbench/chbench.h"
+#include "benchmarks/fibench/fibench.h"
+#include "benchmarks/subench/subench.h"
+#include "benchmarks/tabench/tabench.h"
+#include "common/strings.h"
+#include "engine/database.h"
+
+namespace olxp::bench {
+
+/// Command-line options shared by every figure binary.
+///   --quick          shrink cells for smoke runs
+///   --measure=SEC    per-cell measurement window
+///   --warmup=SEC     per-cell warmup window
+///   --scale=N        benchmark scale (warehouses / k-customers / k-subs)
+///   --items=N        subench/chbench ITEM cardinality
+///   --seed=N
+struct BenchOptions {
+  bool quick = false;
+  double measure = 1.2;
+  double warmup = 0.3;
+  int scale = 4;
+  int items = 10000;
+  uint64_t seed = 42;
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--quick") == 0) {
+        o.quick = true;
+        o.measure = 0.5;
+        o.warmup = 0.15;
+        o.items = 2000;
+      } else if (std::strncmp(a, "--measure=", 10) == 0) {
+        o.measure = std::atof(a + 10);
+      } else if (std::strncmp(a, "--warmup=", 9) == 0) {
+        o.warmup = std::atof(a + 9);
+      } else if (std::strncmp(a, "--scale=", 8) == 0) {
+        o.scale = std::atoi(a + 8);
+      } else if (std::strncmp(a, "--items=", 8) == 0) {
+        o.items = std::atoi(a + 8);
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        o.seed = std::strtoull(a + 7, nullptr, 10);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", a);
+      }
+    }
+    return o;
+  }
+
+  benchfw::LoadParams Load() const {
+    benchfw::LoadParams p;
+    p.scale = scale;
+    p.items = items;
+    p.seed = seed;
+    return p;
+  }
+
+  benchfw::RunConfig Run() const {
+    benchfw::RunConfig c;
+    c.measure_seconds = measure;
+    c.warmup_seconds = warmup;
+    c.seed = seed;
+    return c;
+  }
+};
+
+inline void PrintHeader(const char* title, const char* paper_claim) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==================================================\n");
+}
+
+/// One measurement cell with automatic version-chain pruning before it
+/// (keeps MVCC chains short between cells, like fresh paper runs).
+inline benchfw::RunResult Cell(engine::Database& db,
+                               const benchfw::BenchmarkSuite& suite,
+                               const std::vector<benchfw::AgentConfig>& agents,
+                               const benchfw::RunConfig& cfg) {
+  db.PruneAllVersions(4);
+  return benchfw::RunCell(db, suite, agents, cfg);
+}
+
+}  // namespace olxp::bench
+
+#endif  // OLXP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,14 @@
+// Reproduces Figure 7: OLTP, OLAP and OLxP performance of subenchmark on
+// the MemSQL-like and TiDB-like engines (throughput sweeps + the §VI-D
+// peak-gap summary).
+#include "bench/sweep_common.h"
+
+int main(int argc, char** argv) {
+  olxp::bench::SweepSpec spec;
+  spec.figure = "Figure 7";
+  spec.benchmark_name = "subenchmark";
+  spec.make_suite = [](olxp::benchfw::LoadParams p) {
+    return olxp::benchmarks::MakeSubenchmark(p);
+  };
+  return olxp::bench::RunSweep(spec, argc, argv);
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 8: OLTP, OLAP and OLxP performance of fibenchmark
+// (banking) on the MemSQL-like and TiDB-like engines. The paper highlights
+// fibench's read-heavier mix peaking ~10-20x above subenchmark and
+// analytical queries being blocked behind expensive scans.
+#include "bench/sweep_common.h"
+
+int main(int argc, char** argv) {
+  olxp::bench::SweepSpec spec;
+  spec.figure = "Figure 8";
+  spec.benchmark_name = "fibenchmark";
+  spec.make_suite = [](olxp::benchfw::LoadParams p) {
+    return olxp::benchmarks::MakeFibenchmark(p);
+  };
+  return olxp::bench::RunSweep(spec, argc, argv);
+}

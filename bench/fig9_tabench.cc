@@ -1,0 +1,19 @@
+// Reproduces Figure 9: OLTP, OLAP and OLxP performance of tabenchmark
+// (telecom) on the MemSQL-like and TiDB-like engines. Despite being 80%
+// read-only, tabench peaks far below the other suites because of the slow
+// sub_nbr-only lookup against the composite primary key (full scan) inside
+// DeleteCallForwarding/UpdateLocation — the bottleneck §VI-C dissects.
+#include "bench/sweep_common.h"
+
+int main(int argc, char** argv) {
+  olxp::bench::SweepSpec spec;
+  // tabench's bottleneck is the sub_nbr full scan; give it enough
+  // subscribers for the slow query to dominate, as in the paper.
+  spec.figure = "Figure 9";
+  spec.benchmark_name = "tabenchmark";
+  spec.min_scale = 6;
+  spec.make_suite = [](olxp::benchfw::LoadParams p) {
+    return olxp::benchmarks::MakeTabenchmark(p);
+  };
+  return olxp::bench::RunSweep(spec, argc, argv);
+}

@@ -1,0 +1,162 @@
+#ifndef OLXP_BENCH_SWEEP_COMMON_H_
+#define OLXP_BENCH_SWEEP_COMMON_H_
+
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace olxp::bench {
+
+/// Shared machinery for Figures 7/8/9: per engine profile it
+///   (a) discovers the peak OLTP/OLAP/OLxP throughput closed-loop,
+///   (b) sweeps transactional rates against analytical rates (subfigures a
+///       and b come from the same grid),
+///   (c) sweeps hybrid (OLxP) rates,
+/// printing the paper's series. The two engines' grids use their own peaks
+/// (the paper's axes also differ per system).
+struct SweepSpec {
+  const char* figure;          ///< "fig7" etc.
+  const char* benchmark_name;  ///< for headers
+  std::function<benchfw::BenchmarkSuite(benchfw::LoadParams)> make_suite;
+  int oltp_threads = 16;
+  int olap_threads = 4;
+  int hybrid_threads = 8;
+  int min_scale = 0;  ///< raise opts.scale to at least this
+};
+
+inline double DiscoverPeak(engine::Database& db,
+                           const benchfw::BenchmarkSuite& suite,
+                           benchfw::AgentKind kind, int threads,
+                           const benchfw::RunConfig& cfg) {
+  benchfw::AgentConfig agent;
+  agent.kind = kind;
+  agent.request_rate = -1;  // closed loop
+  agent.threads = threads;
+  auto result = Cell(db, suite, {agent}, cfg);
+  return result.Of(kind).Throughput(result.measure_seconds);
+}
+
+inline int RunSweep(const SweepSpec& spec, int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  if (opts.scale < spec.min_scale) opts.scale = spec.min_scale;
+  PrintHeader(StrFormat("%s: OLTP/OLAP/OLxP sweeps (%s)", spec.figure,
+                        spec.benchmark_name)
+                  .c_str(),
+              "memsql-like peak OLTP ~3x tidb-like; tidb-like handles OLxP "
+              "better; mutual OLTP/OLAP interference up to ~89%/~59%");
+
+  const std::vector<engine::EngineProfile> profiles = {
+      engine::EngineProfile::MemSqlLike(), engine::EngineProfile::TiDbLike()};
+  const std::vector<double> txn_fracs =
+      opts.quick ? std::vector<double>{0, 0.5, 1.0}
+                 : std::vector<double>{0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<double> olap_rates =
+      opts.quick ? std::vector<double>{0, 2}
+                 : std::vector<double>{0, 1, 2, 4};
+  // Low-qps OLAP agents need a few seconds per cell to engage.
+  if (!opts.quick && opts.measure < 2.5) opts.measure = 2.5;
+
+  struct PeakRecord {
+    std::string engine;
+    double oltp_peak = 0, hybrid_peak = 0;
+  };
+  std::vector<PeakRecord> peaks;
+
+  for (const engine::EngineProfile& profile : profiles) {
+    benchfw::BenchmarkSuite suite = spec.make_suite(opts.Load());
+    engine::Database db(profile);
+    Status st = benchfw::SetUp(db, suite);
+    if (!st.ok()) {
+      std::fprintf(stderr, "setup failed on %s: %s\n", profile.name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    benchfw::RunConfig cfg = opts.Run();
+
+    double oltp_peak = DiscoverPeak(db, suite, benchfw::AgentKind::kOltp,
+                                    spec.oltp_threads, cfg);
+    std::printf("\n[%s] discovered peak OLTP throughput: %.1f tps\n",
+                profile.name.c_str(), oltp_peak);
+
+    // --- (a)+(b): txn-rate x olap-rate grid ---
+    std::printf("%-10s %9s %9s | %12s %12s | %12s %12s\n", "engine",
+                "txn_rate", "olap_qps", "oltp_tput", "oltp_ms", "olap_tput",
+                "olap_ms");
+    for (double frac : txn_fracs) {
+      for (double aq : olap_rates) {
+        double rate = frac * oltp_peak;
+        if (rate <= 0 && aq <= 0) continue;
+        std::vector<benchfw::AgentConfig> agents;
+        if (rate > 0) {
+          benchfw::AgentConfig oltp;
+          oltp.kind = benchfw::AgentKind::kOltp;
+          oltp.request_rate = rate;
+          oltp.threads = spec.oltp_threads;
+          agents.push_back(oltp);
+        }
+        if (aq > 0) {
+          benchfw::AgentConfig olap;
+          olap.kind = benchfw::AgentKind::kOlap;
+          olap.request_rate = aq;
+          olap.threads = spec.olap_threads;
+          agents.push_back(olap);
+        }
+        auto r = Cell(db, suite, agents, cfg);
+        const auto& to = r.Of(benchfw::AgentKind::kOltp);
+        const auto& ta = r.Of(benchfw::AgentKind::kOlap);
+        std::printf("%-10s %9.1f %9.1f | %12.1f %12.2f | %12.2f %12.2f\n",
+                    profile.name.c_str(), rate, aq,
+                    to.Throughput(r.measure_seconds),
+                    to.latency.Mean() / 1000.0,
+                    ta.Throughput(r.measure_seconds),
+                    ta.latency.Mean() / 1000.0);
+        std::fflush(stdout);
+      }
+    }
+
+    // --- (c): OLxP sweep ---
+    double hybrid_peak = DiscoverPeak(db, suite, benchfw::AgentKind::kHybrid,
+                                      spec.hybrid_threads, cfg);
+    std::printf("[%s] discovered peak OLxP throughput: %.1f tps\n",
+                profile.name.c_str(), hybrid_peak);
+    std::printf("%-10s %9s | %12s %12s %12s\n", "engine", "olxp_rate",
+                "olxp_tput", "olxp_ms", "olxp_p95ms");
+    for (double frac : {0.25, 0.5, 1.0, 2.0}) {
+      double rate = frac * hybrid_peak;
+      if (rate <= 0.05) continue;
+      benchfw::AgentConfig hybrid;
+      hybrid.kind = benchfw::AgentKind::kHybrid;
+      hybrid.request_rate = rate;
+      hybrid.threads = spec.hybrid_threads;
+      auto r = Cell(db, suite, {hybrid}, cfg);
+      const auto& th = r.Of(benchfw::AgentKind::kHybrid);
+      std::printf("%-10s %9.1f | %12.1f %12.2f %12.2f\n",
+                  profile.name.c_str(), rate,
+                  th.Throughput(r.measure_seconds),
+                  th.latency.Mean() / 1000.0, th.latency.P95() / 1000.0);
+      std::fflush(stdout);
+    }
+    peaks.push_back({profile.name, oltp_peak, hybrid_peak});
+  }
+
+  // --- §VI-D summary block ---
+  if (peaks.size() == 2) {
+    std::printf("\n--- peak gaps (cf. §VI-D) ---\n");
+    double oltp_gap = peaks[1].oltp_peak > 0
+                          ? peaks[0].oltp_peak / peaks[1].oltp_peak
+                          : 0;
+    double olxp_gap = peaks[0].hybrid_peak > 0
+                          ? peaks[1].hybrid_peak / peaks[0].hybrid_peak
+                          : 0;
+    std::printf("peak OLTP %s/%s = %.2fx (paper: ~2.6-3.0x)\n",
+                peaks[0].engine.c_str(), peaks[1].engine.c_str(), oltp_gap);
+    std::printf("peak OLxP %s/%s = %.2fx (paper: tidb wins on su/fi)\n",
+                peaks[1].engine.c_str(), peaks[0].engine.c_str(), olxp_gap);
+  }
+  return 0;
+}
+
+}  // namespace olxp::bench
+
+#endif  // OLXP_BENCH_SWEEP_COMMON_H_

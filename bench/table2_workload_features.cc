@@ -1,0 +1,55 @@
+// Reproduces Table II: features of the OLxPBench workloads — tables,
+// columns, indexes, OLTP transaction counts and read-only shares, query
+// counts, hybrid transaction counts and read-only shares. All values are
+// introspected from the live schemas and workload registries, so this
+// binary doubles as a drift check against the paper's numbers:
+//   subenchmark:  9 / 92 / 3 / 5 /  8.0% / 9 / 5 / 60.0%
+//   fibenchmark:  3 /  6 / 4 / 6 / 15.0% / 4 / 6 / 20.0%
+//   tabenchmark:  4 / 51 / 5 / 7 / 80.0% / 5 / 6 / 40.0%
+#include "bench/bench_common.h"
+
+namespace olxp::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  PrintHeader("Table II: features of the OLxPBench workloads",
+              "introspected live; must match the paper's table");
+
+  std::vector<benchfw::BenchmarkSuite> suites;
+  suites.push_back(benchmarks::MakeSubenchmark(opts.Load()));
+  suites.push_back(benchmarks::MakeFibenchmark(opts.Load()));
+  suites.push_back(benchmarks::MakeTabenchmark(opts.Load()));
+
+  std::printf("%-14s %7s %8s %8s %6s %10s %8s %8s %10s\n", "benchmark",
+              "tables", "columns", "indexes", "txns", "ro-txns", "queries",
+              "hybrids", "ro-hybrid");
+  for (benchfw::BenchmarkSuite& suite : suites) {
+    engine::Database db(engine::EngineProfile::MemSqlLike());
+    auto session = db.CreateSession();
+    session->set_charging_enabled(false);
+    Status st = suite.create_schema(*session);
+    if (!st.ok()) {
+      std::fprintf(stderr, "schema failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    int columns = 0, indexes = 0;
+    for (int id : db.row_store().TableIds()) {
+      columns += db.GetSchema(id).num_columns();
+      indexes += static_cast<int>(db.GetSchema(id).indexes().size());
+    }
+    std::printf("%-14s %7d %8d %8d %6d %9.1f%% %8d %8d %9.1f%%\n",
+                suite.name.c_str(), db.row_store().num_tables(), columns,
+                indexes, static_cast<int>(suite.transactions.size()),
+                100 * suite.ReadOnlyShare(benchfw::AgentKind::kOltp),
+                static_cast<int>(suite.queries.size()),
+                static_cast<int>(suite.hybrids.size()),
+                100 * suite.ReadOnlyShare(benchfw::AgentKind::kHybrid));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace olxp::bench
+
+int main(int argc, char** argv) { return olxp::bench::Main(argc, argv); }

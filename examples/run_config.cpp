@@ -1,0 +1,136 @@
+// Config-driven OLxPBench runner — the INI equivalent of the paper's
+// XML-configured client (§IV-C): picks the benchmark, transaction weights,
+// request rates, SUT profile and thread counts from a config file and
+// prints the statistics report.
+//
+//   ./examples/run_config configs/subench_tidb.ini
+#include <cstdio>
+
+#include "benchfw/driver.h"
+#include "benchfw/report.h"
+#include "benchmarks/chbench/chbench.h"
+#include "benchmarks/fibench/fibench.h"
+#include "benchmarks/subench/subench.h"
+#include "benchmarks/tabench/tabench.h"
+#include "common/config.h"
+
+using namespace olxp;
+
+namespace {
+
+StatusOr<benchfw::BenchmarkSuite> MakeSuite(const std::string& name,
+                                            benchfw::LoadParams load) {
+  if (name == "subenchmark") return benchmarks::MakeSubenchmark(load);
+  if (name == "fibenchmark") return benchmarks::MakeFibenchmark(load);
+  if (name == "tabenchmark") return benchmarks::MakeTabenchmark(load);
+  if (name == "ch-benchmark" || name == "chbenchmark") {
+    return benchmarks::MakeChBenchmark(load);
+  }
+  return Status::InvalidArgument("unknown benchmark: " + name);
+}
+
+int Run(const std::string& path) {
+  auto cfg_or = Config::Load(path);
+  if (!cfg_or.ok()) {
+    std::fprintf(stderr, "config: %s\n", cfg_or.status().ToString().c_str());
+    return 1;
+  }
+  const Config& cfg = *cfg_or;
+
+  benchfw::LoadParams load;
+  load.scale = static_cast<int>(cfg.GetInt("workload.scale", 2).value());
+  load.items = static_cast<int>(cfg.GetInt("workload.items", 2000).value());
+  load.seed = static_cast<uint64_t>(cfg.GetInt("run.seed", 42).value());
+
+  auto suite_or =
+      MakeSuite(cfg.GetString("workload.benchmark", "subenchmark"), load);
+  if (!suite_or.ok()) {
+    std::fprintf(stderr, "%s\n", suite_or.status().ToString().c_str());
+    return 1;
+  }
+  benchfw::BenchmarkSuite& suite = *suite_or;
+
+  auto profile_or =
+      engine::EngineProfile::ByName(cfg.GetString("sut.profile", "tidb-like"));
+  if (!profile_or.ok()) {
+    std::fprintf(stderr, "%s\n", profile_or.status().ToString().c_str());
+    return 1;
+  }
+  engine::EngineProfile profile = *profile_or;
+  profile.cluster.num_nodes =
+      static_cast<int>(cfg.GetInt("sut.cluster_nodes", 4).value());
+  profile.replication_lag_micros =
+      cfg.GetInt("sut.replication_lag_ms", 20).value() * 1000;
+
+  engine::Database db(profile);
+  std::printf("loading %s (scale=%d) on %s...\n", suite.name.c_str(),
+              load.scale, profile.name.c_str());
+  Status st = benchfw::SetUp(db, suite);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const bool open_loop = cfg.GetBool("run.open_loop", true).value();
+  std::vector<benchfw::AgentConfig> agents;
+  auto add_agent = [&](benchfw::AgentKind kind, const char* rate_key,
+                       const char* threads_key) -> Status {
+    double rate = cfg.GetDouble(rate_key, 0).value();
+    if (rate <= 0) return Status::OK();
+    benchfw::AgentConfig a;
+    a.kind = kind;
+    a.request_rate = open_loop ? rate : -1;
+    a.threads =
+        static_cast<int>(cfg.GetInt(threads_key, 8).value());
+    if (kind == benchfw::AgentKind::kOltp) {
+      auto weights = cfg.GetDoubleList("workload.txn_weights", {});
+      if (!weights.ok()) return weights.status();
+      if (!weights->empty()) {
+        if (weights->size() != suite.transactions.size()) {
+          return Status::InvalidArgument(
+              "txn_weights arity does not match the benchmark");
+        }
+        a.weight_override = *weights;
+      }
+    }
+    agents.push_back(std::move(a));
+    return Status::OK();
+  };
+  Status a1 = add_agent(benchfw::AgentKind::kOltp, "workload.oltp_rate",
+                        "workload.oltp_threads");
+  Status a2 = add_agent(benchfw::AgentKind::kOlap, "workload.olap_rate",
+                        "workload.olap_threads");
+  Status a3 = add_agent(benchfw::AgentKind::kHybrid, "workload.hybrid_rate",
+                        "workload.hybrid_threads");
+  for (const Status& s : {a1, a2, a3}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (agents.empty()) {
+    std::fprintf(stderr, "no agent has a positive rate\n");
+    return 1;
+  }
+
+  benchfw::RunConfig run;
+  run.warmup_seconds = cfg.GetDouble("run.warmup_seconds", 0.5).value();
+  run.measure_seconds = cfg.GetDouble("run.measure_seconds", 5).value();
+  run.seed = load.seed;
+
+  std::printf("running %.1fs warmup + %.1fs measurement...\n",
+              run.warmup_seconds, run.measure_seconds);
+  auto result = benchfw::RunCell(db, suite, agents, run);
+  std::printf("%s", benchfw::FormatRunResult(result).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <config.ini>\n", argv[0]);
+    return 2;
+  }
+  return Run(argv[1]);
+}

@@ -1,0 +1,168 @@
+#include "benchfw/driver.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace olxp::benchfw {
+
+namespace {
+
+/// Worker-local accumulation merged into the shared result at teardown.
+struct LocalStats {
+  KindStats stats;
+};
+
+/// State shared by all threads of one agent group.
+struct GroupState {
+  const AgentConfig* cfg = nullptr;
+  const std::vector<TxnProfile>* profiles = nullptr;
+  std::vector<double> weights;         // effective weights
+  std::atomic<int64_t> arrival_seq{0}; // open-loop arrival counter
+};
+
+void WorkerLoop(engine::Database* db, GroupState* group, const RunConfig& cfg,
+                int64_t start_us, int64_t measure_start_us, int64_t end_us,
+                uint64_t seed, KindStats* out, std::mutex* out_mu) {
+  auto session = db->CreateSession();
+  Rng rng(seed);
+  LocalStats local;
+  const auto& profiles = *group->profiles;
+  const bool open_loop = group->cfg->request_rate > 0;
+  const double rate = group->cfg->request_rate;
+
+  // Weighted pick honoring overrides.
+  double total_weight = 0;
+  for (double w : group->weights) total_weight += w;
+  auto pick = [&]() -> int {
+    double x = rng.NextDouble() * total_weight;
+    for (size_t i = 0; i < group->weights.size(); ++i) {
+      x -= group->weights[i];
+      if (x <= 0) return static_cast<int>(i);
+    }
+    return static_cast<int>(group->weights.size()) - 1;
+  };
+
+  while (true) {
+    int64_t arrival_us;
+    if (open_loop) {
+      int64_t n = group->arrival_seq.fetch_add(1, std::memory_order_relaxed);
+      arrival_us = start_us +
+                   static_cast<int64_t>(static_cast<double>(n) * 1e6 / rate);
+      if (arrival_us >= end_us) break;
+      int64_t now = NowMicros();
+      if (arrival_us > now) SleepMicros(arrival_us - now);
+    } else {
+      arrival_us = NowMicros();
+      if (arrival_us >= end_us) break;
+    }
+
+    int idx = pick();
+    const TxnProfile& profile = profiles[idx];
+
+    int64_t exec_start = NowMicros();
+    Status st = profile.body(*session, rng);
+    int attempts = 1;
+    while (!st.ok() && st.IsRetryable() && attempts <= cfg.max_retries &&
+           NowMicros() < end_us + 200000) {
+      if (arrival_us >= measure_start_us) local.stats.retries++;
+      ++attempts;
+      st = profile.body(*session, rng);
+    }
+    int64_t done = NowMicros();
+
+    if (arrival_us >= measure_start_us && arrival_us < end_us) {
+      local.stats.issued++;
+      local.stats.busy_nanos += (done - exec_start) * 1000;
+      if (st.ok()) {
+        local.stats.committed++;
+        local.stats.latency.Record(done - arrival_us);
+      } else {
+        local.stats.errors++;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(*out_mu);
+  out->latency.Merge(local.stats.latency);
+  out->issued += local.stats.issued;
+  out->committed += local.stats.committed;
+  out->retries += local.stats.retries;
+  out->errors += local.stats.errors;
+  out->busy_nanos += local.stats.busy_nanos;
+}
+
+}  // namespace
+
+RunResult RunCell(engine::Database& db, const BenchmarkSuite& suite,
+                  const std::vector<AgentConfig>& agents,
+                  const RunConfig& cfg) {
+  RunResult result;
+  result.measure_seconds = cfg.measure_seconds;
+
+  std::vector<GroupState> groups(agents.size());
+  for (size_t g = 0; g < agents.size(); ++g) {
+    groups[g].cfg = &agents[g];
+    groups[g].profiles = &suite.ProfilesFor(agents[g].kind);
+    if (!agents[g].weight_override.empty()) {
+      groups[g].weights = agents[g].weight_override;
+    } else {
+      for (const TxnProfile& p : *groups[g].profiles) {
+        groups[g].weights.push_back(p.weight);
+      }
+    }
+    result.kinds[agents[g].kind];  // ensure entry exists
+  }
+
+  const int64_t start_us = NowMicros() + 2000;  // small lead for thread spawn
+  const int64_t measure_start_us =
+      start_us + static_cast<int64_t>(cfg.warmup_seconds * 1e6);
+  const int64_t end_us =
+      measure_start_us + static_cast<int64_t>(cfg.measure_seconds * 1e6);
+
+  // Lock stats snapshot at measure start is taken by a coordinator thread.
+  storage::LockStats& ls = db.lock_manager().stats();
+  std::atomic<uint64_t> wait0{0}, acq0{0}, to0{0};
+  std::thread coordinator([&] {
+    int64_t now = NowMicros();
+    if (measure_start_us > now) SleepMicros(measure_start_us - now);
+    wait0 = ls.wait_nanos.load();
+    acq0 = ls.acquisitions.load();
+    to0 = ls.timeouts.load();
+  });
+
+  std::mutex out_mu;
+  std::vector<std::thread> threads;
+  uint64_t seed = cfg.seed;
+  for (size_t g = 0; g < agents.size(); ++g) {
+    for (int t = 0; t < agents[g].threads; ++t) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      threads.emplace_back(WorkerLoop, &db, &groups[g], cfg, start_us,
+                           measure_start_us, end_us, seed,
+                           &result.kinds[agents[g].kind], &out_mu);
+    }
+  }
+  for (auto& t : threads) t.join();
+  coordinator.join();
+
+  result.lock_wait_nanos = ls.wait_nanos.load() - wait0.load();
+  result.lock_acquisitions = ls.acquisitions.load() - acq0.load();
+  result.lock_timeouts = ls.timeouts.load() - to0.load();
+  for (const auto& [kind, ks] : result.kinds) {
+    result.total_busy_nanos += ks.busy_nanos;
+  }
+  return result;
+}
+
+Status SetUp(engine::Database& db, const BenchmarkSuite& suite) {
+  auto session = db.CreateSession();
+  session->set_charging_enabled(false);
+  OLXP_RETURN_NOT_OK(suite.create_schema(*session));
+  OLXP_RETURN_NOT_OK(suite.load(db, suite.load_params));
+  db.WaitReplicaCaughtUp();
+  return Status::OK();
+}
+
+}  // namespace olxp::benchfw

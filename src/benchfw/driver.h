@@ -1,0 +1,86 @@
+#ifndef OLXP_BENCHFW_DRIVER_H_
+#define OLXP_BENCHFW_DRIVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchfw/workload.h"
+#include "common/histogram.h"
+#include "engine/database.h"
+
+namespace olxp::benchfw {
+
+/// One load-generating agent group (the paper's OLTP / OLAP / hybrid
+/// agents). Open loop by default: arrivals are scheduled at exactly
+/// `request_rate` per second and latency includes queueing delay, matching
+/// the paper's "precise request rate control". `request_rate <= 0` switches
+/// the group to closed loop (each thread fires back-to-back).
+struct AgentConfig {
+  AgentKind kind = AgentKind::kOltp;
+  double request_rate = 100.0;  ///< requests/second; <=0 => closed loop
+  int threads = 8;
+  /// Optional per-profile weight override (size must match the suite's
+  /// profile list when non-empty).
+  std::vector<double> weight_override;
+};
+
+/// Run control shared by every cell of every figure.
+struct RunConfig {
+  double warmup_seconds = 0.3;
+  double measure_seconds = 1.5;
+  uint64_t seed = 42;
+  int max_retries = 32;  ///< per-request retries of retryable aborts
+};
+
+/// Per-agent-class measurement outcome.
+struct KindStats {
+  LatencyHistogram latency;       ///< arrival -> final completion (us)
+  uint64_t issued = 0;            ///< requests entering the measure window
+  uint64_t committed = 0;
+  uint64_t retries = 0;           ///< retryable aborts that were retried
+  uint64_t errors = 0;            ///< non-retryable failures
+  int64_t busy_nanos = 0;         ///< wall time spent executing bodies
+
+  double Throughput(double seconds) const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0;
+  }
+};
+
+/// Result of one benchmark cell.
+struct RunResult {
+  std::map<AgentKind, KindStats> kinds;
+  double measure_seconds = 0;
+  /// Lock-manager accounting over the measure window (Fig. 4).
+  uint64_t lock_wait_nanos = 0;
+  uint64_t lock_acquisitions = 0;
+  uint64_t lock_timeouts = 0;
+  int64_t total_busy_nanos = 0;
+
+  const KindStats& Of(AgentKind k) const {
+    static const KindStats kEmpty;
+    auto it = kinds.find(k);
+    return it == kinds.end() ? kEmpty : it->second;
+  }
+  /// Lock overhead = blocked time / busy time (the Fig. 4 metric).
+  double LockOverhead() const {
+    return total_busy_nanos > 0
+               ? static_cast<double>(lock_wait_nanos) / total_busy_nanos
+               : 0.0;
+  }
+};
+
+/// Runs one measurement cell: spawns all agent groups against `db`,
+/// warms up, measures, merges statistics.
+RunResult RunCell(engine::Database& db, const BenchmarkSuite& suite,
+                  const std::vector<AgentConfig>& agents,
+                  const RunConfig& cfg);
+
+/// Creates schema and loads data for `suite` on a fresh database using the
+/// suite's own load_params, then blocks until the columnar replica caught
+/// up. Loader runs with latency charging disabled.
+Status SetUp(engine::Database& db, const BenchmarkSuite& suite);
+
+}  // namespace olxp::benchfw
+
+#endif  // OLXP_BENCHFW_DRIVER_H_

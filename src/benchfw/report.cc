@@ -1,0 +1,43 @@
+#include "benchfw/report.h"
+
+#include "common/strings.h"
+
+namespace olxp::benchfw {
+
+std::string FormatKindStats(AgentKind kind, const KindStats& stats,
+                            double seconds) {
+  const LatencyHistogram& h = stats.latency;
+  return StrFormat(
+      "%-5s tput=%8.1f/s ok=%llu retry=%llu err=%llu | lat(ms) "
+      "min=%.2f mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99.9=%.2f "
+      "p99.99=%.2f max=%.2f sd=%.2f",
+      AgentKindName(kind), stats.Throughput(seconds),
+      static_cast<unsigned long long>(stats.committed),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.errors), h.min() / 1000.0,
+      h.Mean() / 1000.0, h.Median() / 1000.0, h.P90() / 1000.0,
+      h.P95() / 1000.0, h.P999() / 1000.0, h.P9999() / 1000.0,
+      h.max() / 1000.0, h.StdDev() / 1000.0);
+}
+
+std::string FormatRunResult(const RunResult& result) {
+  std::string out;
+  for (const auto& [kind, stats] : result.kinds) {
+    out += FormatKindStats(kind, stats, result.measure_seconds);
+    out += "\n";
+  }
+  out += StrFormat("lock: overhead=%.4f waits_ns=%llu acq=%llu timeouts=%llu\n",
+                   result.LockOverhead(),
+                   static_cast<unsigned long long>(result.lock_wait_nanos),
+                   static_cast<unsigned long long>(result.lock_acquisitions),
+                   static_cast<unsigned long long>(result.lock_timeouts));
+  return out;
+}
+
+std::string FigureRow(const std::string& series, double x,
+                      const std::string& metric, double value) {
+  return StrFormat("%s,x=%.3f,%s=%.4f", series.c_str(), x, metric.c_str(),
+                   value);
+}
+
+}  // namespace olxp::benchfw

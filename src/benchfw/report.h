@@ -1,0 +1,25 @@
+#ifndef OLXP_BENCHFW_REPORT_H_
+#define OLXP_BENCHFW_REPORT_H_
+
+#include <string>
+
+#include "benchfw/driver.h"
+
+namespace olxp::benchfw {
+
+/// Formats one agent class's stats in the paper's reporting style:
+/// throughput plus min/mean/median/p90/p95/p99.9/p99.99/max latency.
+std::string FormatKindStats(AgentKind kind, const KindStats& stats,
+                            double seconds);
+
+/// Full cell report (all agent classes + lock accounting).
+std::string FormatRunResult(const RunResult& result);
+
+/// Prints a csv-ish row "label,metric=value,..." used by the figure
+/// binaries so series can be re-plotted.
+std::string FigureRow(const std::string& series, double x,
+                      const std::string& metric, double value);
+
+}  // namespace olxp::benchfw
+
+#endif  // OLXP_BENCHFW_REPORT_H_

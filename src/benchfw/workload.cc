@@ -1,0 +1,38 @@
+#include "benchfw/workload.h"
+
+namespace olxp::benchfw {
+
+const char* AgentKindName(AgentKind k) {
+  switch (k) {
+    case AgentKind::kOltp:
+      return "OLTP";
+    case AgentKind::kOlap:
+      return "OLAP";
+    case AgentKind::kHybrid:
+      return "OLxP";
+  }
+  return "?";
+}
+
+double BenchmarkSuite::ReadOnlyShare(AgentKind kind) const {
+  const auto& profiles = ProfilesFor(kind);
+  double total = 0, ro = 0;
+  for (const TxnProfile& p : profiles) {
+    total += p.weight;
+    if (p.read_only) ro += p.weight;
+  }
+  return total > 0 ? ro / total : 0.0;
+}
+
+int PickWeighted(const std::vector<TxnProfile>& profiles, Rng& rng) {
+  double total = 0;
+  for (const TxnProfile& p : profiles) total += p.weight;
+  double x = rng.NextDouble() * total;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    x -= profiles[i].weight;
+    if (x <= 0) return static_cast<int>(i);
+  }
+  return static_cast<int>(profiles.size()) - 1;
+}
+
+}  // namespace olxp::benchfw

@@ -1,0 +1,91 @@
+#ifndef OLXP_BENCHFW_WORKLOAD_H_
+#define OLXP_BENCHFW_WORKLOAD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/session.h"
+
+namespace olxp::benchfw {
+
+/// The three agent classes of OLxPBench (§IV-C): online transactions,
+/// analytical queries, and hybrid transactions (a real-time query executed
+/// in-between an online transaction).
+enum class AgentKind { kOltp, kOlap, kHybrid };
+
+const char* AgentKindName(AgentKind k);
+
+/// One workload unit (a transaction, an analytical query, or a hybrid
+/// transaction). The body owns its transaction scope: OLTP/hybrid bodies
+/// call Begin/Commit on the session; analytical bodies run auto-commit
+/// statements (which separated engines route to the columnar replica).
+struct TxnProfile {
+  std::string name;
+  double weight = 1.0;      ///< relative frequency within its agent class
+  bool read_only = false;   ///< Table II bookkeeping
+  /// Executes one instance. Retryable failures (Conflict/LockTimeout) are
+  /// retried by the driver; other failures count as errors.
+  std::function<Status(engine::Session&, Rng&)> body;
+};
+
+/// Scale parameters for loaders. Interpretation is benchmark-specific
+/// (warehouses for subench/chbench, customers for fibench, subscribers for
+/// tabench); defaults are laptop-calibrated.
+struct LoadParams {
+  int scale = 2;          ///< warehouses / thousands of customers / etc.
+  int items = 2000;       ///< subench/chbench ITEM cardinality
+  uint64_t seed = 42;
+  int load_threads = 8;
+};
+
+/// A complete benchmark: schema + loader + the three workload classes,
+/// plus the metadata OLxPBench's Table I/II report.
+struct BenchmarkSuite {
+  std::string name;
+  std::string domain;  ///< "general", "banking", "telecom", "stitched"
+
+  /// Scale the suite was generated for. Workload bodies capture these
+  /// cardinalities, so the same value drives the loader (see SetUp).
+  LoadParams load_params;
+
+  /// Creates all tables and indexes (runs on a fresh Database).
+  std::function<Status(engine::Session&)> create_schema;
+  /// Populates initial data; runs after create_schema.
+  std::function<Status(engine::Database&, const LoadParams&)> load;
+
+  std::vector<TxnProfile> transactions;  ///< OLTP bodies
+  std::vector<TxnProfile> queries;       ///< OLAP bodies
+  std::vector<TxnProfile> hybrids;       ///< OLxP bodies
+
+  /// Capability flags (Table I row).
+  bool has_hybrid_txn = false;
+  bool has_real_time_query = false;
+  bool semantically_consistent_schema = false;
+  bool general_benchmark = false;
+  bool domain_specific_benchmark = false;
+
+  const std::vector<TxnProfile>& ProfilesFor(AgentKind kind) const {
+    switch (kind) {
+      case AgentKind::kOltp:
+        return transactions;
+      case AgentKind::kOlap:
+        return queries;
+      case AgentKind::kHybrid:
+        return hybrids;
+    }
+    return transactions;
+  }
+
+  /// Weighted share of read-only profiles in a class (Table II columns).
+  double ReadOnlyShare(AgentKind kind) const;
+};
+
+/// Picks a profile index by weight.
+int PickWeighted(const std::vector<TxnProfile>& profiles, Rng& rng);
+
+}  // namespace olxp::benchfw
+
+#endif  // OLXP_BENCHFW_WORKLOAD_H_

@@ -1,0 +1,28 @@
+#ifndef OLXP_BENCHMARKS_CHBENCH_CHBENCH_H_
+#define OLXP_BENCHMARKS_CHBENCH_CHBENCH_H_
+
+#include "benchfw/workload.h"
+
+namespace olxp::benchmarks {
+
+/// Reference implementation of CH-benCHmark (Cole et al., DBTest'11), the
+/// state-of-the-practice baseline OLxPBench is compared against (§V-B1).
+/// It uses the *stitched* schema: the 9 TPC-C tables plus TPC-H's SUPPLIER
+/// / NATION / REGION, which online transactions never update. 10 of the 22
+/// analytical queries access SUPPLIER (45.4%), 9 access NATION (40.9%) and
+/// 3 access REGION (13.6%) — the proportions the paper quantifies when
+/// arguing the stitched schema hides OLTP/OLAP contention.
+///
+/// No hybrid transactions and no real-time queries (Table I row).
+///
+/// LoadParams: `scale` = warehouses, `items` = ITEM cardinality.
+benchfw::BenchmarkSuite MakeChBenchmark(benchfw::LoadParams params = {});
+
+/// Cardinalities of the static TPC-H side tables.
+inline constexpr int kChSuppliers = 100;
+inline constexpr int kChNations = 25;
+inline constexpr int kChRegions = 5;
+
+}  // namespace olxp::benchmarks
+
+#endif  // OLXP_BENCHMARKS_CHBENCH_CHBENCH_H_

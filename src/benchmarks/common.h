@@ -1,0 +1,45 @@
+#ifndef OLXP_BENCHMARKS_COMMON_H_
+#define OLXP_BENCHMARKS_COMMON_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/session.h"
+
+namespace olxp::benchmarks {
+
+/// Executes one statement, discarding rows. Used by DDL/loaders/txn bodies.
+inline Status Exec(engine::Session& s, const std::string& sql,
+                   std::initializer_list<Value> params = {}) {
+  auto rs = s.Execute(sql, params);
+  return rs.ok() ? Status::OK() : rs.status();
+}
+
+/// Executes one statement returning the result set.
+inline StatusOr<sql::ResultSet> Query(engine::Session& s,
+                                      const std::string& sql,
+                                      std::initializer_list<Value> params =
+                                          {}) {
+  return s.Execute(sql, params);
+}
+
+/// Runs `fn` inside an explicit transaction, committing on success and
+/// rolling back on failure. Statement failures auto-abort the session's
+/// transaction, making the Rollback here a safe no-op in that case.
+template <typename Fn>
+Status InTxn(engine::Session& s, Fn&& fn) {
+  OLXP_RETURN_NOT_OK(s.Begin());
+  Status st = std::forward<Fn>(fn)();
+  if (!st.ok()) {
+    s.Rollback();
+    return st;
+  }
+  return s.Commit();
+}
+
+}  // namespace olxp::benchmarks
+
+#endif  // OLXP_BENCHMARKS_COMMON_H_

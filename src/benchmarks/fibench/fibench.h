@@ -1,0 +1,19 @@
+#ifndef OLXP_BENCHMARKS_FIBENCH_FIBENCH_H_
+#define OLXP_BENCHMARKS_FIBENCH_FIBENCH_H_
+
+#include "benchfw/workload.h"
+
+namespace olxp::benchmarks {
+
+/// The banking domain-specific benchmark of OLxPBench (§IV-B2), inspired by
+/// SmallBank: 3 tables / 6 columns / 4 indexes, 6 online transactions (15%
+/// read-only), 4 analytical queries (real-time customer account analytics),
+/// 6 hybrid transactions (20% read-only; X6 is the paper's Checking Balance
+/// Transaction that aggregates the minimum savings balance).
+///
+/// LoadParams: `scale` = thousands of customer accounts.
+benchfw::BenchmarkSuite MakeFibenchmark(benchfw::LoadParams params = {});
+
+}  // namespace olxp::benchmarks
+
+#endif  // OLXP_BENCHMARKS_FIBENCH_FIBENCH_H_

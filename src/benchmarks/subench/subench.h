@@ -1,0 +1,27 @@
+#ifndef OLXP_BENCHMARKS_SUBENCH_SUBENCH_H_
+#define OLXP_BENCHMARKS_SUBENCH_SUBENCH_H_
+
+#include "benchfw/workload.h"
+
+namespace olxp::benchmarks {
+
+/// The general benchmark of OLxPBench (§IV-B1), inspired by TPC-C: retail
+/// activity, write-heavy (8% read-only OLTP), 9 tables / 92 columns /
+/// 3 secondary indexes, 5 online transactions, 9 analytical queries
+/// (semantically consistent: they analyze HISTORY, WAREHOUSE and DISTRICT
+/// too), and 5 hybrid transactions (60% read-only) whose real-time queries
+/// mimic e-commerce user behaviour (X1: lowest price before NewOrder).
+///
+/// LoadParams: `scale` = warehouses, `items` = ITEM cardinality.
+benchfw::BenchmarkSuite MakeSubenchmark(benchfw::LoadParams params = {});
+
+/// Number of districts per warehouse / customers per district / initial
+/// orders per district in the laptop-calibrated load (ratios follow TPC-C;
+/// cardinalities are scaled down — documented in DESIGN.md).
+inline constexpr int kSubDistrictsPerWarehouse = 10;
+inline constexpr int kSubCustomersPerDistrict = 30;
+inline constexpr int kSubInitialOrdersPerDistrict = 100;
+
+}  // namespace olxp::benchmarks
+
+#endif  // OLXP_BENCHMARKS_SUBENCH_SUBENCH_H_

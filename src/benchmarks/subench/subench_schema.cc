@@ -1,0 +1,280 @@
+#include <thread>
+#include <vector>
+
+#include "benchmarks/common.h"
+#include "benchmarks/subench/subench.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace olxp::benchmarks {
+
+namespace {
+
+/// 9 tables, 92 columns total (TPC-C layout), 3 secondary indexes. The
+/// HISTORY table uses (h_c_w_id, h_c_d_id, h_c_id, h_date) as its primary
+/// key with h_date drawn from a unique microsecond counter.
+const char* kSubenchDdl[] = {
+    "CREATE TABLE warehouse ("
+    " w_id INT PRIMARY KEY, w_name VARCHAR(10), w_street_1 VARCHAR(20),"
+    " w_street_2 VARCHAR(20), w_city VARCHAR(20), w_state CHAR(2),"
+    " w_zip CHAR(9), w_tax DOUBLE, w_ytd DOUBLE)",
+
+    "CREATE TABLE district ("
+    " d_id INT, d_w_id INT, d_name VARCHAR(10), d_street_1 VARCHAR(20),"
+    " d_street_2 VARCHAR(20), d_city VARCHAR(20), d_state CHAR(2),"
+    " d_zip CHAR(9), d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id INT,"
+    " PRIMARY KEY (d_w_id, d_id),"
+    " FOREIGN KEY (d_w_id) REFERENCES warehouse (w_id))",
+
+    "CREATE TABLE customer ("
+    " c_id INT, c_d_id INT, c_w_id INT, c_first VARCHAR(16),"
+    " c_middle CHAR(2), c_last VARCHAR(16), c_street_1 VARCHAR(20),"
+    " c_street_2 VARCHAR(20), c_city VARCHAR(20), c_state CHAR(2),"
+    " c_zip CHAR(9), c_phone CHAR(16), c_since TIMESTAMP,"
+    " c_credit CHAR(2), c_credit_lim DOUBLE, c_discount DOUBLE,"
+    " c_balance DOUBLE, c_ytd_payment DOUBLE, c_payment_cnt INT,"
+    " c_delivery_cnt INT, c_data VARCHAR(500),"
+    " PRIMARY KEY (c_w_id, c_d_id, c_id),"
+    " FOREIGN KEY (c_w_id, c_d_id) REFERENCES district (d_w_id, d_id))",
+
+    "CREATE TABLE history ("
+    " h_c_id INT, h_c_d_id INT, h_c_w_id INT, h_d_id INT, h_w_id INT,"
+    " h_date TIMESTAMP, h_amount DOUBLE, h_data VARCHAR(24),"
+    " PRIMARY KEY (h_c_w_id, h_c_d_id, h_c_id, h_date))",
+
+    "CREATE TABLE new_order ("
+    " no_o_id INT, no_d_id INT, no_w_id INT,"
+    " PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+
+    "CREATE TABLE orders ("
+    " o_id INT, o_d_id INT, o_w_id INT, o_c_id INT, o_entry_d TIMESTAMP,"
+    " o_carrier_id INT, o_ol_cnt INT, o_all_local INT,"
+    " PRIMARY KEY (o_w_id, o_d_id, o_id))",
+
+    "CREATE TABLE order_line ("
+    " ol_o_id INT, ol_d_id INT, ol_w_id INT, ol_number INT, ol_i_id INT,"
+    " ol_supply_w_id INT, ol_delivery_d TIMESTAMP, ol_quantity INT,"
+    " ol_amount DOUBLE, ol_dist_info CHAR(24),"
+    " PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+
+    "CREATE TABLE item ("
+    " i_id INT PRIMARY KEY, i_im_id INT, i_name VARCHAR(24),"
+    " i_price DOUBLE, i_data VARCHAR(50))",
+
+    "CREATE TABLE stock ("
+    " s_i_id INT, s_w_id INT, s_quantity INT, s_dist_01 CHAR(24),"
+    " s_dist_02 CHAR(24), s_dist_03 CHAR(24), s_dist_04 CHAR(24),"
+    " s_dist_05 CHAR(24), s_dist_06 CHAR(24), s_dist_07 CHAR(24),"
+    " s_dist_08 CHAR(24), s_dist_09 CHAR(24), s_dist_10 CHAR(24),"
+    " s_ytd DOUBLE, s_order_cnt INT, s_remote_cnt INT, s_data VARCHAR(50),"
+    " PRIMARY KEY (s_w_id, s_i_id),"
+    " FOREIGN KEY (s_i_id) REFERENCES item (i_id))",
+
+    "CREATE INDEX idx_customer_name ON customer (c_w_id, c_d_id, c_last)",
+    "CREATE INDEX idx_orders_customer ON orders (o_w_id, o_d_id, o_c_id)",
+    "CREATE INDEX idx_item_name ON item (i_name)",
+};
+
+Status CreateSubenchSchema(engine::Session& s) {
+  for (const char* ddl : kSubenchDdl) {
+    OLXP_RETURN_NOT_OK(Exec(s, ddl));
+  }
+  return Status::OK();
+}
+
+/// Monotone unique microsecond stamp shared by loader threads and the
+/// Payment transaction (HISTORY pk component).
+int64_t UniqueMicros() {
+  static std::atomic<int64_t> counter{0};
+  return NowMicros() * 1000 +
+         (counter.fetch_add(1, std::memory_order_relaxed) % 1000);
+}
+
+Status LoadItems(engine::Session& s, Rng& rng, int begin, int end) {
+  for (int i = begin; i < end; ++i) {
+    OLXP_RETURN_NOT_OK(Exec(
+        s, "INSERT INTO item VALUES (?, ?, ?, ?, ?)",
+        {Value::Int(i), Value::Int(rng.Uniform(int64_t{1}, int64_t{10000})),
+         Value::String("item-" + rng.AlnumString(8)),
+         Value::Double(rng.Uniform(1.0, 100.0)),
+         Value::String(rng.AlnumString(26, 50))}));
+  }
+  return Status::OK();
+}
+
+Status LoadWarehouse(engine::Database& db, const benchfw::LoadParams& params,
+                     int w) {
+  auto session = db.CreateSession();
+  engine::Session& s = *session;
+  s.set_charging_enabled(false);
+  Rng rng(params.seed * 7919 + w);
+
+  OLXP_RETURN_NOT_OK(Exec(
+      s, "INSERT INTO warehouse VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+      {Value::Int(w), Value::String("wh-" + std::to_string(w)),
+       Value::String(rng.AlnumString(10, 20)),
+       Value::String(rng.AlnumString(10, 20)),
+       Value::String(rng.AlnumString(10, 20)), Value::String("CA"),
+       Value::String(rng.DigitString(9)), Value::Double(rng.Uniform(0.0, 0.2)),
+       Value::Double(300000.0)}));
+
+  // Stock for every item in this warehouse, batched into transactions.
+  OLXP_RETURN_NOT_OK(s.Begin());
+  for (int i = 1; i <= params.items; ++i) {
+    std::vector<Value> vals;
+    vals.push_back(Value::Int(i));
+    vals.push_back(Value::Int(w));
+    vals.push_back(Value::Int(rng.Uniform(int64_t{10}, int64_t{100})));
+    for (int d = 0; d < 10; ++d) {
+      vals.push_back(Value::String(rng.AlnumString(24)));
+    }
+    vals.push_back(Value::Double(0.0));
+    vals.push_back(Value::Int(0));
+    vals.push_back(Value::Int(0));
+    vals.push_back(Value::String(rng.AlnumString(26, 50)));
+    auto rs = s.Execute(
+        "INSERT INTO stock VALUES "
+        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        std::span<const Value>(vals));
+    if (!rs.ok()) return rs.status();
+    if (i % 500 == 0) {
+      OLXP_RETURN_NOT_OK(s.Commit());
+      OLXP_RETURN_NOT_OK(s.Begin());
+    }
+  }
+  OLXP_RETURN_NOT_OK(s.Commit());
+
+  for (int d = 1; d <= kSubDistrictsPerWarehouse; ++d) {
+    OLXP_RETURN_NOT_OK(Exec(
+        s,
+        "INSERT INTO district VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        {Value::Int(d), Value::Int(w),
+         Value::String("dist-" + std::to_string(d)),
+         Value::String(rng.AlnumString(10, 20)),
+         Value::String(rng.AlnumString(10, 20)),
+         Value::String(rng.AlnumString(10, 20)), Value::String("CA"),
+         Value::String(rng.DigitString(9)),
+         Value::Double(rng.Uniform(0.0, 0.2)), Value::Double(30000.0),
+         Value::Int(kSubInitialOrdersPerDistrict + 1)}));
+
+    OLXP_RETURN_NOT_OK(s.Begin());
+    for (int c = 1; c <= kSubCustomersPerDistrict; ++c) {
+      OLXP_RETURN_NOT_OK(Exec(
+          s,
+          "INSERT INTO customer VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
+          " ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+          {Value::Int(c), Value::Int(d), Value::Int(w),
+           Value::String(rng.AlnumString(8, 16)), Value::String("OE"),
+           Value::String(Rng::LastName(
+               c <= 10 ? c - 1 : rng.NURand(255, 0, 999))),
+           Value::String(rng.AlnumString(10, 20)),
+           Value::String(rng.AlnumString(10, 20)),
+           Value::String(rng.AlnumString(10, 20)), Value::String("CA"),
+           Value::String(rng.DigitString(9)),
+           Value::String(rng.DigitString(16)), Value::Timestamp(NowMicros()),
+           Value::String(rng.Chance(0.1) ? "BC" : "GC"),
+           Value::Double(50000.0), Value::Double(rng.Uniform(0.0, 0.5)),
+           Value::Double(-10.0), Value::Double(10.0), Value::Int(1),
+           Value::Int(0), Value::String(rng.AlnumString(100, 200))}));
+      // One initial HISTORY record per customer (this is the data the
+      // paper's semantically consistent queries insist on analyzing).
+      OLXP_RETURN_NOT_OK(Exec(
+          s, "INSERT INTO history VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+          {Value::Int(c), Value::Int(d), Value::Int(w), Value::Int(d),
+           Value::Int(w), Value::Timestamp(UniqueMicros()),
+           Value::Double(10.0), Value::String(rng.AlnumString(12, 24))}));
+    }
+    OLXP_RETURN_NOT_OK(s.Commit());
+
+    OLXP_RETURN_NOT_OK(s.Begin());
+    for (int o = 1; o <= kSubInitialOrdersPerDistrict; ++o) {
+      int ol_cnt = static_cast<int>(rng.Uniform(int64_t{5}, int64_t{15}));
+      bool delivered = o <= kSubInitialOrdersPerDistrict - 10;
+      OLXP_RETURN_NOT_OK(Exec(
+          s, "INSERT INTO orders VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+          {Value::Int(o), Value::Int(d), Value::Int(w),
+           Value::Int(rng.Uniform(int64_t{1},
+                                  int64_t{kSubCustomersPerDistrict})),
+           Value::Timestamp(NowMicros()),
+           delivered ? Value::Int(rng.Uniform(int64_t{1}, int64_t{10}))
+                     : Value::Null(),
+           Value::Int(ol_cnt), Value::Int(1)}));
+      if (!delivered) {
+        OLXP_RETURN_NOT_OK(Exec(
+            s, "INSERT INTO new_order VALUES (?, ?, ?)",
+            {Value::Int(o), Value::Int(d), Value::Int(w)}));
+      }
+      for (int l = 1; l <= ol_cnt; ++l) {
+        OLXP_RETURN_NOT_OK(Exec(
+            s,
+            "INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            {Value::Int(o), Value::Int(d), Value::Int(w), Value::Int(l),
+             Value::Int(rng.Uniform(int64_t{1}, int64_t{params.items})),
+             Value::Int(w),
+             delivered ? Value::Timestamp(NowMicros()) : Value::Null(),
+             Value::Int(5),
+             delivered ? Value::Double(0.0)
+                       : Value::Double(rng.Uniform(0.01, 9999.99)),
+             Value::String(rng.AlnumString(24))}));
+      }
+    }
+    OLXP_RETURN_NOT_OK(s.Commit());
+  }
+  return Status::OK();
+}
+
+Status LoadSubench(engine::Database& db, const benchfw::LoadParams& params) {
+  // Items first (FK target), split across loader threads.
+  {
+    std::vector<std::thread> threads;
+    std::vector<Status> results(params.load_threads, Status::OK());
+    int per = (params.items + params.load_threads - 1) / params.load_threads;
+    for (int t = 0; t < params.load_threads; ++t) {
+      threads.emplace_back([&, t] {
+        auto session = db.CreateSession();
+        session->set_charging_enabled(false);
+        Rng rng(params.seed * 31 + t);
+        int begin = 1 + t * per;
+        int end = std::min(params.items + 1, begin + per);
+        if (begin < end) results[t] = LoadItems(*session, rng, begin, end);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const Status& st : results) OLXP_RETURN_NOT_OK(st);
+  }
+  // Warehouses in parallel.
+  {
+    std::vector<std::thread> threads;
+    std::vector<Status> results(params.scale, Status::OK());
+    for (int w = 1; w <= params.scale; ++w) {
+      threads.emplace_back(
+          [&, w] { results[w - 1] = LoadWarehouse(db, params, w); });
+    }
+    for (auto& t : threads) t.join();
+    for (const Status& st : results) OLXP_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// Defined in subench_workload.cc.
+void AddSubenchWorkloads(benchfw::BenchmarkSuite* suite);
+
+benchfw::BenchmarkSuite MakeSubenchmark(benchfw::LoadParams params) {
+  benchfw::BenchmarkSuite suite;
+  suite.load_params = params;
+  suite.name = "subenchmark";
+  suite.domain = "general";
+  suite.create_schema = CreateSubenchSchema;
+  suite.load = LoadSubench;
+  suite.has_hybrid_txn = true;
+  suite.has_real_time_query = true;
+  suite.semantically_consistent_schema = true;
+  suite.general_benchmark = true;
+  suite.domain_specific_benchmark = false;
+  AddSubenchWorkloads(&suite);
+  return suite;
+}
+
+}  // namespace olxp::benchmarks

@@ -1,0 +1,25 @@
+#ifndef OLXP_BENCHMARKS_TABENCH_TABENCH_H_
+#define OLXP_BENCHMARKS_TABENCH_TABENCH_H_
+
+#include "benchfw/workload.h"
+
+namespace olxp::benchmarks {
+
+/// The telecom domain-specific benchmark of OLxPBench (§IV-B3), inspired by
+/// TATP's Home Location Register: 4 tables / 51 columns / 5 indexes, 7
+/// online transactions (80% read-only), 5 analytical queries (including the
+/// Start Time Query with arithmetic), 6 hybrid transactions (40% read-only;
+/// X6 is the fuzzy-search transaction using LIKE on a substring).
+///
+/// Following the paper, SUBSCRIBER's primary key is widened to the
+/// composite (s_id, sub_nbr): the lookup "SELECT s_id FROM subscriber WHERE
+/// sub_nbr = ?" inside DeleteCallForwarding / UpdateLocation can no longer
+/// use the primary index and becomes the slow query the evaluation
+/// dissects (§VI-C/VI-D).
+///
+/// LoadParams: `scale` = thousands of subscribers.
+benchfw::BenchmarkSuite MakeTabenchmark(benchfw::LoadParams params = {});
+
+}  // namespace olxp::benchmarks
+
+#endif  // OLXP_BENCHMARKS_TABENCH_TABENCH_H_

@@ -1,0 +1,55 @@
+#ifndef OLXP_COMMON_CLOCK_H_
+#define OLXP_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace olxp {
+
+/// Monotonic wall time in microseconds (steady clock).
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monotonic wall time in nanoseconds (steady clock).
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Sleeps the calling thread for `micros` microseconds. sleep_for has a
+/// ~1.2 ms floor / quantization on older kernels (measured on the 4.4
+/// kernel this repo targets), so short waits spin entirely and long waits
+/// sleep the bulk with a 1.5 ms safety margin and spin the tail. Simulated
+/// device latencies stay accurate at the cost of some spin CPU.
+inline void SleepMicros(int64_t micros) {
+  if (micros <= 0) return;
+  const int64_t deadline = NowMicros() + micros;
+  if (micros > 2000) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros - 1500));
+  }
+  while (NowMicros() < deadline) {
+    // spin
+  }
+}
+
+/// Measures elapsed wall time since construction or Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(NowMicros()) {}
+  void Restart() { start_us_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_us_; }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  int64_t start_us_;
+};
+
+}  // namespace olxp
+
+#endif  // OLXP_COMMON_CLOCK_H_

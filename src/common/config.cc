@@ -1,0 +1,125 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace olxp {
+
+StatusOr<Config> Config::Parse(const std::string& text) {
+  Config cfg;
+  std::string section;
+  int lineno = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++lineno;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::InvalidArgument(
+            StrFormat("config line %d: unterminated section header", lineno));
+      }
+      section = ToLower(Trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("config line %d: expected key = value", lineno));
+    }
+    std::string key = ToLower(Trim(line.substr(0, eq)));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("config line %d: empty key", lineno));
+    }
+    if (!section.empty()) key = section + "." + key;
+    cfg.values_[key] = std::string(Trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+StatusOr<Config> Config::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[ToLower(key)] = value;
+}
+
+bool Config::Has(const std::string& key) const {
+  return values_.count(ToLower(key)) > 0;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& def) const {
+  auto it = values_.find(ToLower(key));
+  return it == values_.end() ? def : it->second;
+}
+
+StatusOr<int64_t> Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(ToLower(key));
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config key '" + key +
+                                   "' is not an integer: " + it->second);
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> Config::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(ToLower(key));
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config key '" + key +
+                                   "' is not a number: " + it->second);
+  }
+  return v;
+}
+
+StatusOr<bool> Config::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(ToLower(key));
+  if (it == values_.end()) return def;
+  std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("config key '" + key +
+                                 "' is not a bool: " + it->second);
+}
+
+StatusOr<std::vector<double>> Config::GetDoubleList(
+    const std::string& key, const std::vector<double>& def) const {
+  auto it = values_.find(ToLower(key));
+  if (it == values_.end()) return def;
+  std::vector<double> out;
+  for (const std::string& part : Split(it->second, ',')) {
+    std::string_view p = Trim(part);
+    char* end = nullptr;
+    std::string tmp(p);
+    double v = std::strtod(tmp.c_str(), &end);
+    if (end == tmp.c_str() || *end != '\0') {
+      return Status::InvalidArgument("config key '" + key +
+                                     "' has a non-numeric element: " + tmp);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace olxp

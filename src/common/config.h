@@ -1,0 +1,60 @@
+#ifndef OLXP_COMMON_CONFIG_H_
+#define OLXP_COMMON_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace olxp {
+
+/// Runtime configuration for a benchmark run. The paper's artifact uses XML
+/// files; we keep identical content (workload selection, weights, request
+/// rates, SUT options, thread counts) in an INI-style syntax:
+///
+///   # comment
+///   [workload]
+///   benchmark = subenchmark
+///   txn_weights = 45,43,4,4,4
+///   [sut]
+///   profile = tidb-like
+///
+/// Keys are addressed as "section.key"; keys before any section header have
+/// no prefix. Lookups are case-insensitive.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses config text. Later duplicates override earlier ones.
+  static StatusOr<Config> Parse(const std::string& text);
+
+  /// Loads and parses a config file from disk.
+  static StatusOr<Config> Load(const std::string& path);
+
+  /// Programmatic set (tests, CLI overrides such as --set a.b=c).
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters; fall back to `def` when absent, return
+  /// InvalidArgument when present but malformed.
+  std::string GetString(const std::string& key, const std::string& def) const;
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t def) const;
+  StatusOr<double> GetDouble(const std::string& key, double def) const;
+  StatusOr<bool> GetBool(const std::string& key, bool def) const;
+
+  /// Comma-separated list of doubles (e.g. transaction weights).
+  StatusOr<std::vector<double>> GetDoubleList(
+      const std::string& key, const std::vector<double>& def) const;
+
+  /// All keys in insertion-independent sorted order (for dumps/tests).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;  // normalized-lowercase keys
+};
+
+}  // namespace olxp
+
+#endif  // OLXP_COMMON_CONFIG_H_

@@ -1,0 +1,106 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace olxp {
+
+namespace {
+// Log-spaced buckets: value v maps to floor(log(v+1) / log(base)) with a
+// base chosen so kBucketCount buckets cover [0, ~9e9us] (~2.5 hours).
+constexpr double kBase = 1.045;
+const double kLogBase = std::log(kBase);
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount, 0) {}
+
+int LatencyHistogram::BucketFor(int64_t micros) {
+  if (micros <= 0) return 0;
+  int idx = static_cast<int>(std::log(static_cast<double>(micros) + 1.0) /
+                             kLogBase);
+  return std::min(idx, kBucketCount - 1);
+}
+
+double LatencyHistogram::BucketLower(int i) {
+  if (i == 0) return 0.0;
+  return std::pow(kBase, i) - 1.0;
+}
+
+double LatencyHistogram::BucketUpper(int i) {
+  return std::pow(kBase, i + 1) - 1.0;
+}
+
+void LatencyHistogram::Record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  buckets_[BucketFor(micros)]++;
+  if (count_ == 0 || micros < min_) min_ = micros;
+  if (micros > max_) max_ = micros;
+  count_++;
+  sum_ += static_cast<double>(micros);
+  sum_sq_ += static_cast<double>(micros) * static_cast<double>(micros);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_sq_ = 0;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::StdDev() const {
+  if (count_ < 2) return 0.0;
+  double mean = Mean();
+  double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      // Linear interpolation within the bucket, clamped to observed range.
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(buckets_[i]);
+      double lo = std::max(BucketLower(i), static_cast<double>(min_));
+      double hi = std::min(BucketUpper(i), static_cast<double>(max_));
+      if (hi < lo) hi = lo;
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cnt=%lld mean=%.2fms p50=%.2fms p90=%.2fms p95=%.2fms "
+                "p99.9=%.2fms max=%.2fms sd=%.2fms",
+                static_cast<long long>(count_), Mean() / 1000.0,
+                Median() / 1000.0, P90() / 1000.0, P95() / 1000.0,
+                P999() / 1000.0, static_cast<double>(max_) / 1000.0,
+                StdDev() / 1000.0);
+  return std::string(buf);
+}
+
+}  // namespace olxp

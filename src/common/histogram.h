@@ -1,0 +1,64 @@
+#ifndef OLXP_COMMON_HISTOGRAM_H_
+#define OLXP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olxp {
+
+/// Latency histogram with log-spaced buckets (HdrHistogram-style), plus
+/// exact running moments. Records microsecond samples; reports the paper's
+/// statistics: min, max, mean, median, p90, p95, p99.9, p99.99, stddev.
+/// Not thread-safe; each agent thread owns one and they are Merge()d.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one latency sample (microseconds; negative clamps to 0).
+  void Record(int64_t micros);
+
+  /// Adds all samples of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  /// Clears all samples.
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  double StdDev() const;
+
+  /// Latency (microseconds) at quantile q in [0,1]; interpolated within the
+  /// containing bucket. Returns 0 for an empty histogram.
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.50); }
+  double P90() const { return Percentile(0.90); }
+  double P95() const { return Percentile(0.95); }
+  double P999() const { return Percentile(0.999); }
+  double P9999() const { return Percentile(0.9999); }
+
+  /// One-line summary in milliseconds, e.g.
+  /// "cnt=1000 mean=1.21ms p50=1.1ms p95=2.0ms p99.9=4.2ms max=5.0ms".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBucketCount = 512;
+  /// Bucket index for a sample value (log-spaced, ~1.6% relative error).
+  static int BucketFor(int64_t micros);
+  /// Lower/upper bound of bucket i in microseconds.
+  static double BucketLower(int i);
+  static double BucketUpper(int i);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace olxp
+
+#endif  // OLXP_COMMON_HISTOGRAM_H_

@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <cassert>
+
+namespace olxp {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+/// splitmix64, used to expand the user seed into xoshiro state.
+inline uint64_t SplitMix(uint64_t& x) {
+  uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  if (seed == 0) seed = 0x5eed5eed5eed5eedULL;
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix(x);
+  c_load_ = SplitMix(x) % 8192;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::NURand(int64_t a, int64_t x, int64_t y) {
+  int64_t c = static_cast<int64_t>(c_load_ % (a + 1));
+  return (((Uniform(int64_t{0}, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+}
+
+std::string Rng::AlnumString(int len) {
+  static const char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kChars[Next() % (sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+std::string Rng::AlnumString(int min_len, int max_len) {
+  return AlnumString(static_cast<int>(Uniform(int64_t{min_len},
+                                              int64_t{max_len})));
+}
+
+std::string Rng::DigitString(int len) {
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('0' + Next() % 10));
+  }
+  return out;
+}
+
+std::string Rng::LastName(int64_t num) {
+  static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                                     "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+  assert(num >= 0 && num <= 999);
+  std::string out;
+  out += kSyllables[(num / 100) % 10];
+  out += kSyllables[(num / 10) % 10];
+  out += kSyllables[num % 10];
+  return out;
+}
+
+}  // namespace olxp

@@ -1,0 +1,56 @@
+#ifndef OLXP_COMMON_RNG_H_
+#define OLXP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace olxp {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**) with the
+/// helpers benchmark loaders and workload generators need, including TPC-C's
+/// non-uniform NURand. One instance per agent thread; never shared.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds; a zero seed is remapped to a fixed non-zero constant.
+  void Seed(uint64_t seed);
+
+  /// Raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// TPC-C NURand(A, x, y): non-uniform random in [x, y].
+  int64_t NURand(int64_t a, int64_t x, int64_t y);
+
+  /// Random string of `len` characters drawn from [a-z0-9].
+  std::string AlnumString(int len);
+
+  /// Random string with length uniform in [min_len, max_len].
+  std::string AlnumString(int min_len, int max_len);
+
+  /// Random digit string of exactly `len` characters (phone numbers etc.).
+  std::string DigitString(int len);
+
+  /// TPC-C customer last name from a syllable index in [0, 999].
+  static std::string LastName(int64_t num);
+
+ private:
+  uint64_t s_[4];
+  uint64_t c_load_ = 0;  ///< TPC-C NURand C constant (derived from seed).
+};
+
+}  // namespace olxp
+
+#endif  // OLXP_COMMON_RNG_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace olxp {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kLockTimeout:
+      return "LockTimeout";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace olxp

@@ -1,0 +1,144 @@
+#ifndef OLXP_COMMON_STATUS_H_
+#define OLXP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace olxp {
+
+/// Error category for a failed operation. Mirrors the RocksDB/Arrow idiom:
+/// all fallible library calls return a Status (or StatusOr<T>) instead of
+/// throwing; exceptions never cross the library boundary.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        ///< Row / table / index / config key does not exist.
+  kAlreadyExists,   ///< Duplicate key or duplicate object name.
+  kInvalidArgument, ///< Malformed input (SQL syntax, bad config, bad type).
+  kConflict,        ///< Write-write conflict under snapshot isolation.
+  kLockTimeout,     ///< Lock wait exceeded its deadline (deadlock breaker).
+  kAborted,         ///< Transaction aborted (by user or by the engine).
+  kUnsupported,     ///< Feature intentionally outside the SQL subset.
+  kInternal,        ///< Invariant violation; indicates a bug.
+};
+
+/// Returns a short stable name ("Ok", "NotFound", ...) for a code.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a human-readable message.
+/// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Conflict(std::string m = "") {
+    return Status(StatusCode::kConflict, std::move(m));
+  }
+  static Status LockTimeout(std::string m = "") {
+    return Status(StatusCode::kLockTimeout, std::move(m));
+  }
+  static Status Aborted(std::string m = "") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Unsupported(std::string m = "") {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m = "") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// True when the failure is transient and the transaction may simply be
+  /// retried by the caller (the benchmark harness retries these).
+  bool IsRetryable() const {
+    return code_ == StatusCode::kConflict ||
+           code_ == StatusCode::kLockTimeout;
+  }
+
+  /// "Ok" or "Code: message" — for logs and test diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value or a failure Status. Modeled on absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from Status so `return Status::NotFound(...)` works.
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr(Status) requires an error status");
+  }
+  /// Implicit from T so `return value` works.
+  StatusOr(T v)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(v)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define OLXP_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::olxp::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+/// Evaluates a StatusOr expression, propagating failure, else binding
+/// the value to `lhs`.
+#define OLXP_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto OLXP_CONCAT_(_sor, __LINE__) = (expr); \
+  if (!OLXP_CONCAT_(_sor, __LINE__).ok())     \
+    return OLXP_CONCAT_(_sor, __LINE__).status(); \
+  lhs = std::move(OLXP_CONCAT_(_sor, __LINE__)).value()
+
+#define OLXP_CONCAT_INNER_(a, b) a##b
+#define OLXP_CONCAT_(a, b) OLXP_CONCAT_INNER_(a, b)
+
+}  // namespace olxp
+
+#endif  // OLXP_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+#ifndef OLXP_COMMON_STRINGS_H_
+#define OLXP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace olxp {
+
+/// printf-style formatting into a std::string (gcc-12 has no std::format).
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII case conversions.
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-insensitive ASCII).
+bool StartsWithNoCase(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsNoCase(std::string_view a, std::string_view b);
+
+/// SQL LIKE matcher: '%' matches any run, '_' any single char. No escapes
+/// (the benchmark workloads do not use them).
+bool SqlLike(std::string_view text, std::string_view pattern);
+
+/// Joins items with `sep`.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view sep);
+
+}  // namespace olxp
+
+#endif  // OLXP_COMMON_STRINGS_H_

@@ -1,0 +1,76 @@
+#include "engine/database.h"
+
+#include <cassert>
+
+#include "engine/session.h"
+
+namespace olxp::engine {
+
+Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
+  replicator_ = std::make_unique<storage::Replicator>(
+      &commit_log_, &column_store_, profile_.replication_lag_micros);
+  txn_manager_ = std::make_unique<txn::TransactionManager>(
+      &row_store_, &lock_manager_, &oracle_, &commit_log_,
+      profile_.lock_timeout_micros);
+  if (profile_.architecture == StoreArchitecture::kSeparated) {
+    replicator_->Start();
+  }
+}
+
+Database::~Database() {
+  if (replicator_) replicator_->Stop();
+}
+
+std::unique_ptr<Session> Database::CreateSession() {
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+StatusOr<int> Database::TableId(std::string_view name) const {
+  return row_store_.TableId(name);
+}
+
+const storage::TableSchema& Database::GetSchema(int table_id) const {
+  const storage::MvccTable* t = row_store_.table(table_id);
+  assert(t != nullptr);
+  return t->schema();
+}
+
+Status Database::CreateTableEverywhere(storage::TableSchema schema) {
+  // Resolve FK referenced-column positions against live tables.
+  for (auto& fk : *schema.mutable_foreign_keys()) {
+    auto rid = row_store_.TableId(fk.ref_table);
+    if (!rid.ok()) {
+      return Status::InvalidArgument("foreign key references unknown table " +
+                                     fk.ref_table);
+    }
+    // Reference the target's primary key (the only supported form).
+    fk.ref_column_idx = row_store_.table(*rid)->schema().pk_columns();
+  }
+  auto tid = row_store_.CreateTable(schema);
+  if (!tid.ok()) return tid.status();
+  if (profile_.architecture == StoreArchitecture::kSeparated) {
+    column_store_.AddTable(*tid, schema);
+  }
+  return Status::OK();
+}
+
+Status Database::CreateIndexOn(std::string_view table_name,
+                               storage::IndexDef def) {
+  auto tid = row_store_.TableId(table_name);
+  if (!tid.ok()) return tid.status();
+  return row_store_.table(*tid)->AddIndex(std::move(def));
+}
+
+void Database::WaitReplicaCaughtUp() {
+  if (profile_.architecture == StoreArchitecture::kSeparated) {
+    replicator_->CatchUp();
+  }
+}
+
+void Database::PruneAllVersions(size_t keep) {
+  for (int id : row_store_.TableIds()) {
+    row_store_.table(id)->PruneVersions(keep);
+  }
+}
+
+}  // namespace olxp::engine

@@ -1,0 +1,81 @@
+#ifndef OLXP_ENGINE_DATABASE_H_
+#define OLXP_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/profile.h"
+#include "sql/storage_iface.h"
+#include "storage/column_store.h"
+#include "storage/lock_manager.h"
+#include "storage/oracle.h"
+#include "storage/replicator.h"
+#include "storage/row_store.h"
+#include "storage/wal.h"
+#include "txn/transaction.h"
+
+namespace olxp::engine {
+
+class Session;
+
+/// An embedded HTAP database instance configured by an EngineProfile.
+/// Owns the full substrate: row store, lock manager, timestamp oracle,
+/// commit log, columnar replica, replication pipeline, transaction manager.
+/// Thread-safe: many Sessions execute concurrently against one Database.
+class Database : public sql::Catalog {
+ public:
+  explicit Database(EngineProfile profile);
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const EngineProfile& profile() const { return profile_; }
+
+  /// Opens a new session (one per client thread).
+  std::unique_ptr<Session> CreateSession();
+
+  // --- sql::Catalog ---
+  StatusOr<int> TableId(std::string_view name) const override;
+  const storage::TableSchema& GetSchema(int table_id) const override;
+
+  /// DDL entry used by Sessions: creates the row table plus (for separated
+  /// architectures) its columnar replica, and resolves FK references.
+  Status CreateTableEverywhere(storage::TableSchema schema);
+
+  /// Adds a secondary index to a live table (backfills).
+  Status CreateIndexOn(std::string_view table_name, storage::IndexDef def);
+
+  /// Blocks until the columnar replica has applied everything committed so
+  /// far (loader barrier before measurements).
+  void WaitReplicaCaughtUp();
+
+  /// Prunes MVCC version chains in every table (between bench cells).
+  void PruneAllVersions(size_t keep = 4);
+
+  // --- substrate accessors (benchmarks, tests, stats) ---
+  storage::RowStore& row_store() { return row_store_; }
+  storage::ColumnStore& column_store() { return column_store_; }
+  storage::LockManager& lock_manager() { return lock_manager_; }
+  storage::TimestampOracle& oracle() { return oracle_; }
+  storage::Replicator& replicator() { return *replicator_; }
+  txn::TransactionManager& txn_manager() { return *txn_manager_; }
+
+  /// Adjusts the simulated cluster size (Fig. 10 scaling bench).
+  void set_cluster_nodes(int nodes) { profile_.cluster.num_nodes = nodes; }
+
+ private:
+  EngineProfile profile_;
+  storage::RowStore row_store_;
+  storage::ColumnStore column_store_;
+  storage::LockManager lock_manager_;
+  storage::TimestampOracle oracle_;
+  storage::CommitLog commit_log_;
+  std::unique_ptr<storage::Replicator> replicator_;
+  std::unique_ptr<txn::TransactionManager> txn_manager_;
+};
+
+}  // namespace olxp::engine
+
+#endif  // OLXP_ENGINE_DATABASE_H_

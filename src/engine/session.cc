@@ -1,0 +1,486 @@
+#include "engine/session.h"
+
+#include <cassert>
+
+#include "common/clock.h"
+#include "engine/database.h"
+#include "sql/parser.h"
+
+namespace olxp::engine {
+
+namespace {
+
+/// StorageIface over the transactional row store. Forwards reads/writes to
+/// a Transaction and accounts access costs. FK enforcement happens here when
+/// the profile asks for it.
+class TxnStorage : public sql::StorageIface {
+ public:
+  /// `standalone_analytical`: the statement is an analytical-shaped SELECT
+  /// running outside any explicit transaction (a true OLAP statement that
+  /// the optimizer sent to the row store). Its reads use the expensive
+  /// analytic per-row rate and hold per-table pressure markers for their
+  /// whole simulated duration. `scan_penalty` applies instead when the
+  /// statement is an analytical-shaped SELECT INSIDE a transaction (the
+  /// hybrid real-time query; §VI-A1 vertical-partitioning effect).
+  TxnStorage(Database* db, txn::Transaction* txn, AccessStats* stats,
+             Session* session, bool standalone_analytical,
+             double scan_penalty)
+      : db_(db),
+        txn_(txn),
+        stats_(stats),
+        session_(session),
+        standalone_analytical_(standalone_analytical),
+        scan_penalty_(scan_penalty) {}
+
+  StatusOr<int> TableId(std::string_view name) const override {
+    return db_->TableId(name);
+  }
+  const storage::TableSchema& GetSchema(int table_id) const override {
+    return db_->GetSchema(table_id);
+  }
+
+  Status ScanTable(int table_id, const RowCallback& cb) override {
+    ScanMarker marker(this, table_id);
+    int64_t visited = 0;
+    Status st = txn_->Scan(table_id, cb, &visited);
+    stats_->row_rows += visited;
+    const LatencyModel& m = db_->profile().latency;
+    double per_row = standalone_analytical_
+                         ? static_cast<double>(m.row_analytic_scan_row_ns)
+                         : static_cast<double>(m.row_scan_row_ns) *
+                               scan_penalty_;
+    // Charge the scan's simulated duration while the pressure marker is
+    // held so concurrent operations on this table observe it. Scans slow
+    // each other sublinearly (bandwidth sharing).
+    session_->InlineCharge(static_cast<int64_t>(
+        static_cast<double>(visited) * per_row * marker.SelfPressure() /
+        1000.0));
+    return st;
+  }
+
+  Status ScanPkRange(int table_id, const Row& lo, const Row& hi,
+                     const RowCallback& cb) override {
+    int64_t visited = 0;
+    Status st = txn_->ScanPkRange(table_id, lo, hi, cb, &visited);
+    ChargeRead(table_id, 1, visited);
+    return st;
+  }
+
+  Status IndexLookup(int table_id, int index_id, const Row& key,
+                     std::vector<Row>* out) override {
+    int64_t visited = 0;
+    Status st = txn_->IndexLookup(table_id, index_id, key, out, &visited);
+    ChargeRead(table_id, 1, visited);
+    return st;
+  }
+
+  StatusOr<std::optional<Row>> GetByPk(int table_id, const Row& pk) override {
+    ChargeRead(table_id, 1, 1);
+    return txn_->Get(table_id, pk);
+  }
+
+  StatusOr<std::optional<Row>> LockAndGet(int table_id,
+                                          const Row& pk) override {
+    ChargeRead(table_id, 1, 1);
+    return txn_->LockAndGet(table_id, pk);
+  }
+
+  Status Insert(int table_id, Row row) override {
+    if (db_->profile().enforce_foreign_keys) {
+      OLXP_RETURN_NOT_OK(CheckForeignKeys(table_id, row));
+    }
+    ChargeWrite(table_id);
+    return txn_->Insert(table_id, std::move(row));
+  }
+  Status Update(int table_id, Row row) override {
+    ChargeWrite(table_id);
+    return txn_->Update(table_id, std::move(row));
+  }
+  Status Delete(int table_id, const Row& pk) override {
+    ChargeWrite(table_id);
+    return txn_->Delete(table_id, pk);
+  }
+
+  Status CreateTable(storage::TableSchema schema) override {
+    return db_->CreateTableEverywhere(std::move(schema));
+  }
+  Status CreateIndex(std::string_view table_name,
+                     storage::IndexDef def) override {
+    return db_->CreateIndexOn(table_name, std::move(def));
+  }
+
+ private:
+  /// RAII pressure marker on one table (row-store side).
+  class ScanMarker {
+   public:
+    ScanMarker(TxnStorage* owner, int table_id) : owner_(owner) {
+      table_ = owner_->db_->row_store().table(table_id);
+      owner_->db_->row_store().active_scans().fetch_add(
+          1, std::memory_order_relaxed);
+      if (table_ != nullptr) {
+        others_ = table_->active_scans().fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    ~ScanMarker() {
+      if (table_ != nullptr) {
+        table_->active_scans().fetch_sub(1, std::memory_order_relaxed);
+      }
+      owner_->db_->row_store().active_scans().fetch_sub(
+          1, std::memory_order_relaxed);
+    }
+    /// Sublinear scan-on-scan slowdown (bandwidth sharing). Applies to
+    /// standalone analytical scans only; in-transaction real-time reads
+    /// are small aggregates that do not saturate scan bandwidth.
+    double SelfPressure() const {
+      if (!owner_->standalone_analytical_) return 1.0;
+      double f = owner_->db_->profile().latency.scan_contention;
+      return 1.0 + 0.15 * f * others_;
+    }
+
+   private:
+    TxnStorage* owner_;
+    storage::MvccTable* table_ = nullptr;
+    int others_ = 0;
+  };
+
+  /// Pressure multiplier OLTP-sized operations observe from analytical
+  /// scans sweeping the same table.
+  double Pressure(int table_id) const {
+    const storage::MvccTable* t = db_->row_store().table(table_id);
+    int scans = t == nullptr ? 0 : t->active_scan_count();
+    return 1.0 + db_->profile().latency.scan_contention * scans;
+  }
+
+  /// Writes into a table under analytical scan pressure pay extra latch /
+  /// MVCC-install cost (a seek-equivalent per pressure unit).
+  void ChargeWrite(int table_id) {
+    stats_->writes += 1;
+    double pressure = Pressure(table_id);
+    if (pressure > 1.0) stats_->seek_cost += pressure - 1.0;
+  }
+
+  /// Accounts one seek + `rows` visited. Standalone analytical statements
+  /// charge inline under a pressure marker at the analytic rate; OLTP
+  /// statements accumulate weighted costs charged at statement end.
+  void ChargeRead(int table_id, int64_t seeks, int64_t rows) {
+    const LatencyModel& m = db_->profile().latency;
+    stats_->row_seeks += seeks;
+    stats_->row_rows += rows;
+    if (standalone_analytical_) {
+      ScanMarker marker(this, table_id);
+      double ns = static_cast<double>(seeks) * m.row_seek_ns +
+                  static_cast<double>(rows) * m.row_analytic_scan_row_ns;
+      session_->InlineCharge(
+          static_cast<int64_t>(ns * marker.SelfPressure() / 1000.0));
+      return;
+    }
+    double pressure = Pressure(table_id);
+    stats_->seek_cost += static_cast<double>(seeks) * pressure;
+    stats_->row_cost +=
+        static_cast<double>(rows) * pressure * scan_penalty_;
+  }
+
+  Status CheckForeignKeys(int table_id, const Row& row) {
+    const storage::TableSchema& schema = db_->GetSchema(table_id);
+    for (const storage::ForeignKeyDef& fk : schema.foreign_keys()) {
+      auto rid = db_->TableId(fk.ref_table);
+      if (!rid.ok()) continue;  // resolved at DDL; defensive
+      Row key;
+      key.reserve(fk.column_idx.size());
+      bool any_null = false;
+      for (int c : fk.column_idx) {
+        if (row[c].is_null()) {
+          any_null = true;
+          break;
+        }
+        key.push_back(row[c]);
+      }
+      if (any_null) continue;  // NULL FK values are not checked
+      stats_->row_seeks += 1;
+      stats_->seek_cost += 1;
+      auto parent = txn_->Get(*rid, key);
+      if (!parent.ok()) return parent.status();
+      if (!parent->has_value()) {
+        return Status::InvalidArgument("foreign key violation: " +
+                                       schema.name() + " -> " + fk.ref_table);
+      }
+    }
+    return Status::OK();
+  }
+
+  Database* db_;
+  txn::Transaction* txn_;
+  AccessStats* stats_;
+  Session* session_;
+  bool standalone_analytical_;
+  double scan_penalty_;
+};
+
+/// Read-only StorageIface over the columnar replica snapshot. Analytical
+/// scans here never take row-store locks — the separated-architecture
+/// isolation advantage the paper measures.
+class ColumnSnapshotStorage : public sql::StorageIface {
+ public:
+  ColumnSnapshotStorage(Database* db, AccessStats* stats, Session* session)
+      : db_(db), stats_(stats), session_(session) {}
+
+  StatusOr<int> TableId(std::string_view name) const override {
+    return db_->TableId(name);
+  }
+  const storage::TableSchema& GetSchema(int table_id) const override {
+    return db_->GetSchema(table_id);
+  }
+
+  Status ScanTable(int table_id, const RowCallback& cb) override {
+    const storage::ColumnTable* t = db_->column_store().table(table_id);
+    if (t == nullptr) return Status::NotFound("no columnar replica");
+    auto& counter = db_->column_store().active_scans();
+    int concurrent = counter.fetch_add(1, std::memory_order_relaxed);
+    int64_t visited = t->Scan(cb);
+    stats_->col_rows += visited;
+    const LatencyModel& m = db_->profile().latency;
+    double pressure = 1.0;
+    if (concurrent > 0) pressure += 0.15 * m.scan_contention * concurrent;
+    double ns = static_cast<double>(visited) * m.col_scan_row_ns * pressure;
+    session_->InlineCharge(static_cast<int64_t>(ns / 1000.0));
+    counter.fetch_sub(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  /// The replica has no ordered pk index: ranges and index lookups degrade
+  /// to filtered full scans (realistic for a column store).
+  Status ScanPkRange(int table_id, const Row& lo, const Row& hi,
+                     const RowCallback& cb) override {
+    const storage::TableSchema& schema = GetSchema(table_id);
+    storage::KeyLess less;
+    return ScanTable(table_id, [&](const Row& row) {
+      Row pk = schema.ExtractPrimaryKey(row);
+      Row lo_prefix(pk.begin(), pk.begin() + std::min(pk.size(), lo.size()));
+      Row hi_prefix(pk.begin(), pk.begin() + std::min(pk.size(), hi.size()));
+      if (less(lo_prefix, lo) || less(hi, hi_prefix)) return true;
+      return cb(row);
+    });
+  }
+
+  Status IndexLookup(int table_id, int index_id, const Row& key,
+                     std::vector<Row>* out) override {
+    const storage::TableSchema& schema = GetSchema(table_id);
+    const storage::IndexDef& def = schema.indexes()[index_id];
+    storage::KeyEq eq;
+    return ScanTable(table_id, [&](const Row& row) {
+      Row ikey = schema.ExtractIndexKey(def, row);
+      Row prefix(ikey.begin(), ikey.begin() + std::min(ikey.size(),
+                                                       key.size()));
+      if (eq(prefix, key)) out->push_back(row);
+      return true;
+    });
+  }
+
+  StatusOr<std::optional<Row>> GetByPk(int table_id, const Row& pk) override {
+    const storage::ColumnTable* t = db_->column_store().table(table_id);
+    if (t == nullptr) return Status::NotFound("no columnar replica");
+    stats_->col_rows += 1;
+    return t->Get(pk);
+  }
+
+  StatusOr<std::optional<Row>> LockAndGet(int, const Row&) override {
+    return Status::Unsupported("columnar replica is read-only");
+  }
+
+  Status Insert(int, Row) override {
+    return Status::Unsupported("columnar replica is read-only");
+  }
+  Status Update(int, Row) override {
+    return Status::Unsupported("columnar replica is read-only");
+  }
+  Status Delete(int, const Row&) override {
+    return Status::Unsupported("columnar replica is read-only");
+  }
+  Status CreateTable(storage::TableSchema) override {
+    return Status::Unsupported("DDL on replica");
+  }
+  Status CreateIndex(std::string_view, storage::IndexDef) override {
+    return Status::Unsupported("DDL on replica");
+  }
+
+ private:
+  Database* db_;
+  AccessStats* stats_;
+  Session* session_;
+};
+
+}  // namespace
+
+Session::Session(Database* db)
+    : db_(db),
+      route_rng_state_(0x9e3779b97f4a7c15ULL ^
+                       reinterpret_cast<uint64_t>(this)) {}
+
+Session::~Session() {
+  if (txn_) txn_->Abort();
+}
+
+StatusOr<const sql::CompiledStatement*> Session::Prepare(
+    const std::string& sql_text) {
+  auto it = cache_.find(sql_text);
+  if (it != cache_.end()) return it->second.compiled.get();
+  auto parsed = sql::Parse(sql_text);
+  if (!parsed.ok()) return parsed.status();
+  auto compiled = sql::Compile(*parsed, *db_);
+  if (!compiled.ok()) return compiled.status();
+  Prepared p;
+  p.compiled = std::move(compiled).value();
+  const sql::CompiledStatement* out = p.compiled.get();
+  cache_.emplace(sql_text, std::move(p));
+  return out;
+}
+
+StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
+                                          std::span<const Value> params) {
+  auto prepared = Prepare(sql_text);
+  if (!prepared.ok()) return prepared.status();
+  const sql::CompiledStatement& stmt = **prepared;
+
+  AccessStats stats;
+  const bool in_txn = txn_ != nullptr;
+  bool route_to_column =
+      !in_txn && stmt.IsSelect() && !stmt.IsPointRead() &&
+      db_->profile().architecture == StoreArchitecture::kSeparated;
+  if (route_to_column && db_->profile().olap_row_fraction > 0) {
+    // Cost-based optimizer model: a fraction of analytical statements run
+    // on the row store even when a columnar replica exists.
+    route_rng_state_ = route_rng_state_ * 6364136223846793005ULL +
+                       1442695040888963407ULL;
+    double u = static_cast<double>(route_rng_state_ >> 11) *
+               (1.0 / 9007199254740992.0);
+    if (u < db_->profile().olap_row_fraction) route_to_column = false;
+  }
+
+  if (route_to_column) {
+    last_route_ = RoutedStore::kColumnStore;
+    ColumnSnapshotStorage storage(db_, &stats, this);
+    auto rs = sql::Execute(stmt, params, &storage);
+    ChargeStatement(stats, RoutedStore::kColumnStore);
+    FlushCharge();
+    return rs;
+  }
+
+  last_route_ = RoutedStore::kRowStore;
+  // Auto-commit wrapper when no transaction is open.
+  std::unique_ptr<txn::Transaction> auto_txn;
+  txn::Transaction* txn = txn_.get();
+  if (!in_txn) {
+    auto_txn = db_->txn_manager().Begin(db_->profile().isolation);
+    txn = auto_txn.get();
+  }
+
+  const bool analytical = stmt.IsAnalyticalShape();
+  const double scan_penalty =
+      (in_txn && analytical) ? db_->profile().txn_analytical_scan_penalty
+                             : 1.0;
+  TxnStorage storage(db_, txn, &stats, this,
+                     /*standalone_analytical=*/!in_txn && analytical,
+                     scan_penalty);
+  auto rs = sql::Execute(stmt, params, &storage);
+  ChargeStatement(stats, RoutedStore::kRowStore);
+
+  if (!rs.ok()) {
+    // Abort whichever transaction was in flight; explicit transactions are
+    // dead after a failure (Rollback becomes a no-op).
+    if (in_txn) {
+      txn_->Abort();
+      txn_.reset();
+      txn_writes_ = 0;
+    } else {
+      auto_txn->Abort();
+    }
+    FlushCharge();
+    return rs.status();
+  }
+
+  if (in_txn) {
+    txn_writes_ += stats.writes;
+    return rs;
+  }
+  Status commit = auto_txn->Commit();
+  if (!commit.ok()) {
+    FlushCharge();
+    return commit;
+  }
+  if (stats.writes > 0) ChargeCommit(stats.writes);
+  FlushCharge();
+  return rs;
+}
+
+Status Session::Begin() {
+  if (txn_) return Status::InvalidArgument("transaction already open");
+  txn_ = db_->txn_manager().Begin(db_->profile().isolation);
+  txn_writes_ = 0;
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (!txn_) return Status::InvalidArgument("no open transaction");
+  Status st = txn_->Commit();
+  if (st.ok() && txn_writes_ > 0) ChargeCommit(txn_writes_);
+  txn_.reset();
+  txn_writes_ = 0;
+  FlushCharge();
+  return st;
+}
+
+Status Session::Rollback() {
+  if (!txn_) {
+    FlushCharge();
+    return Status::OK();  // failed statements already aborted
+  }
+  Status st = txn_->Abort();
+  txn_.reset();
+  txn_writes_ = 0;
+  FlushCharge();
+  return st;
+}
+
+void Session::InlineCharge(int64_t micros) {
+  if (micros <= 0) return;
+  charged_micros_ += micros;
+  if (charging_enabled_) SleepMicros(micros);
+}
+
+void Session::DeferCharge(int64_t micros) {
+  if (micros <= 0) return;
+  charged_micros_ += micros;
+  pending_charge_micros_ += micros;
+}
+
+void Session::FlushCharge() {
+  if (pending_charge_micros_ <= 0) return;
+  int64_t micros = pending_charge_micros_;
+  pending_charge_micros_ = 0;
+  if (charging_enabled_) SleepMicros(micros);
+}
+
+void Session::ChargeStatement(const AccessStats& stats, RoutedStore route) {
+  const LatencyModel& m = db_->profile().latency;
+  const ClusterModel& c = db_->profile().cluster;
+  double ns = static_cast<double>(m.statement_overhead_ns) * c.ReadFactor();
+  // Row-store costs use the contention-weighted units accumulated per
+  // operation (per-table buffer/latch pressure).
+  ns += stats.seek_cost * static_cast<double>(m.row_seek_ns);
+  ns += stats.row_cost * static_cast<double>(m.row_scan_row_ns);
+  // Column-store scan costs and row-store full-scan costs were charged
+  // inline (while their pressure markers were held); only seeks, range
+  // scans and index probes remain here.
+  DeferCharge(static_cast<int64_t>(ns / 1000.0));
+}
+
+void Session::ChargeCommit(int64_t writes) {
+  const LatencyModel& m = db_->profile().latency;
+  const ClusterModel& c = db_->profile().cluster;
+  double ns = static_cast<double>(m.commit_base_ns) * c.CommitFactor();
+  ns += static_cast<double>(writes) * m.write_ns;
+  DeferCharge(static_cast<int64_t>(ns / 1000.0));
+}
+
+}  // namespace olxp::engine

@@ -1,0 +1,123 @@
+#ifndef OLXP_ENGINE_SESSION_H_
+#define OLXP_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "sql/executor.h"
+#include "txn/transaction.h"
+
+namespace olxp::engine {
+
+class Database;
+
+/// Where a statement executed (for diagnostics and tests).
+enum class RoutedStore { kRowStore, kColumnStore };
+
+/// Per-statement access accounting feeding the latency model.
+struct AccessStats {
+  int64_t row_seeks = 0;
+  int64_t row_rows = 0;   ///< rows visited on the row store
+  int64_t col_rows = 0;   ///< rows visited on the columnar replica
+  int64_t writes = 0;
+  /// Contention-weighted cost units: raw counts inflated by the number of
+  /// analytical scans concurrently sweeping the same table (buffer/latch
+  /// pressure model). The latency model charges these, not the raw counts.
+  double seek_cost = 0;
+  double row_cost = 0;
+  void Reset() {
+    row_seeks = row_rows = col_rows = writes = 0;
+    seek_cost = row_cost = 0;
+  }
+};
+
+/// A client connection: prepared-statement cache, optional open transaction,
+/// store routing, and simulated-latency charging. One session per thread;
+/// not thread-safe (like a JDBC connection).
+///
+/// Routing reproduces the paper's engines: a statement inside an explicit
+/// transaction is pinned to the row store (the engine "can only choose one
+/// store for a hybrid transaction"); stand-alone analytical SELECTs route to
+/// the columnar replica on separated architectures.
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses (cached), compiles (cached), routes and executes one statement.
+  /// Auto-commits when no transaction is open. Retryable failures
+  /// (Conflict/LockTimeout) abort any open transaction.
+  StatusOr<sql::ResultSet> Execute(const std::string& sql,
+                                   std::span<const Value> params = {});
+
+  /// Convenience without params.
+  StatusOr<sql::ResultSet> Execute(const std::string& sql,
+                                   std::initializer_list<Value> params) {
+    return Execute(sql, std::span<const Value>(params.begin(), params.end()));
+  }
+
+  /// Explicit transaction control (used by OLTP and hybrid agents).
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool InTransaction() const { return txn_ != nullptr; }
+
+  /// Store that served the most recent statement.
+  RoutedStore last_route() const { return last_route_; }
+
+  /// Total simulated microseconds charged to this session so far.
+  int64_t charged_micros() const { return charged_micros_; }
+
+  /// When false, the session skips SleepMicros charging (unit tests run at
+  /// full speed; benches keep it on).
+  void set_charging_enabled(bool on) { charging_enabled_ = on; }
+
+  Database* database() { return db_; }
+
+  /// Internal: charges simulated time immediately. Used by the storage
+  /// wrappers so a scan's simulated duration elapses while its per-table
+  /// pressure marker is still held (making interference observable).
+  void InlineCharge(int64_t micros);
+
+  /// Internal: accumulates deferred simulated time; one sleep per
+  /// transaction (or auto-commit statement) instead of one per statement —
+  /// OS sleep granularity would otherwise tax cheap statements far more
+  /// than expensive ones.
+  void DeferCharge(int64_t micros);
+  /// Sleeps off the accumulated deferred charge.
+  void FlushCharge();
+
+ private:
+  friend class Database;
+  explicit Session(Database* db);
+
+  struct Prepared {
+    std::unique_ptr<sql::CompiledStatement> compiled;
+  };
+
+  StatusOr<const sql::CompiledStatement*> Prepare(const std::string& sql);
+
+  /// Charges the simulated cost of the statement just executed.
+  void ChargeStatement(const AccessStats& stats, RoutedStore route);
+  void ChargeCommit(int64_t writes);
+
+  Database* db_;
+  uint64_t route_rng_state_;  ///< cheap LCG for the OLAP routing fraction
+  std::unique_ptr<txn::Transaction> txn_;
+  std::unordered_map<std::string, Prepared> cache_;
+  RoutedStore last_route_ = RoutedStore::kRowStore;
+  int64_t charged_micros_ = 0;
+  int64_t pending_charge_micros_ = 0;
+  int64_t txn_writes_ = 0;  ///< writes buffered in the open transaction
+  bool charging_enabled_ = true;
+};
+
+}  // namespace olxp::engine
+
+#endif  // OLXP_ENGINE_SESSION_H_

@@ -1,0 +1,77 @@
+#include "sql/ast.h"
+
+namespace olxp::sql {
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->param_index = param_index;
+  out->unary_op = unary_op;
+  out->binary_op = binary_op;
+  out->agg = agg;
+  out->negated_in = negated_in;
+  out->subquery = subquery;  // subqueries are shared immutable
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregate) return true;
+  for (const auto& c : children) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeParam(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_index = index;
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeAggregate(AggFunc fn, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->agg = fn;
+  if (arg) e->children.push_back(std::move(arg));
+  return e;
+}
+
+}  // namespace olxp::sql

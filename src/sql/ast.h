@@ -1,0 +1,157 @@
+#ifndef OLXP_SQL_AST_H_
+#define OLXP_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/value.h"
+
+namespace olxp::sql {
+
+struct SelectStmt;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,    ///< constant Value
+  kColumnRef,  ///< [table_or_alias.]column
+  kParam,      ///< positional '?' parameter
+  kUnary,      ///< op child[0]
+  kBinary,     ///< child[0] op child[1]
+  kAggregate,  ///< COUNT/SUM/AVG/MIN/MAX over child[0] (COUNT(*) childless)
+  kBetween,    ///< child[0] BETWEEN child[1] AND child[2]
+  kInList,     ///< child[0] IN (child[1..])
+  kInSubquery, ///< child[0] IN (subquery)
+  kScalarSubquery, ///< (SELECT single value)
+  kCase,       ///< CASE WHEN c THEN v ... [ELSE e] END; children alternate
+};
+
+enum class UnaryOp { kNeg, kNot, kIsNull, kIsNotNull };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kLike, kNotLike,
+};
+
+enum class AggFunc { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+/// A single expression tree node. One struct for all kinds keeps the parser
+/// and evaluator compact; unused fields stay defaulted.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;                     // kLiteral
+  std::string table;                 // kColumnRef (optional qualifier)
+  std::string column;                // kColumnRef
+  int param_index = -1;              // kParam (0-based)
+  UnaryOp unary_op = UnaryOp::kNeg;  // kUnary
+  BinaryOp binary_op = BinaryOp::kEq;  // kBinary
+  AggFunc agg = AggFunc::kCountStar;   // kAggregate
+  bool negated_in = false;             // kInList/kInSubquery: NOT IN
+
+  std::vector<std::unique_ptr<Expr>> children;
+  std::shared_ptr<SelectStmt> subquery;  // kScalarSubquery / kInSubquery
+
+  /// Deep copy (prepared statements are shared across threads; plans copy
+  /// what they rewrite).
+  std::unique_ptr<Expr> Clone() const;
+
+  /// True if any node in this subtree is an aggregate call.
+  bool ContainsAggregate() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Convenience constructors.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeParam(int index);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr child);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAggregate(AggFunc fn, ExprPtr arg);
+
+/// One item of a SELECT list: expression plus optional alias; a bare `*`
+/// is flagged instead.
+struct SelectItem {
+  ExprPtr expr;      // null when is_star
+  std::string alias; // output column name when set
+  bool is_star = false;
+};
+
+/// One table in FROM, with optional alias. JOIN ... ON is desugared by the
+/// parser into the table list plus extra WHERE conjuncts.
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // defaults to table_name
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct InsertStmt {
+  std::string table_name;
+  std::vector<std::string> columns;  // empty = schema order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt {
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table_name;
+  ExprPtr where;  // may be null
+};
+
+struct ColumnSpec {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool not_null = false;
+  bool primary_key = false;  // inline PRIMARY KEY
+};
+
+struct ForeignKeySpec {
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+};
+
+struct CreateTableStmt {
+  std::string table_name;
+  std::vector<ColumnSpec> columns;
+  std::vector<std::string> primary_key;  // table-level PRIMARY KEY(...)
+  std::vector<ForeignKeySpec> foreign_keys;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table_name;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+/// A parsed SQL statement.
+using Statement = std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
+                               CreateTableStmt, CreateIndexStmt>;
+
+}  // namespace olxp::sql
+
+#endif  // OLXP_SQL_AST_H_

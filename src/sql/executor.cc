@@ -1,0 +1,1573 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace olxp::sql {
+
+namespace {
+
+// ============================ bound expressions ============================
+
+struct BoundSelect;
+
+enum class BKind {
+  kLiteral,
+  kSlot,
+  kParam,
+  kUnary,
+  kBinary,
+  kAggRef,
+  kBetween,
+  kInList,
+  kInSubquery,
+  kScalarSubquery,
+  kCase,
+};
+
+struct BoundExpr {
+  BKind kind = BKind::kLiteral;
+  Value literal;
+  int slot = -1;
+  int param_index = -1;
+  UnaryOp uop = UnaryOp::kNeg;
+  BinaryOp bop = BinaryOp::kEq;
+  int agg_index = -1;
+  bool negated_in = false;
+  int sub_id = -1;
+  std::vector<std::unique_ptr<BoundExpr>> children;
+  std::shared_ptr<BoundSelect> subplan;
+  int max_slot = -1;  ///< highest tuple slot referenced in this subtree
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Deep copy of a bound expression (subplans shared).
+inline BoundExprPtr CloneBound(const BoundExpr& e) {
+  auto out = std::make_unique<BoundExpr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->slot = e.slot;
+  out->param_index = e.param_index;
+  out->uop = e.uop;
+  out->bop = e.bop;
+  out->agg_index = e.agg_index;
+  out->negated_in = e.negated_in;
+  out->sub_id = e.sub_id;
+  out->subplan = e.subplan;
+  out->max_slot = e.max_slot;
+  for (const auto& c : e.children) out->children.push_back(CloneBound(*c));
+  return out;
+}
+
+struct AggSpec {
+  AggFunc fn = AggFunc::kCountStar;
+  BoundExprPtr arg;  // null for COUNT(*)
+};
+
+struct TableStep {
+  enum class Path { kFull, kPkPoint, kPkPrefixRange, kIndexPrefix };
+
+  int table_id = -1;
+  const storage::TableSchema* schema = nullptr;
+  int base = 0;
+  int ncols = 0;
+  Path path = Path::kFull;
+  int index_id = -1;
+  /// Equality values for the key prefix (pk or index column order).
+  std::vector<BoundExprPtr> key_exprs;
+  /// Optional inclusive range bounds on the pk column following the
+  /// equality prefix (kPkPrefixRange only).
+  BoundExprPtr range_lo;
+  BoundExprPtr range_hi;
+  /// All conjuncts placed at this step (always re-checked).
+  std::vector<BoundExprPtr> filters;
+};
+
+struct BoundOrderItem {
+  BoundExprPtr expr;  // null when proj_index >= 0
+  int proj_index = -1;
+  bool desc = false;
+};
+
+struct BoundSelect {
+  std::vector<TableStep> steps;
+  int total_slots = 0;
+  bool aggregate_mode = false;
+  std::vector<BoundExprPtr> group_by;
+  std::vector<AggSpec> aggs;
+  std::vector<BoundExprPtr> projections;
+  std::vector<std::string> column_names;
+  BoundExprPtr having;
+  std::vector<BoundOrderItem> order_by;
+  int64_t limit = -1;
+  bool distinct = false;
+};
+
+struct BoundInsert {
+  int table_id = -1;
+  const storage::TableSchema* schema = nullptr;
+  /// For each statement column list entry, its schema position. Empty when
+  /// the statement uses schema order.
+  std::vector<int> col_map;
+  std::vector<std::vector<BoundExprPtr>> rows;
+};
+
+struct BoundUpdate {
+  TableStep step;
+  std::vector<std::pair<int, BoundExprPtr>> assignments;  // schema pos
+};
+
+struct BoundDelete {
+  TableStep step;
+};
+
+struct BoundCreateTable {
+  storage::TableSchema schema;
+};
+
+struct BoundCreateIndex {
+  std::string table_name;
+  storage::IndexDef def;
+};
+
+enum class StmtKind { kSelect, kInsert, kUpdate, kDelete, kCreateTable,
+                      kCreateIndex };
+
+}  // namespace
+
+struct CompiledStatement::Impl {
+  StmtKind kind = StmtKind::kSelect;
+  std::shared_ptr<BoundSelect> select;
+  std::unique_ptr<BoundInsert> insert;
+  std::unique_ptr<BoundUpdate> update;
+  std::unique_ptr<BoundDelete> del;
+  std::unique_ptr<BoundCreateTable> create_table;
+  std::unique_ptr<BoundCreateIndex> create_index;
+  int param_count = 0;
+  int num_subqueries = 0;
+};
+
+namespace {
+
+// ================================ compiler =================================
+
+struct TableBinding {
+  std::string alias;
+  int table_id = -1;
+  const storage::TableSchema* schema = nullptr;
+  int base = 0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const Catalog& catalog) : catalog_(catalog) {}
+
+  StatusOr<std::unique_ptr<CompiledStatement::Impl>> CompileStatement(
+      const Statement& stmt) {
+    auto impl = std::make_unique<CompiledStatement::Impl>();
+    if (const auto* s = std::get_if<SelectStmt>(&stmt)) {
+      impl->kind = StmtKind::kSelect;
+      auto plan = CompileSelect(*s);
+      if (!plan.ok()) return plan.status();
+      impl->select = std::move(plan).value();
+    } else if (const auto* s = std::get_if<InsertStmt>(&stmt)) {
+      impl->kind = StmtKind::kInsert;
+      auto b = CompileInsert(*s);
+      if (!b.ok()) return b.status();
+      impl->insert = std::move(b).value();
+    } else if (const auto* s = std::get_if<UpdateStmt>(&stmt)) {
+      impl->kind = StmtKind::kUpdate;
+      auto b = CompileUpdate(*s);
+      if (!b.ok()) return b.status();
+      impl->update = std::move(b).value();
+    } else if (const auto* s = std::get_if<DeleteStmt>(&stmt)) {
+      impl->kind = StmtKind::kDelete;
+      auto b = CompileDelete(*s);
+      if (!b.ok()) return b.status();
+      impl->del = std::move(b).value();
+    } else if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) {
+      impl->kind = StmtKind::kCreateTable;
+      auto b = CompileCreateTable(*s);
+      if (!b.ok()) return b.status();
+      impl->create_table = std::move(b).value();
+    } else if (const auto* s = std::get_if<CreateIndexStmt>(&stmt)) {
+      impl->kind = StmtKind::kCreateIndex;
+      auto b = CompileCreateIndex(*s);
+      if (!b.ok()) return b.status();
+      impl->create_index = std::move(b).value();
+    } else {
+      return Status::Internal("unknown statement variant");
+    }
+    impl->param_count = max_param_ + 1;
+    impl->num_subqueries = num_subqueries_;
+    return impl;
+  }
+
+ private:
+  StatusOr<std::shared_ptr<BoundSelect>> CompileSelect(
+      const SelectStmt& stmt) {
+    if (stmt.from.empty()) {
+      return Status::Unsupported("SELECT without FROM");
+    }
+    // --- scope ---
+    std::vector<TableBinding> scope;
+    int base = 0;
+    for (const TableRef& ref : stmt.from) {
+      auto tid = catalog_.TableId(ref.table_name);
+      if (!tid.ok()) return tid.status();
+      TableBinding b;
+      b.alias = ToLower(ref.alias);
+      b.table_id = *tid;
+      b.schema = &catalog_.GetSchema(*tid);
+      b.base = base;
+      base += b.schema->num_columns();
+      scope.push_back(std::move(b));
+    }
+    auto plan = std::make_shared<BoundSelect>();
+    plan->total_slots = base;
+    plan->distinct = stmt.distinct;
+    plan->limit = stmt.limit;
+
+    // --- aggregate mode detection ---
+    bool has_agg = !stmt.group_by.empty();
+    for (const SelectItem& item : stmt.items) {
+      if (!item.is_star && item.expr->ContainsAggregate()) has_agg = true;
+    }
+    if (stmt.having && stmt.having->ContainsAggregate()) has_agg = true;
+    plan->aggregate_mode = has_agg;
+
+    // --- group by ---
+    for (const ExprPtr& g : stmt.group_by) {
+      auto e = CompileExpr(*g, scope, /*allow_agg=*/false, plan.get());
+      if (!e.ok()) return e.status();
+      plan->group_by.push_back(std::move(e).value());
+    }
+
+    // --- projections ---
+    for (const SelectItem& item : stmt.items) {
+      if (item.is_star) {
+        if (has_agg) {
+          return Status::InvalidArgument("SELECT * with aggregates");
+        }
+        for (const TableBinding& b : scope) {
+          for (int c = 0; c < b.schema->num_columns(); ++c) {
+            auto e = std::make_unique<BoundExpr>();
+            e->kind = BKind::kSlot;
+            e->slot = b.base + c;
+            e->max_slot = e->slot;
+            plan->projections.push_back(std::move(e));
+            plan->column_names.push_back(b.schema->columns()[c].name);
+          }
+        }
+        continue;
+      }
+      auto e = CompileExpr(*item.expr, scope, has_agg, plan.get());
+      if (!e.ok()) return e.status();
+      plan->projections.push_back(std::move(e).value());
+      plan->column_names.push_back(
+          !item.alias.empty() ? item.alias : DeriveName(*item.expr));
+    }
+
+    // --- having ---
+    if (stmt.having) {
+      auto e = CompileExpr(*stmt.having, scope, has_agg, plan.get());
+      if (!e.ok()) return e.status();
+      plan->having = std::move(e).value();
+    }
+
+    // --- where: split conjuncts, compile, place ---
+    plan->steps.reserve(scope.size());
+    for (const TableBinding& b : scope) {
+      TableStep step;
+      step.table_id = b.table_id;
+      step.schema = b.schema;
+      step.base = b.base;
+      step.ncols = b.schema->num_columns();
+      plan->steps.push_back(std::move(step));
+    }
+    if (stmt.where) {
+      std::vector<const Expr*> conjuncts;
+      CollectConjuncts(*stmt.where, &conjuncts);
+      for (const Expr* c : conjuncts) {
+        auto e = CompileExpr(*c, scope, /*allow_agg=*/false, plan.get());
+        if (!e.ok()) return e.status();
+        BoundExprPtr be = std::move(e).value();
+        int step_idx = StepForSlot(*plan, be->max_slot);
+        plan->steps[step_idx].filters.push_back(std::move(be));
+      }
+    }
+    for (TableStep& step : plan->steps) ChooseAccessPath(&step);
+
+    // --- order by ---
+    for (const OrderItem& oi : stmt.order_by) {
+      BoundOrderItem bo;
+      bo.desc = oi.desc;
+      // ORDER BY <position>
+      if (oi.expr->kind == ExprKind::kLiteral &&
+          oi.expr->literal.type() == ValueType::kInt) {
+        int pos = static_cast<int>(oi.expr->literal.AsInt()) - 1;
+        if (pos < 0 || pos >= static_cast<int>(plan->projections.size())) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        bo.proj_index = pos;
+        plan->order_by.push_back(std::move(bo));
+        continue;
+      }
+      // ORDER BY <alias>
+      if (oi.expr->kind == ExprKind::kColumnRef && oi.expr->table.empty()) {
+        int pos = -1;
+        for (size_t i = 0; i < stmt.items.size(); ++i) {
+          if (!stmt.items[i].is_star &&
+              EqualsNoCase(stmt.items[i].alias, oi.expr->column)) {
+            pos = static_cast<int>(i);
+            break;
+          }
+        }
+        if (pos >= 0) {
+          bo.proj_index = pos;
+          plan->order_by.push_back(std::move(bo));
+          continue;
+        }
+      }
+      auto e = CompileExpr(*oi.expr, scope, has_agg, plan.get());
+      if (!e.ok()) return e.status();
+      bo.expr = std::move(e).value();
+      plan->order_by.push_back(std::move(bo));
+    }
+    return plan;
+  }
+
+  StatusOr<std::unique_ptr<BoundInsert>> CompileInsert(
+      const InsertStmt& stmt) {
+    auto tid = catalog_.TableId(stmt.table_name);
+    if (!tid.ok()) return tid.status();
+    auto b = std::make_unique<BoundInsert>();
+    b->table_id = *tid;
+    b->schema = &catalog_.GetSchema(*tid);
+    if (!stmt.columns.empty()) {
+      for (const std::string& col : stmt.columns) {
+        int pos = b->schema->ColumnIndex(col);
+        if (pos < 0) {
+          return Status::InvalidArgument("unknown column " + col + " in " +
+                                         stmt.table_name);
+        }
+        b->col_map.push_back(pos);
+      }
+    }
+    size_t expect = stmt.columns.empty()
+                        ? static_cast<size_t>(b->schema->num_columns())
+                        : stmt.columns.size();
+    std::vector<TableBinding> empty_scope;
+    for (const auto& row : stmt.rows) {
+      if (row.size() != expect) {
+        return Status::InvalidArgument("INSERT arity mismatch");
+      }
+      std::vector<BoundExprPtr> bound_row;
+      for (const ExprPtr& v : row) {
+        auto e = CompileExpr(*v, empty_scope, false, nullptr);
+        if (!e.ok()) return e.status();
+        bound_row.push_back(std::move(e).value());
+      }
+      b->rows.push_back(std::move(bound_row));
+    }
+    return b;
+  }
+
+  StatusOr<TableStep> CompileSingleTableStep(const std::string& table_name,
+                                             const ExprPtr& where,
+                                             std::vector<TableBinding>* scope) {
+    auto tid = catalog_.TableId(table_name);
+    if (!tid.ok()) return tid.status();
+    TableBinding b;
+    b.alias = ToLower(table_name);
+    b.table_id = *tid;
+    b.schema = &catalog_.GetSchema(*tid);
+    b.base = 0;
+    scope->push_back(b);
+
+    TableStep step;
+    step.table_id = b.table_id;
+    step.schema = b.schema;
+    step.base = 0;
+    step.ncols = b.schema->num_columns();
+    if (where) {
+      std::vector<const Expr*> conjuncts;
+      CollectConjuncts(*where, &conjuncts);
+      for (const Expr* c : conjuncts) {
+        auto e = CompileExpr(*c, *scope, false, nullptr);
+        if (!e.ok()) return e.status();
+        step.filters.push_back(std::move(e).value());
+      }
+    }
+    ChooseAccessPath(&step);
+    return step;
+  }
+
+  StatusOr<std::unique_ptr<BoundUpdate>> CompileUpdate(
+      const UpdateStmt& stmt) {
+    auto b = std::make_unique<BoundUpdate>();
+    std::vector<TableBinding> scope;
+    auto step = CompileSingleTableStep(stmt.table_name, stmt.where, &scope);
+    if (!step.ok()) return step.status();
+    b->step = std::move(step).value();
+    for (const auto& [col, expr] : stmt.assignments) {
+      int pos = b->step.schema->ColumnIndex(col);
+      if (pos < 0) {
+        return Status::InvalidArgument("unknown column " + col);
+      }
+      auto e = CompileExpr(*expr, scope, false, nullptr);
+      if (!e.ok()) return e.status();
+      b->assignments.emplace_back(pos, std::move(e).value());
+    }
+    return b;
+  }
+
+  StatusOr<std::unique_ptr<BoundDelete>> CompileDelete(
+      const DeleteStmt& stmt) {
+    auto b = std::make_unique<BoundDelete>();
+    std::vector<TableBinding> scope;
+    auto step = CompileSingleTableStep(stmt.table_name, stmt.where, &scope);
+    if (!step.ok()) return step.status();
+    b->step = std::move(step).value();
+    return b;
+  }
+
+  StatusOr<std::unique_ptr<BoundCreateTable>> CompileCreateTable(
+      const CreateTableStmt& stmt) {
+    std::vector<storage::ColumnDef> cols;
+    std::vector<int> pk;
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      const ColumnSpec& c = stmt.columns[i];
+      cols.push_back(storage::ColumnDef{c.name, c.type, !c.not_null});
+      if (c.primary_key) pk.push_back(static_cast<int>(i));
+    }
+    storage::TableSchema tmp(stmt.table_name, cols, {});
+    for (const std::string& col : stmt.primary_key) {
+      int pos = tmp.ColumnIndex(col);
+      if (pos < 0) {
+        return Status::InvalidArgument("unknown pk column " + col);
+      }
+      pk.push_back(pos);
+    }
+    if (pk.empty()) {
+      return Status::InvalidArgument("table " + stmt.table_name +
+                                     " needs a primary key");
+    }
+    // PK columns are implicitly NOT NULL.
+    for (int p : pk) cols[p].nullable = false;
+    auto b = std::make_unique<BoundCreateTable>();
+    b->schema = storage::TableSchema(stmt.table_name, cols, pk);
+    for (const ForeignKeySpec& fk : stmt.foreign_keys) {
+      storage::ForeignKeyDef def;
+      def.ref_table = fk.ref_table;
+      for (const std::string& col : fk.columns) {
+        int pos = b->schema.ColumnIndex(col);
+        if (pos < 0) {
+          return Status::InvalidArgument("unknown fk column " + col);
+        }
+        def.column_idx.push_back(pos);
+      }
+      // Referenced column positions resolved by the engine at DDL time.
+      b->schema.AddForeignKey(std::move(def));
+    }
+    return b;
+  }
+
+  StatusOr<std::unique_ptr<BoundCreateIndex>> CompileCreateIndex(
+      const CreateIndexStmt& stmt) {
+    auto tid = catalog_.TableId(stmt.table_name);
+    if (!tid.ok()) return tid.status();
+    const storage::TableSchema& schema = catalog_.GetSchema(*tid);
+    storage::IndexDef def;
+    def.name = stmt.index_name;
+    def.unique = stmt.unique;
+    for (const std::string& col : stmt.columns) {
+      int pos = schema.ColumnIndex(col);
+      if (pos < 0) {
+        return Status::InvalidArgument("unknown index column " + col);
+      }
+      def.column_idx.push_back(pos);
+    }
+    auto b = std::make_unique<BoundCreateIndex>();
+    b->table_name = stmt.table_name;
+    b->def = std::move(def);
+    return b;
+  }
+
+  static void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+    if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
+      CollectConjuncts(*e.children[0], out);
+      CollectConjuncts(*e.children[1], out);
+      return;
+    }
+    out->push_back(&e);
+  }
+
+  static int StepForSlot(const BoundSelect& plan, int max_slot) {
+    if (max_slot < 0) return 0;
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const TableStep& s = plan.steps[i];
+      if (max_slot < s.base + s.ncols) return static_cast<int>(i);
+    }
+    return static_cast<int>(plan.steps.size()) - 1;
+  }
+
+  /// Chooses an index-backed access path from the step's filters.
+  static void ChooseAccessPath(TableStep* step) {
+    // Collect candidate equalities col_slot -> value expr, and range bounds.
+    std::map<int, const BoundExpr*> equalities;   // local col idx -> value
+    std::map<int, std::pair<const BoundExpr*, const BoundExpr*>> ranges;
+    for (const BoundExprPtr& f : step->filters) {
+      const BoundExpr* col = nullptr;
+      const BoundExpr* val = nullptr;
+      BinaryOp op;
+      if (f->kind == BKind::kBinary) {
+        op = f->bop;
+        const BoundExpr* l = f->children[0].get();
+        const BoundExpr* r = f->children[1].get();
+        auto in_step = [&](const BoundExpr* e) {
+          return e->kind == BKind::kSlot && e->slot >= step->base &&
+                 e->slot < step->base + step->ncols;
+        };
+        auto bound_before = [&](const BoundExpr* e) {
+          return e->max_slot < step->base;
+        };
+        if (in_step(l) && bound_before(r)) {
+          col = l;
+          val = r;
+        } else if (in_step(r) && bound_before(l)) {
+          col = r;
+          val = l;
+          // flip comparison direction
+          switch (op) {
+            case BinaryOp::kLt: op = BinaryOp::kGt; break;
+            case BinaryOp::kLe: op = BinaryOp::kGe; break;
+            case BinaryOp::kGt: op = BinaryOp::kLt; break;
+            case BinaryOp::kGe: op = BinaryOp::kLe; break;
+            default: break;
+          }
+        } else {
+          continue;
+        }
+        int local = col->slot - step->base;
+        switch (op) {
+          case BinaryOp::kEq:
+            equalities[local] = val;
+            break;
+          case BinaryOp::kGe:
+          case BinaryOp::kGt:
+            if (ranges[local].first == nullptr) ranges[local].first = val;
+            break;
+          case BinaryOp::kLe:
+          case BinaryOp::kLt:
+            if (ranges[local].second == nullptr) ranges[local].second = val;
+            break;
+          default:
+            break;
+        }
+      } else if (f->kind == BKind::kBetween) {
+        const BoundExpr* subj = f->children[0].get();
+        if (subj->kind == BKind::kSlot && subj->slot >= step->base &&
+            subj->slot < step->base + step->ncols &&
+            f->children[1]->max_slot < step->base &&
+            f->children[2]->max_slot < step->base) {
+          int local = subj->slot - step->base;
+          ranges[local] = {f->children[1].get(), f->children[2].get()};
+        }
+      }
+    }
+
+    const auto& pk = step->schema->pk_columns();
+    // Longest pk equality prefix.
+    size_t pk_prefix = 0;
+    while (pk_prefix < pk.size() && equalities.count(pk[pk_prefix])) {
+      ++pk_prefix;
+    }
+    if (pk_prefix == pk.size() && !pk.empty()) {
+      step->path = TableStep::Path::kPkPoint;
+      for (int c : pk) step->key_exprs.push_back(CloneBound(*equalities[c]));
+      return;
+    }
+    // pk prefix (possibly empty) + optional range on the next pk column.
+    const BoundExpr* lo = nullptr;
+    const BoundExpr* hi = nullptr;
+    if (pk_prefix < pk.size()) {
+      auto it = ranges.find(pk[pk_prefix]);
+      if (it != ranges.end()) {
+        lo = it->second.first;
+        hi = it->second.second;
+      }
+    }
+    if (pk_prefix > 0 || lo != nullptr || hi != nullptr) {
+      step->path = TableStep::Path::kPkPrefixRange;
+      for (size_t i = 0; i < pk_prefix; ++i) {
+        step->key_exprs.push_back(CloneBound(*equalities[pk[i]]));
+      }
+      if (lo != nullptr) step->range_lo = CloneBound(*lo);
+      if (hi != nullptr) step->range_hi = CloneBound(*hi);
+      return;
+    }
+    // Secondary indexes: longest equality prefix wins.
+    int best_index = -1;
+    size_t best_len = 0;
+    const auto& indexes = step->schema->indexes();
+    for (size_t i = 0; i < indexes.size(); ++i) {
+      size_t len = 0;
+      while (len < indexes[i].column_idx.size() &&
+             equalities.count(indexes[i].column_idx[len])) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_index = static_cast<int>(i);
+      }
+    }
+    if (best_index >= 0 && best_len > 0) {
+      step->path = TableStep::Path::kIndexPrefix;
+      step->index_id = best_index;
+      for (size_t i = 0; i < best_len; ++i) {
+        step->key_exprs.push_back(
+            CloneBound(*equalities[indexes[best_index].column_idx[i]]));
+      }
+      return;
+    }
+    step->path = TableStep::Path::kFull;
+  }
+
+  static std::string DeriveName(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef:
+        return e.column;
+      case ExprKind::kAggregate:
+        switch (e.agg) {
+          case AggFunc::kCountStar:
+          case AggFunc::kCount:
+            return "count";
+          case AggFunc::kSum:
+            return "sum";
+          case AggFunc::kAvg:
+            return "avg";
+          case AggFunc::kMin:
+            return "min";
+          case AggFunc::kMax:
+            return "max";
+        }
+        return "agg";
+      default:
+        return "expr";
+    }
+  }
+
+  StatusOr<BoundExprPtr> CompileExpr(const Expr& e,
+                                     const std::vector<TableBinding>& scope,
+                                     bool allow_agg, BoundSelect* plan) {
+    auto out = std::make_unique<BoundExpr>();
+    out->max_slot = -1;
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        out->kind = BKind::kLiteral;
+        out->literal = e.literal;
+        return out;
+      case ExprKind::kParam:
+        out->kind = BKind::kParam;
+        out->param_index = e.param_index;
+        max_param_ = std::max(max_param_, e.param_index);
+        return out;
+      case ExprKind::kColumnRef: {
+        int slot = -1;
+        if (!e.table.empty()) {
+          std::string alias = ToLower(e.table);
+          for (const TableBinding& b : scope) {
+            if (b.alias == alias) {
+              int pos = b.schema->ColumnIndex(e.column);
+              if (pos < 0) {
+                return Status::InvalidArgument("unknown column " + e.table +
+                                               "." + e.column);
+              }
+              slot = b.base + pos;
+              break;
+            }
+          }
+          if (slot < 0) {
+            return Status::InvalidArgument("unknown table alias " + e.table);
+          }
+        } else {
+          int hits = 0;
+          for (const TableBinding& b : scope) {
+            int pos = b.schema->ColumnIndex(e.column);
+            if (pos >= 0) {
+              slot = b.base + pos;
+              ++hits;
+            }
+          }
+          if (hits == 0) {
+            return Status::InvalidArgument("unknown column " + e.column);
+          }
+          if (hits > 1) {
+            return Status::InvalidArgument("ambiguous column " + e.column);
+          }
+        }
+        out->kind = BKind::kSlot;
+        out->slot = slot;
+        out->max_slot = slot;
+        return out;
+      }
+      case ExprKind::kAggregate: {
+        if (!allow_agg || plan == nullptr) {
+          return Status::InvalidArgument("aggregate not allowed here");
+        }
+        AggSpec spec;
+        spec.fn = e.agg;
+        if (!e.children.empty()) {
+          auto arg = CompileExpr(*e.children[0], scope, false, plan);
+          if (!arg.ok()) return arg.status();
+          spec.arg = std::move(arg).value();
+        }
+        out->kind = BKind::kAggRef;
+        out->agg_index = static_cast<int>(plan->aggs.size());
+        plan->aggs.push_back(std::move(spec));
+        return out;
+      }
+      case ExprKind::kUnary: {
+        out->kind = BKind::kUnary;
+        out->uop = e.unary_op;
+        auto c = CompileExpr(*e.children[0], scope, allow_agg, plan);
+        if (!c.ok()) return c.status();
+        out->max_slot = (*c)->max_slot;
+        out->children.push_back(std::move(c).value());
+        return out;
+      }
+      case ExprKind::kBinary: {
+        out->kind = BKind::kBinary;
+        out->bop = e.binary_op;
+        for (int i = 0; i < 2; ++i) {
+          auto c = CompileExpr(*e.children[i], scope, allow_agg, plan);
+          if (!c.ok()) return c.status();
+          out->max_slot = std::max(out->max_slot, (*c)->max_slot);
+          out->children.push_back(std::move(c).value());
+        }
+        return out;
+      }
+      case ExprKind::kBetween: {
+        out->kind = BKind::kBetween;
+        for (int i = 0; i < 3; ++i) {
+          auto c = CompileExpr(*e.children[i], scope, allow_agg, plan);
+          if (!c.ok()) return c.status();
+          out->max_slot = std::max(out->max_slot, (*c)->max_slot);
+          out->children.push_back(std::move(c).value());
+        }
+        return out;
+      }
+      case ExprKind::kInList: {
+        out->kind = BKind::kInList;
+        out->negated_in = e.negated_in;
+        for (const auto& child : e.children) {
+          auto c = CompileExpr(*child, scope, allow_agg, plan);
+          if (!c.ok()) return c.status();
+          out->max_slot = std::max(out->max_slot, (*c)->max_slot);
+          out->children.push_back(std::move(c).value());
+        }
+        return out;
+      }
+      case ExprKind::kInSubquery:
+      case ExprKind::kScalarSubquery: {
+        out->kind = e.kind == ExprKind::kInSubquery ? BKind::kInSubquery
+                                                    : BKind::kScalarSubquery;
+        out->negated_in = e.negated_in;
+        if (!e.children.empty()) {
+          auto c = CompileExpr(*e.children[0], scope, allow_agg, plan);
+          if (!c.ok()) return c.status();
+          out->max_slot = (*c)->max_slot;
+          out->children.push_back(std::move(c).value());
+        }
+        // Subqueries compile in a fresh scope: correlation is intentionally
+        // unsupported (documented dialect restriction).
+        auto sub = CompileSelect(*e.subquery);
+        if (!sub.ok()) return sub.status();
+        out->subplan = std::move(sub).value();
+        out->sub_id = num_subqueries_++;
+        return out;
+      }
+      case ExprKind::kCase: {
+        out->kind = BKind::kCase;
+        for (const auto& child : e.children) {
+          auto c = CompileExpr(*child, scope, allow_agg, plan);
+          if (!c.ok()) return c.status();
+          out->max_slot = std::max(out->max_slot, (*c)->max_slot);
+          out->children.push_back(std::move(c).value());
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  const Catalog& catalog_;
+  int max_param_ = -1;
+  int num_subqueries_ = 0;
+};
+
+}  // namespace
+
+// ================================ execution ================================
+
+namespace {
+
+struct ExecContext {
+  std::span<const Value> params;
+  StorageIface* storage = nullptr;
+  /// Materialized uncorrelated subquery results, by sub_id.
+  std::vector<std::optional<std::vector<Row>>> sub_cache;
+};
+
+StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
+                                      ExecContext* ctx);
+
+StatusOr<Value> Eval(const BoundExpr& e, const Row& tuple, ExecContext* ctx,
+                     const std::vector<Value>* agg_values);
+
+StatusOr<const std::vector<Row>*> MaterializeSubquery(const BoundExpr& e,
+                                                      ExecContext* ctx) {
+  assert(e.sub_id >= 0);
+  if (static_cast<size_t>(e.sub_id) >= ctx->sub_cache.size()) {
+    ctx->sub_cache.resize(e.sub_id + 1);
+  }
+  if (!ctx->sub_cache[e.sub_id].has_value()) {
+    auto rs = ExecuteSelectPlan(*e.subplan, ctx);
+    if (!rs.ok()) return rs.status();
+    ctx->sub_cache[e.sub_id] = std::move(rs->rows);
+  }
+  return &*ctx->sub_cache[e.sub_id];
+}
+
+/// Numeric binary op with int/double promotion.
+StatusOr<Value> Arith(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  const bool as_double = a.type() == ValueType::kDouble ||
+                         b.type() == ValueType::kDouble ||
+                         op == BinaryOp::kDiv;
+  if (as_double) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Double(x + y);
+      case BinaryOp::kSub: return Value::Double(x - y);
+      case BinaryOp::kMul: return Value::Double(x * y);
+      case BinaryOp::kDiv:
+        if (y == 0) return Value::Null();
+        return Value::Double(x / y);
+      case BinaryOp::kMod:
+        if (y == 0) return Value::Null();
+        return Value::Double(std::fmod(x, y));
+      default: break;
+    }
+  } else {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int(x + y);
+      case BinaryOp::kSub: return Value::Int(x - y);
+      case BinaryOp::kMul: return Value::Int(x * y);
+      case BinaryOp::kMod:
+        if (y == 0) return Value::Null();
+        return Value::Int(x % y);
+      default: break;
+    }
+  }
+  return Status::Internal("bad arith op");
+}
+
+StatusOr<Value> Eval(const BoundExpr& e, const Row& tuple, ExecContext* ctx,
+                     const std::vector<Value>* agg_values) {
+  switch (e.kind) {
+    case BKind::kLiteral:
+      return e.literal;
+    case BKind::kSlot:
+      assert(e.slot >= 0 && static_cast<size_t>(e.slot) < tuple.size());
+      return tuple[e.slot];
+    case BKind::kParam:
+      if (e.param_index < 0 ||
+          static_cast<size_t>(e.param_index) >= ctx->params.size()) {
+        return Status::InvalidArgument("missing statement parameter");
+      }
+      return ctx->params[e.param_index];
+    case BKind::kAggRef:
+      if (agg_values == nullptr) {
+        return Status::Internal("aggregate referenced outside group context");
+      }
+      return (*agg_values)[e.agg_index];
+    case BKind::kUnary: {
+      auto c = Eval(*e.children[0], tuple, ctx, agg_values);
+      if (!c.ok()) return c;
+      const Value& v = *c;
+      switch (e.uop) {
+        case UnaryOp::kNeg:
+          if (v.is_null()) return Value::Null();
+          if (v.type() == ValueType::kDouble) {
+            return Value::Double(-v.AsDouble());
+          }
+          return Value::Int(-v.AsInt());
+        case UnaryOp::kNot:
+          return Value::Bool(!v.AsBool());
+        case UnaryOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Status::Internal("bad unary op");
+    }
+    case BKind::kBinary: {
+      // Short-circuit logical ops.
+      if (e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr) {
+        auto l = Eval(*e.children[0], tuple, ctx, agg_values);
+        if (!l.ok()) return l;
+        bool lv = l->AsBool();
+        if (e.bop == BinaryOp::kAnd && !lv) return Value::Bool(false);
+        if (e.bop == BinaryOp::kOr && lv) return Value::Bool(true);
+        auto r = Eval(*e.children[1], tuple, ctx, agg_values);
+        if (!r.ok()) return r;
+        return Value::Bool(r->AsBool());
+      }
+      auto l = Eval(*e.children[0], tuple, ctx, agg_values);
+      if (!l.ok()) return l;
+      auto r = Eval(*e.children[1], tuple, ctx, agg_values);
+      if (!r.ok()) return r;
+      switch (e.bop) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return Arith(e.bop, *l, *r);
+        case BinaryOp::kEq:
+          if (l->is_null() || r->is_null()) return Value::Bool(false);
+          return Value::Bool(l->Compare(*r) == 0);
+        case BinaryOp::kNe:
+          if (l->is_null() || r->is_null()) return Value::Bool(false);
+          return Value::Bool(l->Compare(*r) != 0);
+        case BinaryOp::kLt:
+          if (l->is_null() || r->is_null()) return Value::Bool(false);
+          return Value::Bool(l->Compare(*r) < 0);
+        case BinaryOp::kLe:
+          if (l->is_null() || r->is_null()) return Value::Bool(false);
+          return Value::Bool(l->Compare(*r) <= 0);
+        case BinaryOp::kGt:
+          if (l->is_null() || r->is_null()) return Value::Bool(false);
+          return Value::Bool(l->Compare(*r) > 0);
+        case BinaryOp::kGe:
+          if (l->is_null() || r->is_null()) return Value::Bool(false);
+          return Value::Bool(l->Compare(*r) >= 0);
+        case BinaryOp::kLike:
+        case BinaryOp::kNotLike: {
+          if (l->is_null() || r->is_null()) return Value::Bool(false);
+          if (l->type() != ValueType::kString ||
+              r->type() != ValueType::kString) {
+            return Status::InvalidArgument("LIKE requires strings");
+          }
+          bool m = SqlLike(l->AsString(), r->AsString());
+          return Value::Bool(e.bop == BinaryOp::kLike ? m : !m);
+        }
+        default:
+          return Status::Internal("bad binary op");
+      }
+    }
+    case BKind::kBetween: {
+      auto v = Eval(*e.children[0], tuple, ctx, agg_values);
+      if (!v.ok()) return v;
+      auto lo = Eval(*e.children[1], tuple, ctx, agg_values);
+      if (!lo.ok()) return lo;
+      auto hi = Eval(*e.children[2], tuple, ctx, agg_values);
+      if (!hi.ok()) return hi;
+      if (v->is_null() || lo->is_null() || hi->is_null()) {
+        return Value::Bool(false);
+      }
+      return Value::Bool(v->Compare(*lo) >= 0 && v->Compare(*hi) <= 0);
+    }
+    case BKind::kInList: {
+      auto v = Eval(*e.children[0], tuple, ctx, agg_values);
+      if (!v.ok()) return v;
+      bool found = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        auto item = Eval(*e.children[i], tuple, ctx, agg_values);
+        if (!item.ok()) return item;
+        if (!v->is_null() && !item->is_null() && v->Compare(*item) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Bool(e.negated_in ? !found : found);
+    }
+    case BKind::kInSubquery: {
+      auto v = Eval(*e.children[0], tuple, ctx, agg_values);
+      if (!v.ok()) return v;
+      auto rows = MaterializeSubquery(e, ctx);
+      if (!rows.ok()) return rows.status();
+      bool found = false;
+      for (const Row& r : **rows) {
+        if (!r.empty() && !v->is_null() && !r[0].is_null() &&
+            v->Compare(r[0]) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Bool(e.negated_in ? !found : found);
+    }
+    case BKind::kScalarSubquery: {
+      auto rows = MaterializeSubquery(e, ctx);
+      if (!rows.ok()) return rows.status();
+      if ((*rows)->empty()) return Value::Null();
+      if ((**rows)[0].empty()) return Value::Null();
+      return (**rows)[0][0];
+    }
+    case BKind::kCase: {
+      size_t n = e.children.size();
+      bool has_else = n % 2 == 1;
+      size_t pairs = n / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        auto cond = Eval(*e.children[2 * i], tuple, ctx, agg_values);
+        if (!cond.ok()) return cond;
+        if (cond->AsBool()) {
+          return Eval(*e.children[2 * i + 1], tuple, ctx, agg_values);
+        }
+      }
+      if (has_else) return Eval(*e.children[n - 1], tuple, ctx, agg_values);
+      return Value::Null();
+    }
+  }
+  return Status::Internal("unhandled bound expr kind");
+}
+
+/// Evaluates the step's key expressions against the tuple built so far and
+/// coerces each to the corresponding key column's type.
+Status EvalKey(const TableStep& step, const std::vector<int>& key_cols,
+               const Row& tuple, ExecContext* ctx, Row* out) {
+  out->clear();
+  for (size_t i = 0; i < step.key_exprs.size(); ++i) {
+    auto v = Eval(*step.key_exprs[i], tuple, ctx, nullptr);
+    if (!v.ok()) return v.status();
+    ValueType want = step.schema->columns()[key_cols[i]].type;
+    auto cast = v->CastTo(want);
+    if (!cast.ok()) return cast.status();
+    out->push_back(std::move(cast).value());
+  }
+  return Status::OK();
+}
+
+struct AggAccum {
+  int64_t count = 0;
+  double dsum = 0;
+  int64_t isum = 0;
+  bool any_double = false;
+  Value min, max;  // NULL until first value
+
+  void Add(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_numeric()) {
+      if (v.type() == ValueType::kDouble) {
+        any_double = true;
+        dsum += v.AsDouble();
+      } else {
+        isum += v.AsInt();
+        dsum += v.AsDouble();
+      }
+    }
+    if (min.is_null() || v.Compare(min) < 0) min = v;
+    if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  Value Result(AggFunc fn, int64_t star_count) const {
+    switch (fn) {
+      case AggFunc::kCountStar:
+        return Value::Int(star_count);
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (count == 0) return Value::Null();
+        return any_double ? Value::Double(dsum) : Value::Int(isum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value::Null();
+        return Value::Double(dsum / static_cast<double>(count));
+      case AggFunc::kMin:
+        return min;
+      case AggFunc::kMax:
+        return max;
+    }
+    return Value::Null();
+  }
+};
+
+struct Group {
+  Row repr;  ///< representative input tuple (first of the group)
+  std::vector<AggAccum> accums;
+  int64_t star_count = 0;
+};
+
+/// Drives the join pipeline: emits every joined tuple passing all filters.
+Status RunJoin(const BoundSelect& plan, ExecContext* ctx,
+               const std::function<Status(const Row&)>& emit,
+               bool* stop_flag) {
+  Row tuple(plan.total_slots, Value::Null());
+
+  // Recursive step executor.
+  std::function<Status(size_t)> do_step = [&](size_t k) -> Status {
+    if (*stop_flag) return Status::OK();
+    if (k == plan.steps.size()) return emit(tuple);
+    const TableStep& step = plan.steps[k];
+
+    Status inner_status;
+    auto consume = [&](const Row& row) -> bool {
+      // Copy into slots.
+      for (int c = 0; c < step.ncols; ++c) tuple[step.base + c] = row[c];
+      // Filters.
+      for (const BoundExprPtr& f : step.filters) {
+        auto v = Eval(*f, tuple, ctx, nullptr);
+        if (!v.ok()) {
+          inner_status = v.status();
+          return false;
+        }
+        if (!v->AsBool()) return true;  // skip row
+      }
+      Status st = do_step(k + 1);
+      if (!st.ok()) {
+        inner_status = st;
+        return false;
+      }
+      return !*stop_flag;
+    };
+
+    switch (step.path) {
+      case TableStep::Path::kPkPoint: {
+        Row key;
+        OLXP_RETURN_NOT_OK(
+            EvalKey(step, step.schema->pk_columns(), tuple, ctx, &key));
+        auto row = ctx->storage->GetByPk(step.table_id, key);
+        if (!row.ok()) return row.status();
+        if (row->has_value()) {
+          consume(**row);
+        }
+        return inner_status;
+      }
+      case TableStep::Path::kPkPrefixRange: {
+        Row prefix;
+        OLXP_RETURN_NOT_OK(
+            EvalKey(step, step.schema->pk_columns(), tuple, ctx, &prefix));
+        Row lo = prefix, hi = prefix;
+        int next_col = step.schema->pk_columns().size() > prefix.size()
+                           ? step.schema->pk_columns()[prefix.size()]
+                           : -1;
+        if (step.range_lo && next_col >= 0) {
+          auto v = Eval(*step.range_lo, tuple, ctx, nullptr);
+          if (!v.ok()) return v.status();
+          auto cast = v->CastTo(step.schema->columns()[next_col].type);
+          if (!cast.ok()) return cast.status();
+          lo.push_back(std::move(cast).value());
+        }
+        if (step.range_hi && next_col >= 0) {
+          auto v = Eval(*step.range_hi, tuple, ctx, nullptr);
+          if (!v.ok()) return v.status();
+          auto cast = v->CastTo(step.schema->columns()[next_col].type);
+          if (!cast.ok()) return cast.status();
+          hi.push_back(std::move(cast).value());
+        }
+        if (lo.empty() && hi.empty()) {
+          // Degenerate: treat as full scan.
+          OLXP_RETURN_NOT_OK(ctx->storage->ScanTable(step.table_id, consume));
+          return inner_status;
+        }
+        OLXP_RETURN_NOT_OK(
+            ctx->storage->ScanPkRange(step.table_id, lo, hi, consume));
+        return inner_status;
+      }
+      case TableStep::Path::kIndexPrefix: {
+        const storage::IndexDef& def =
+            step.schema->indexes()[step.index_id];
+        std::vector<int> cols(def.column_idx.begin(),
+                              def.column_idx.begin() + step.key_exprs.size());
+        Row key;
+        OLXP_RETURN_NOT_OK(EvalKey(step, cols, tuple, ctx, &key));
+        std::vector<Row> rows;
+        OLXP_RETURN_NOT_OK(ctx->storage->IndexLookup(step.table_id,
+                                                     step.index_id, key,
+                                                     &rows));
+        for (const Row& row : rows) {
+          if (!consume(row)) break;
+        }
+        return inner_status;
+      }
+      case TableStep::Path::kFull: {
+        OLXP_RETURN_NOT_OK(ctx->storage->ScanTable(step.table_id, consume));
+        return inner_status;
+      }
+    }
+    return Status::Internal("bad access path");
+  };
+
+  return do_step(0);
+}
+
+StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
+                                      ExecContext* ctx) {
+  ResultSet rs;
+  rs.column_names = plan.column_names;
+  bool stop = false;
+
+  struct PendingRow {
+    Row out;
+    Row order_keys;
+  };
+  std::vector<PendingRow> pending;
+  // DISTINCT dedup: hash buckets of materialized rows, compared by value
+  // (hash-only dedup would silently drop rows on collision).
+  std::unordered_map<size_t, std::vector<Row>> distinct_seen;
+
+  const bool can_stop_early = !plan.aggregate_mode && plan.order_by.empty() &&
+                              !plan.distinct && plan.limit >= 0;
+
+  auto project_and_collect = [&](const Row& tuple,
+                                 const std::vector<Value>* aggs) -> Status {
+    PendingRow pr;
+    pr.out.reserve(plan.projections.size());
+    for (const BoundExprPtr& p : plan.projections) {
+      auto v = Eval(*p, tuple, ctx, aggs);
+      if (!v.ok()) return v.status();
+      pr.out.push_back(std::move(v).value());
+    }
+    if (plan.distinct) {
+      size_t h = HashRow(pr.out);
+      auto& bucket = distinct_seen[h];
+      for (const Row& seen : bucket) {
+        if (seen.size() == pr.out.size()) {
+          bool eq = true;
+          for (size_t i = 0; i < seen.size(); ++i) {
+            if (seen[i].Compare(pr.out[i]) != 0) {
+              eq = false;
+              break;
+            }
+          }
+          if (eq) return Status::OK();
+        }
+      }
+      bucket.push_back(pr.out);
+    }
+    for (const BoundOrderItem& oi : plan.order_by) {
+      if (oi.proj_index >= 0) {
+        pr.order_keys.push_back(pr.out[oi.proj_index]);
+      } else {
+        auto v = Eval(*oi.expr, tuple, ctx, aggs);
+        if (!v.ok()) return v.status();
+        pr.order_keys.push_back(std::move(v).value());
+      }
+    }
+    pending.push_back(std::move(pr));
+    if (can_stop_early &&
+        pending.size() >= static_cast<size_t>(plan.limit)) {
+      stop = true;
+    }
+    return Status::OK();
+  };
+
+  if (!plan.aggregate_mode) {
+    OLXP_RETURN_NOT_OK(RunJoin(
+        plan, ctx,
+        [&](const Row& tuple) { return project_and_collect(tuple, nullptr); },
+        &stop));
+  } else {
+    // Hash aggregation.
+    std::unordered_map<size_t, std::vector<Group>> groups;
+    size_t total_groups = 0;
+    OLXP_RETURN_NOT_OK(RunJoin(
+        plan, ctx,
+        [&](const Row& tuple) -> Status {
+          Row key;
+          key.reserve(plan.group_by.size());
+          for (const BoundExprPtr& g : plan.group_by) {
+            auto v = Eval(*g, tuple, ctx, nullptr);
+            if (!v.ok()) return v.status();
+            key.push_back(std::move(v).value());
+          }
+          size_t h = HashRow(key);
+          Group* grp = nullptr;
+          auto& bucket = groups[h];
+          for (Group& g : bucket) {
+            // Compare group keys via representative re-evaluation-free
+            // stored keys: reuse repr? store keys in repr prefix instead.
+            // We stash the key at the front of repr for equality checks.
+            bool eq = true;
+            for (size_t i = 0; i < key.size(); ++i) {
+              if (g.repr[i].Compare(key[i]) != 0) {
+                eq = false;
+                break;
+              }
+            }
+            if (eq) {
+              grp = &g;
+              break;
+            }
+          }
+          if (grp == nullptr) {
+            bucket.emplace_back();
+            grp = &bucket.back();
+            grp->repr = key;  // group key prefix
+            grp->repr.insert(grp->repr.end(), tuple.begin(), tuple.end());
+            grp->accums.resize(plan.aggs.size());
+            ++total_groups;
+          }
+          grp->star_count++;
+          for (size_t a = 0; a < plan.aggs.size(); ++a) {
+            const AggSpec& spec = plan.aggs[a];
+            if (spec.arg) {
+              auto v = Eval(*spec.arg, tuple, ctx, nullptr);
+              if (!v.ok()) return v.status();
+              grp->accums[a].Add(*v);
+            } else {
+              grp->accums[a].Add(Value::Int(1));
+            }
+          }
+          return Status::OK();
+        },
+        &stop));
+
+    // Global aggregate over empty input still yields one row.
+    if (total_groups == 0 && plan.group_by.empty()) {
+      Group g;
+      g.repr.assign(plan.total_slots, Value::Null());
+      g.accums.resize(plan.aggs.size());
+      groups[0].push_back(std::move(g));
+    }
+
+    const size_t key_len = plan.group_by.size();
+    for (auto& [h, bucket] : groups) {
+      for (Group& g : bucket) {
+        std::vector<Value> agg_values(plan.aggs.size());
+        for (size_t a = 0; a < plan.aggs.size(); ++a) {
+          agg_values[a] = g.accums[a].Result(plan.aggs[a].fn, g.star_count);
+        }
+        // Representative tuple: stored after the key prefix.
+        Row tuple(g.repr.begin() + key_len, g.repr.end());
+        if (plan.having) {
+          auto v = Eval(*plan.having, tuple, ctx, &agg_values);
+          if (!v.ok()) return v.status();
+          if (!v->AsBool()) continue;
+        }
+        OLXP_RETURN_NOT_OK(project_and_collect(tuple, &agg_values));
+      }
+    }
+  }
+
+  // Sort / limit / emit.
+  if (!plan.order_by.empty()) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&](const PendingRow& a, const PendingRow& b) {
+                       for (size_t i = 0; i < plan.order_by.size(); ++i) {
+                         int c = a.order_keys[i].Compare(b.order_keys[i]);
+                         if (c != 0) {
+                           return plan.order_by[i].desc ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+  size_t n = pending.size();
+  if (plan.limit >= 0) n = std::min(n, static_cast<size_t>(plan.limit));
+  rs.rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) rs.rows.push_back(std::move(pending[i].out));
+  rs.affected_rows = 0;
+  return rs;
+}
+
+StatusOr<ResultSet> ExecuteInsertPlan(const BoundInsert& plan,
+                                      ExecContext* ctx) {
+  ResultSet rs;
+  Row empty_tuple;
+  for (const auto& bound_row : plan.rows) {
+    Row row(plan.schema->num_columns(), Value::Null());
+    for (size_t i = 0; i < bound_row.size(); ++i) {
+      auto v = Eval(*bound_row[i], empty_tuple, ctx, nullptr);
+      if (!v.ok()) return v.status();
+      int pos = plan.col_map.empty() ? static_cast<int>(i) : plan.col_map[i];
+      row[pos] = std::move(v).value();
+    }
+    OLXP_RETURN_NOT_OK(ctx->storage->Insert(plan.table_id, std::move(row)));
+    rs.affected_rows++;
+  }
+  return rs;
+}
+
+/// Materializes all rows matched by a single-table step (used by UPDATE and
+/// DELETE before mutating, so the scan never observes its own writes).
+Status CollectMatches(const TableStep& step, ExecContext* ctx,
+                      std::vector<Row>* out) {
+  BoundSelect shim;
+  // Borrow the step without copying its exprs: wrap via a local plan whose
+  // single step aliases the original through pointers. Since TableStep holds
+  // unique_ptrs we construct a lightweight clone.
+  TableStep copy;
+  copy.table_id = step.table_id;
+  copy.schema = step.schema;
+  copy.base = step.base;
+  copy.ncols = step.ncols;
+  copy.path = step.path;
+  copy.index_id = step.index_id;
+  for (const auto& k : step.key_exprs) copy.key_exprs.push_back(CloneBound(*k));
+  if (step.range_lo) copy.range_lo = CloneBound(*step.range_lo);
+  if (step.range_hi) copy.range_hi = CloneBound(*step.range_hi);
+  for (const auto& f : step.filters) copy.filters.push_back(CloneBound(*f));
+  shim.steps.push_back(std::move(copy));
+  shim.total_slots = step.ncols;
+  bool stop = false;
+  return RunJoin(shim, ctx,
+                 [&](const Row& tuple) -> Status {
+                   out->push_back(tuple);
+                   return Status::OK();
+                 },
+                 &stop);
+}
+
+/// Re-checks the step's filters against the freshly locked row.
+StatusOr<bool> StillMatches(const TableStep& step, const Row& row,
+                            ExecContext* ctx) {
+  for (const BoundExprPtr& f : step.filters) {
+    auto v = Eval(*f, row, ctx, nullptr);
+    if (!v.ok()) return v.status();
+    if (!v->AsBool()) return false;
+  }
+  return true;
+}
+
+StatusOr<ResultSet> ExecuteUpdatePlan(const BoundUpdate& plan,
+                                      ExecContext* ctx) {
+  std::vector<Row> matches;
+  OLXP_RETURN_NOT_OK(CollectMatches(plan.step, ctx, &matches));
+  ResultSet rs;
+  for (const Row& matched : matches) {
+    Row pk = plan.step.schema->ExtractPrimaryKey(matched);
+    // Atomic read-modify-write: lock the row, re-read its CURRENT value,
+    // re-check the predicate and evaluate assignments against it. Without
+    // the relock, read-committed engines lose concurrent updates (e.g.
+    // TPC-C's d_next_o_id counter handing out duplicate order ids).
+    auto current = ctx->storage->LockAndGet(plan.step.table_id, pk);
+    if (!current.ok()) return current.status();
+    if (!current->has_value()) continue;  // deleted concurrently
+    auto matches_now = StillMatches(plan.step, **current, ctx);
+    if (!matches_now.ok()) return matches_now.status();
+    if (!*matches_now) continue;
+    Row new_row = **current;
+    for (const auto& [pos, expr] : plan.assignments) {
+      auto v = Eval(*expr, **current, ctx, nullptr);
+      if (!v.ok()) return v.status();
+      new_row[pos] = std::move(v).value();
+    }
+    OLXP_RETURN_NOT_OK(
+        ctx->storage->Update(plan.step.table_id, std::move(new_row)));
+    rs.affected_rows++;
+  }
+  return rs;
+}
+
+StatusOr<ResultSet> ExecuteDeletePlan(const BoundDelete& plan,
+                                      ExecContext* ctx) {
+  std::vector<Row> matches;
+  OLXP_RETURN_NOT_OK(CollectMatches(plan.step, ctx, &matches));
+  ResultSet rs;
+  for (const Row& row : matches) {
+    Row pk = plan.step.schema->ExtractPrimaryKey(row);
+    auto current = ctx->storage->LockAndGet(plan.step.table_id, pk);
+    if (!current.ok()) return current.status();
+    if (!current->has_value()) continue;  // already gone
+    auto matches_now = StillMatches(plan.step, **current, ctx);
+    if (!matches_now.ok()) return matches_now.status();
+    if (!*matches_now) continue;
+    OLXP_RETURN_NOT_OK(ctx->storage->Delete(plan.step.table_id, pk));
+    rs.affected_rows++;
+  }
+  return rs;
+}
+
+}  // namespace
+
+// ============================ public interface =============================
+
+CompiledStatement::CompiledStatement(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+CompiledStatement::~CompiledStatement() = default;
+CompiledStatement::CompiledStatement(CompiledStatement&&) noexcept = default;
+CompiledStatement& CompiledStatement::operator=(CompiledStatement&&) noexcept =
+    default;
+
+bool CompiledStatement::IsSelect() const {
+  return impl_->kind == StmtKind::kSelect;
+}
+
+bool CompiledStatement::IsAnalyticalShape() const {
+  if (impl_->kind != StmtKind::kSelect) return false;
+  return impl_->select->aggregate_mode || impl_->select->steps.size() > 1;
+}
+
+bool CompiledStatement::IsPointRead() const {
+  return impl_->kind == StmtKind::kSelect && impl_->select->steps.size() == 1 &&
+         impl_->select->steps[0].path == TableStep::Path::kPkPoint;
+}
+
+int CompiledStatement::ParamCount() const { return impl_->param_count; }
+
+StatusOr<std::unique_ptr<CompiledStatement>> Compile(const Statement& stmt,
+                                                     const Catalog& catalog) {
+  Compiler compiler(catalog);
+  auto impl = compiler.CompileStatement(stmt);
+  if (!impl.ok()) return impl.status();
+  return std::unique_ptr<CompiledStatement>(
+      new CompiledStatement(std::move(impl).value()));
+}
+
+StatusOr<ResultSet> Execute(const CompiledStatement& stmt,
+                            std::span<const Value> params,
+                            StorageIface* storage) {
+  ExecContext ctx;
+  ctx.params = params;
+  ctx.storage = storage;
+  ctx.sub_cache.resize(stmt.impl().num_subqueries);
+  switch (stmt.impl().kind) {
+    case StmtKind::kSelect:
+      return ExecuteSelectPlan(*stmt.impl().select, &ctx);
+    case StmtKind::kInsert:
+      return ExecuteInsertPlan(*stmt.impl().insert, &ctx);
+    case StmtKind::kUpdate:
+      return ExecuteUpdatePlan(*stmt.impl().update, &ctx);
+    case StmtKind::kDelete:
+      return ExecuteDeletePlan(*stmt.impl().del, &ctx);
+    case StmtKind::kCreateTable: {
+      OLXP_RETURN_NOT_OK(
+          storage->CreateTable(stmt.impl().create_table->schema));
+      return ResultSet{};
+    }
+    case StmtKind::kCreateIndex: {
+      OLXP_RETURN_NOT_OK(
+          storage->CreateIndex(stmt.impl().create_index->table_name,
+                               stmt.impl().create_index->def));
+      return ResultSet{};
+    }
+  }
+  return Status::Internal("bad statement kind");
+}
+
+StatusOr<ResultSet> ExecuteSql(std::string_view sql,
+                               std::span<const Value> params,
+                               StorageIface* storage) {
+  auto stmt = Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  auto compiled = Compile(*stmt, *storage);
+  if (!compiled.ok()) return compiled.status();
+  return Execute(**compiled, params, storage);
+}
+
+}  // namespace olxp::sql

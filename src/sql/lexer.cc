@@ -1,0 +1,218 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace olxp::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& KeywordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",   "BY",      "HAVING",
+      "ORDER",  "ASC",    "DESC",   "LIMIT",   "INSERT",  "INTO",
+      "VALUES", "UPDATE", "SET",    "DELETE",  "CREATE",  "TABLE",
+      "INDEX",  "UNIQUE", "ON",     "PRIMARY", "KEY",     "FOREIGN",
+      "REFERENCES",       "NOT",    "NULL",    "AND",     "OR",
+      "IN",     "BETWEEN", "LIKE",  "IS",      "AS",      "JOIN",
+      "INNER",  "DISTINCT", "MIN",  "MAX",     "SUM",     "AVG",
+      "COUNT",  "INT",    "BIGINT", "DOUBLE",  "DECIMAL", "FLOAT",
+      "VARCHAR", "CHAR",  "TEXT",   "TIMESTAMP", "BEGIN", "COMMIT",
+      "ROLLBACK", "ABORT", "EXISTS", "CASE",   "WHEN",    "THEN",
+      "ELSE",   "END",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper_word) {
+  return KeywordSet().count(upper_word) > 0;
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenKind k, std::string text, int pos) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    int pos = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t b = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word(sql.substr(b, i - b));
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        push(TokenKind::kKeyword, std::move(upper), pos);
+      } else {
+        push(TokenKind::kIdentifier, std::move(word), pos);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t b = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string num(sql.substr(b, i - b));
+      Token t;
+      t.pos = pos;
+      t.text = num;
+      if (is_double) {
+        t.kind = TokenKind::kDoubleLiteral;
+        t.double_val = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        t.int_val = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            body.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        body.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at %d", pos));
+      }
+      push(TokenKind::kStringLiteral, std::move(body), pos);
+      continue;
+    }
+    switch (c) {
+      case '?':
+        push(TokenKind::kParam, "?", pos);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", pos);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", pos);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", pos);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", pos);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", pos);
+        ++i;
+        continue;
+      case '+':
+        push(TokenKind::kPlus, "+", pos);
+        ++i;
+        continue;
+      case '-':
+        push(TokenKind::kMinus, "-", pos);
+        ++i;
+        continue;
+      case '/':
+        push(TokenKind::kSlash, "/", pos);
+        ++i;
+        continue;
+      case '%':
+        push(TokenKind::kPercent, "%", pos);
+        ++i;
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, ";", pos);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", pos);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", pos);
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument(StrFormat("stray '!' at %d", pos));
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", pos);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", pos);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", pos);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", pos);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at %d", c, pos));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.pos = static_cast<int>(n);
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace olxp::sql

@@ -1,0 +1,57 @@
+#ifndef OLXP_SQL_LEXER_H_
+#define OLXP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace olxp::sql {
+
+/// Token categories produced by the lexer. Keywords arrive as kKeyword with
+/// upper-cased text; identifiers keep their original spelling.
+enum class TokenKind {
+  kEnd,
+  kKeyword,
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kParam,      ///< '?' positional parameter
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,         ///< != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< keyword (UPPER), identifier, or literal body
+  int64_t int_val = 0;
+  double double_val = 0;
+  int pos = 0;          ///< byte offset in the statement (error messages)
+};
+
+/// Tokenizes one SQL statement. Strings use single quotes with '' escape.
+/// Line comments (--) and whitespace are skipped.
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
+
+/// True when `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace olxp::sql
+
+#endif  // OLXP_SQL_LEXER_H_

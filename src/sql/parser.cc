@@ -1,0 +1,738 @@
+#include "sql/parser.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace olxp::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Expression parsing uses
+/// precedence climbing: OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS <
+/// add/sub < mul/div/mod < unary < primary.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement() {
+    if (AtKeyword("SELECT")) {
+      auto sel = ParseSelectStmt();
+      if (!sel.ok()) return sel.status();
+      OLXP_RETURN_NOT_OK(ExpectEndOfStatement());
+      return Statement(std::move(*sel.value()));
+    }
+    if (AtKeyword("INSERT")) {
+      auto st = ParseInsert();
+      if (!st.ok()) return st.status();
+      OLXP_RETURN_NOT_OK(ExpectEndOfStatement());
+      return Statement(std::move(*st));
+    }
+    if (AtKeyword("UPDATE")) {
+      auto st = ParseUpdate();
+      if (!st.ok()) return st.status();
+      OLXP_RETURN_NOT_OK(ExpectEndOfStatement());
+      return Statement(std::move(*st));
+    }
+    if (AtKeyword("DELETE")) {
+      auto st = ParseDelete();
+      if (!st.ok()) return st.status();
+      OLXP_RETURN_NOT_OK(ExpectEndOfStatement());
+      return Statement(std::move(*st));
+    }
+    if (AtKeyword("CREATE")) {
+      Advance();
+      if (AtKeyword("TABLE")) {
+        auto st = ParseCreateTable();
+        if (!st.ok()) return st.status();
+        OLXP_RETURN_NOT_OK(ExpectEndOfStatement());
+        return Statement(std::move(*st));
+      }
+      bool unique = false;
+      if (AtKeyword("UNIQUE")) {
+        unique = true;
+        Advance();
+      }
+      if (AtKeyword("INDEX")) {
+        auto st = ParseCreateIndex(unique);
+        if (!st.ok()) return st.status();
+        OLXP_RETURN_NOT_OK(ExpectEndOfStatement());
+        return Statement(std::move(*st));
+      }
+      return Error("expected TABLE or INDEX after CREATE");
+    }
+    return Error("unrecognized statement");
+  }
+
+  StatusOr<std::shared_ptr<SelectStmt>> ParseSelectShared() {
+    auto sel = ParseSelectStmt();
+    if (!sel.ok()) return sel.status();
+    OLXP_RETURN_NOT_OK(ExpectEndOfStatement());
+    return std::move(sel).value();
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(int ahead = 1) const {
+    size_t p = pos_ + ahead;
+    return p < tokens_.size() ? tokens_[p] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  bool AtKeyword(const char* kw) const {
+    return Cur().kind == TokenKind::kKeyword && Cur().text == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (AtKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Accept(TokenKind k) {
+    if (At(k)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(StrFormat("expected %s", kw));
+    }
+    return Status::OK();
+  }
+  Status Expect(TokenKind k, const char* what) {
+    if (!Accept(k)) return Error(StrFormat("expected %s", what));
+    return Status::OK();
+  }
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %d near '%s': %s", Cur().pos,
+                  Cur().text.c_str(), msg.c_str()));
+  }
+  Status ExpectEndOfStatement() {
+    Accept(TokenKind::kSemicolon);
+    if (!At(TokenKind::kEnd)) return Error("trailing tokens");
+    return Status::OK();
+  }
+  StatusOr<std::string> ExpectIdentifier(const char* what) {
+    if (!At(TokenKind::kIdentifier)) {
+      return Error(StrFormat("expected %s", what));
+    }
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  // ---- statements ----
+  StatusOr<std::shared_ptr<SelectStmt>> ParseSelectStmt() {
+    OLXP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto stmt = std::make_shared<SelectStmt>();
+    stmt->distinct = AcceptKeyword("DISTINCT");
+    // select list
+    while (true) {
+      SelectItem item;
+      if (At(TokenKind::kStar)) {
+        item.is_star = true;
+        Advance();
+      } else {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        item.expr = std::move(e).value();
+        if (AcceptKeyword("AS")) {
+          OLXP_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (At(TokenKind::kIdentifier)) {
+          item.alias = Cur().text;
+          Advance();
+        }
+      }
+      stmt->items.push_back(std::move(item));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    // FROM
+    if (AcceptKeyword("FROM")) {
+      OLXP_RETURN_NOT_OK(ParseFromClause(stmt.get()));
+    }
+    // WHERE
+    if (AcceptKeyword("WHERE")) {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      stmt->where = MergeConjunct(std::move(stmt->where),
+                                  std::move(e).value());
+    }
+    // GROUP BY
+    if (AtKeyword("GROUP")) {
+      Advance();
+      OLXP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        stmt->group_by.push_back(std::move(e).value());
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    // HAVING
+    if (AcceptKeyword("HAVING")) {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      stmt->having = std::move(e).value();
+    }
+    // ORDER BY
+    if (AtKeyword("ORDER")) {
+      Advance();
+      OLXP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem oi;
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        oi.expr = std::move(e).value();
+        if (AcceptKeyword("DESC")) {
+          oi.desc = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(oi));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    // LIMIT
+    if (AcceptKeyword("LIMIT")) {
+      if (!At(TokenKind::kIntLiteral)) return Error("expected LIMIT count");
+      stmt->limit = Cur().int_val;
+      Advance();
+    }
+    return stmt;
+  }
+
+  /// FROM t1 [a] [, t2 [b]]* [ [INNER] JOIN t ON expr ]*
+  Status ParseFromClause(SelectStmt* stmt) {
+    OLXP_RETURN_NOT_OK(ParseTableRef(stmt));
+    while (true) {
+      if (Accept(TokenKind::kComma)) {
+        OLXP_RETURN_NOT_OK(ParseTableRef(stmt));
+        continue;
+      }
+      if (AtKeyword("INNER") || AtKeyword("JOIN")) {
+        AcceptKeyword("INNER");
+        OLXP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        OLXP_RETURN_NOT_OK(ParseTableRef(stmt));
+        OLXP_RETURN_NOT_OK(ExpectKeyword("ON"));
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        stmt->where = MergeConjunct(std::move(stmt->where),
+                                    std::move(e).value());
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(SelectStmt* stmt) {
+    TableRef ref;
+    OLXP_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    if (AcceptKeyword("AS")) {
+      OLXP_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+    } else if (At(TokenKind::kIdentifier)) {
+      ref.alias = Cur().text;
+      Advance();
+    } else {
+      ref.alias = ref.table_name;
+    }
+    stmt->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  static ExprPtr MergeConjunct(ExprPtr acc, ExprPtr extra) {
+    if (!acc) return extra;
+    return MakeBinary(BinaryOp::kAnd, std::move(acc), std::move(extra));
+  }
+
+  StatusOr<InsertStmt> ParseInsert() {
+    OLXP_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+    OLXP_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    OLXP_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdentifier("table name"));
+    if (Accept(TokenKind::kLParen)) {
+      while (true) {
+        OLXP_ASSIGN_OR_RETURN(std::string col,
+                              ExpectIdentifier("column name"));
+        stmt.columns.push_back(std::move(col));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+      OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+    }
+    OLXP_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    while (true) {
+      OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        auto e = ParseExpr();
+        if (!e.ok()) return e.status();
+        row.push_back(std::move(e).value());
+        if (!Accept(TokenKind::kComma)) break;
+      }
+      OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+      stmt.rows.push_back(std::move(row));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    return stmt;
+  }
+
+  StatusOr<UpdateStmt> ParseUpdate() {
+    OLXP_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    UpdateStmt stmt;
+    OLXP_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdentifier("table name"));
+    OLXP_RETURN_NOT_OK(ExpectKeyword("SET"));
+    while (true) {
+      OLXP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      OLXP_RETURN_NOT_OK(Expect(TokenKind::kEq, "="));
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      stmt.assignments.emplace_back(std::move(col), std::move(e).value());
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    if (AcceptKeyword("WHERE")) {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      stmt.where = std::move(e).value();
+    }
+    return stmt;
+  }
+
+  StatusOr<DeleteStmt> ParseDelete() {
+    OLXP_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+    OLXP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    OLXP_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      stmt.where = std::move(e).value();
+    }
+    return stmt;
+  }
+
+  StatusOr<ValueType> ParseType() {
+    if (!At(TokenKind::kKeyword)) return Error("expected type name");
+    std::string t = Cur().text;
+    Advance();
+    // Optional (len) / (p, s) suffix, ignored for storage purposes.
+    if (Accept(TokenKind::kLParen)) {
+      while (!At(TokenKind::kRParen) && !At(TokenKind::kEnd)) Advance();
+      OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+    }
+    if (t == "INT" || t == "BIGINT") return ValueType::kInt;
+    if (t == "DOUBLE" || t == "DECIMAL" || t == "FLOAT") {
+      return ValueType::kDouble;
+    }
+    if (t == "VARCHAR" || t == "CHAR" || t == "TEXT") {
+      return ValueType::kString;
+    }
+    if (t == "TIMESTAMP") return ValueType::kTimestamp;
+    return Error("unknown type " + t);
+  }
+
+  StatusOr<CreateTableStmt> ParseCreateTable() {
+    OLXP_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    CreateTableStmt stmt;
+    OLXP_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdentifier("table name"));
+    OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+    while (true) {
+      if (AtKeyword("PRIMARY")) {
+        Advance();
+        OLXP_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+        while (true) {
+          OLXP_ASSIGN_OR_RETURN(std::string col,
+                                ExpectIdentifier("pk column"));
+          stmt.primary_key.push_back(std::move(col));
+          if (!Accept(TokenKind::kComma)) break;
+        }
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+      } else if (AtKeyword("FOREIGN")) {
+        Advance();
+        OLXP_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        ForeignKeySpec fk;
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+        while (true) {
+          OLXP_ASSIGN_OR_RETURN(std::string col,
+                                ExpectIdentifier("fk column"));
+          fk.columns.push_back(std::move(col));
+          if (!Accept(TokenKind::kComma)) break;
+        }
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        OLXP_RETURN_NOT_OK(ExpectKeyword("REFERENCES"));
+        OLXP_ASSIGN_OR_RETURN(fk.ref_table,
+                              ExpectIdentifier("referenced table"));
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+        while (true) {
+          OLXP_ASSIGN_OR_RETURN(std::string col,
+                                ExpectIdentifier("referenced column"));
+          fk.ref_columns.push_back(std::move(col));
+          if (!Accept(TokenKind::kComma)) break;
+        }
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        stmt.foreign_keys.push_back(std::move(fk));
+      } else {
+        ColumnSpec col;
+        OLXP_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+        OLXP_ASSIGN_OR_RETURN(col.type, ParseType());
+        while (true) {
+          if (AtKeyword("NOT")) {
+            Advance();
+            OLXP_RETURN_NOT_OK(ExpectKeyword("NULL"));
+            col.not_null = true;
+            continue;
+          }
+          if (AtKeyword("PRIMARY")) {
+            Advance();
+            OLXP_RETURN_NOT_OK(ExpectKeyword("KEY"));
+            col.primary_key = true;
+            col.not_null = true;
+            continue;
+          }
+          break;
+        }
+        stmt.columns.push_back(std::move(col));
+      }
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+    return stmt;
+  }
+
+  StatusOr<CreateIndexStmt> ParseCreateIndex(bool unique) {
+    OLXP_RETURN_NOT_OK(ExpectKeyword("INDEX"));
+    CreateIndexStmt stmt;
+    stmt.unique = unique;
+    OLXP_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier("index name"));
+    OLXP_RETURN_NOT_OK(ExpectKeyword("ON"));
+    OLXP_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdentifier("table name"));
+    OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+    while (true) {
+      OLXP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+      stmt.columns.push_back(std::move(col));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+    return stmt;
+  }
+
+  // ---- expressions (precedence climbing) ----
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (AcceptKeyword("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(BinaryOp::kOr, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (AtKeyword("AND")) {
+      Advance();
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(BinaryOp::kAnd, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      auto child = ParseNot();
+      if (!child.ok()) return child;
+      return MakeUnary(UnaryOp::kNot, std::move(child).value());
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+
+    // IS [NOT] NULL
+    if (AtKeyword("IS")) {
+      Advance();
+      bool negate = AcceptKeyword("NOT");
+      OLXP_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      return MakeUnary(negate ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                       std::move(e));
+    }
+    // [NOT] BETWEEN / IN / LIKE
+    bool negate = false;
+    if (AtKeyword("NOT") &&
+        (Peek().text == "BETWEEN" || Peek().text == "IN" ||
+         Peek().text == "LIKE")) {
+      negate = true;
+      Advance();
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      auto lo = ParseAdditive();
+      if (!lo.ok()) return lo;
+      OLXP_RETURN_NOT_OK(ExpectKeyword("AND"));
+      auto hi = ParseAdditive();
+      if (!hi.ok()) return hi;
+      auto b = std::make_unique<Expr>();
+      b->kind = ExprKind::kBetween;
+      b->children.push_back(std::move(e));
+      b->children.push_back(std::move(lo).value());
+      b->children.push_back(std::move(hi).value());
+      if (negate) return MakeUnary(UnaryOp::kNot, std::move(b));
+      return b;
+    }
+    if (AcceptKeyword("IN")) {
+      OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+      if (AtKeyword("SELECT")) {
+        auto sub = ParseSelectStmt();
+        if (!sub.ok()) return sub.status();
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        auto in = std::make_unique<Expr>();
+        in->kind = ExprKind::kInSubquery;
+        in->negated_in = negate;
+        in->children.push_back(std::move(e));
+        in->subquery = std::move(sub).value();
+        return in;
+      }
+      auto in = std::make_unique<Expr>();
+      in->kind = ExprKind::kInList;
+      in->negated_in = negate;
+      in->children.push_back(std::move(e));
+      while (true) {
+        auto item = ParseExpr();
+        if (!item.ok()) return item;
+        in->children.push_back(std::move(item).value());
+        if (!Accept(TokenKind::kComma)) break;
+      }
+      OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+      return in;
+    }
+    if (AcceptKeyword("LIKE")) {
+      auto rhs = ParseAdditive();
+      if (!rhs.ok()) return rhs;
+      return MakeBinary(negate ? BinaryOp::kNotLike : BinaryOp::kLike,
+                        std::move(e), std::move(rhs).value());
+    }
+
+    BinaryOp op;
+    switch (Cur().kind) {
+      case TokenKind::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      default:
+        return e;
+    }
+    Advance();
+    auto rhs = ParseAdditive();
+    if (!rhs.ok()) return rhs;
+    return MakeBinary(op, std::move(e), std::move(rhs).value());
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      BinaryOp op = At(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      auto rhs = ParseMultiplicative();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) ||
+           At(TokenKind::kPercent)) {
+      BinaryOp op = At(TokenKind::kStar)
+                        ? BinaryOp::kMul
+                        : (At(TokenKind::kSlash) ? BinaryOp::kDiv
+                                                 : BinaryOp::kMod);
+      Advance();
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      e = MakeBinary(op, std::move(e), std::move(rhs).value());
+    }
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      auto child = ParseUnary();
+      if (!child.ok()) return child;
+      return MakeUnary(UnaryOp::kNeg, std::move(child).value());
+    }
+    if (Accept(TokenKind::kPlus)) {
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral: {
+        auto e = MakeLiteral(Value::Int(t.int_val));
+        Advance();
+        return e;
+      }
+      case TokenKind::kDoubleLiteral: {
+        auto e = MakeLiteral(Value::Double(t.double_val));
+        Advance();
+        return e;
+      }
+      case TokenKind::kStringLiteral: {
+        auto e = MakeLiteral(Value::String(t.text));
+        Advance();
+        return e;
+      }
+      case TokenKind::kParam: {
+        auto e = MakeParam(next_param_++);
+        Advance();
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        if (AtKeyword("SELECT")) {
+          auto sub = ParseSelectStmt();
+          if (!sub.ok()) return sub.status();
+          OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kScalarSubquery;
+          e->subquery = std::move(sub).value();
+          return e;
+        }
+        auto inner = ParseExpr();
+        if (!inner.ok()) return inner;
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        return inner;
+      }
+      case TokenKind::kKeyword: {
+        if (t.text == "NULL") {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        if (t.text == "CASE") return ParseCase();
+        AggFunc fn;
+        if (t.text == "COUNT") {
+          fn = AggFunc::kCount;
+        } else if (t.text == "SUM") {
+          fn = AggFunc::kSum;
+        } else if (t.text == "AVG") {
+          fn = AggFunc::kAvg;
+        } else if (t.text == "MIN") {
+          fn = AggFunc::kMin;
+        } else if (t.text == "MAX") {
+          fn = AggFunc::kMax;
+        } else {
+          return Error("unexpected keyword in expression");
+        }
+        Advance();
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+        if (fn == AggFunc::kCount && Accept(TokenKind::kStar)) {
+          OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+          return MakeAggregate(AggFunc::kCountStar, nullptr);
+        }
+        AcceptKeyword("DISTINCT");  // COUNT(DISTINCT x) ~ COUNT(x): accepted
+        auto arg = ParseExpr();
+        if (!arg.ok()) return arg;
+        OLXP_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        return MakeAggregate(fn, std::move(arg).value());
+      }
+      case TokenKind::kIdentifier: {
+        std::string first = t.text;
+        Advance();
+        if (Accept(TokenKind::kDot)) {
+          if (At(TokenKind::kStar)) {
+            return Error("qualified * is not supported");
+          }
+          OLXP_ASSIGN_OR_RETURN(std::string col,
+                                ExpectIdentifier("column name"));
+          return MakeColumnRef(std::move(first), std::move(col));
+        }
+        return MakeColumnRef("", std::move(first));
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  StatusOr<ExprPtr> ParseCase() {
+    OLXP_RETURN_NOT_OK(ExpectKeyword("CASE"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    while (AcceptKeyword("WHEN")) {
+      auto cond = ParseExpr();
+      if (!cond.ok()) return cond;
+      OLXP_RETURN_NOT_OK(ExpectKeyword("THEN"));
+      auto val = ParseExpr();
+      if (!val.ok()) return val;
+      e->children.push_back(std::move(cond).value());
+      e->children.push_back(std::move(val).value());
+    }
+    if (e->children.empty()) return Error("CASE requires WHEN");
+    if (AcceptKeyword("ELSE")) {
+      auto val = ParseExpr();
+      if (!val.ok()) return val;
+      e->children.push_back(std::move(val).value());
+    }
+    OLXP_RETURN_NOT_OK(ExpectKeyword("END"));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_param_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> Parse(std::string_view sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser p(std::move(tokens).value());
+  return p.ParseStatement();
+}
+
+StatusOr<std::shared_ptr<SelectStmt>> ParseSelect(std::string_view sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser p(std::move(tokens).value());
+  return p.ParseSelectShared();
+}
+
+}  // namespace olxp::sql

@@ -1,0 +1,26 @@
+#ifndef OLXP_SQL_PARSER_H_
+#define OLXP_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace olxp::sql {
+
+/// Parses one SQL statement (optionally ';'-terminated) into an AST.
+/// The supported dialect covers the OLxPBench workloads: SELECT with joins
+/// (comma and INNER JOIN..ON), WHERE (AND/OR/NOT, comparisons, BETWEEN, IN,
+/// LIKE, IS [NOT] NULL, scalar/IN subqueries, CASE), GROUP BY / HAVING /
+/// ORDER BY / LIMIT / DISTINCT, aggregate functions, arithmetic; plus
+/// INSERT / UPDATE / DELETE / CREATE TABLE / CREATE [UNIQUE] INDEX.
+StatusOr<Statement> Parse(std::string_view sql);
+
+/// Parses a SELECT and returns it as a shared statement (for subqueries and
+/// prepared-statement caches).
+StatusOr<std::shared_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+}  // namespace olxp::sql
+
+#endif  // OLXP_SQL_PARSER_H_

@@ -1,0 +1,95 @@
+#include "storage/column_store.h"
+
+#include <mutex>
+#include <shared_mutex>
+
+#include <cassert>
+
+namespace olxp::storage {
+
+ColumnTable::ColumnTable(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+void ColumnTable::Apply(const LogOp& op) {
+  std::unique_lock lk(mu_);
+  auto it = pk_to_slot_.find(op.pk);
+  if (op.kind == LogOp::Kind::kDelete) {
+    if (it == pk_to_slot_.end()) return;  // replicated delete of absent row
+    live_[it->second] = 0;
+    free_slots_.push_back(it->second);
+    pk_to_slot_.erase(it);
+    return;
+  }
+  assert(op.data.size() == static_cast<size_t>(schema_.num_columns()));
+  size_t slot;
+  if (it != pk_to_slot_.end()) {
+    slot = it->second;
+  } else if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    live_[slot] = 1;
+    pk_to_slot_.emplace(op.pk, slot);
+  } else {
+    slot = live_.size();
+    live_.push_back(1);
+    for (auto& col : columns_) col.emplace_back();
+    pk_to_slot_.emplace(op.pk, slot);
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    columns_[c][slot] = op.data[c];
+  }
+}
+
+int64_t ColumnTable::Scan(const RowCallback& cb) const {
+  std::shared_lock lk(mu_);
+  int64_t visited = 0;
+  Row row(schema_.num_columns());
+  for (size_t slot = 0; slot < live_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    ++visited;
+    for (int c = 0; c < schema_.num_columns(); ++c) row[c] = columns_[c][slot];
+    if (!cb(row)) break;
+  }
+  return visited;
+}
+
+std::optional<Row> ColumnTable::Get(const Row& pk) const {
+  std::shared_lock lk(mu_);
+  auto it = pk_to_slot_.find(pk);
+  if (it == pk_to_slot_.end()) return std::nullopt;
+  Row row(schema_.num_columns());
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    row[c] = columns_[c][it->second];
+  }
+  return row;
+}
+
+size_t ColumnTable::LiveRowCount() const {
+  std::shared_lock lk(mu_);
+  return pk_to_slot_.size();
+}
+
+void ColumnStore::AddTable(int table_id, TableSchema schema) {
+  tables_[table_id] = std::make_unique<ColumnTable>(std::move(schema));
+}
+
+ColumnTable* ColumnStore::table(int table_id) {
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const ColumnTable* ColumnStore::table(int table_id) const {
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void ColumnStore::ApplyCommit(const CommitRecord& rec) {
+  for (const LogOp& op : rec.ops) {
+    ColumnTable* t = table(op.table_id);
+    if (t != nullptr) t->Apply(op);
+  }
+  replicated_ts_.store(rec.commit_ts, std::memory_order_release);
+}
+
+}  // namespace olxp::storage

@@ -1,0 +1,83 @@
+#ifndef OLXP_STORAGE_COLUMN_STORE_H_
+#define OLXP_STORAGE_COLUMN_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace olxp::storage {
+
+/// Columnar replica of one table: one value vector per column plus a
+/// primary-key hash index into row slots. Deleted rows leave reusable
+/// holes. Mirrors TiFlash's role: analytical scans run here and take no
+/// row-store locks.
+class ColumnTable {
+ public:
+  explicit ColumnTable(TableSchema schema);
+
+  ColumnTable(const ColumnTable&) = delete;
+  ColumnTable& operator=(const ColumnTable&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Applies one replicated mutation (called by the Replicator only).
+  void Apply(const LogOp& op);
+
+  /// Scans all live rows, materializing each as a Row in schema order.
+  /// Returns rows visited (live slots), the columnar scan cost driver.
+  int64_t Scan(const RowCallback& cb) const;
+
+  /// Point lookup by primary key.
+  std::optional<Row> Get(const Row& pk) const;
+
+  size_t LiveRowCount() const;
+
+ private:
+  TableSchema schema_;
+  mutable std::shared_mutex mu_;
+  std::vector<std::vector<Value>> columns_;          // [col][slot]
+  std::vector<uint8_t> live_;                        // [slot] 1 = live
+  std::vector<size_t> free_slots_;
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> pk_to_slot_;
+};
+
+/// The set of columnar replicas plus the replication watermark.
+class ColumnStore {
+ public:
+  /// Registers a replica for `table_id` with the given schema.
+  void AddTable(int table_id, TableSchema schema);
+
+  ColumnTable* table(int table_id);
+  const ColumnTable* table(int table_id) const;
+
+  /// Applies a full commit record; advances the watermark.
+  void ApplyCommit(const CommitRecord& rec);
+
+  /// Highest commit_ts fully applied (freshness watermark). OLAP snapshot
+  /// reads on the replica are "as of" this timestamp.
+  uint64_t replicated_ts() const {
+    return replicated_ts_.load(std::memory_order_acquire);
+  }
+
+  /// Count of live analytical scans on the replica (contention signal for
+  /// the latency model; columnar scans do not lock the row store).
+  std::atomic<int>& active_scans() { return active_scans_; }
+
+ private:
+  std::unordered_map<int, std::unique_ptr<ColumnTable>> tables_;
+  std::atomic<uint64_t> replicated_ts_{0};
+  std::atomic<int> active_scans_{0};
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_COLUMN_STORE_H_

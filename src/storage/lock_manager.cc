@@ -1,0 +1,97 @@
+#include "storage/lock_manager.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace olxp::storage {
+
+LockManager::LockManager(int num_shards) : shards_(num_shards) {}
+
+size_t LockManager::LockHash(int table_id, const Row& key) {
+  size_t h = HashRow(key);
+  h ^= static_cast<size_t>(table_id) * 0x9e3779b97f4a7c15ULL;
+  return h;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
+                            int64_t timeout_micros) {
+  size_t h = LockHash(table_id, key);
+  Shard& shard = ShardFor(h);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  LockEntry& e = shard.locks[h];
+  if (e.owner == txn_id) {
+    e.reentry++;
+    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (e.owner == 0) {
+    e.owner = txn_id;
+    e.reentry = 1;
+    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  // Contended: block with a deadline.
+  stats_.waits.fetch_add(1, std::memory_order_relaxed);
+  const int64_t t0 = NowNanos();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  e.waiters++;
+  bool granted = false;
+  while (true) {
+    // Re-fetch: the map may rehash while unlocked during wait.
+    LockEntry& cur = shard.locks[h];
+    if (cur.owner == 0) {
+      cur.owner = txn_id;
+      cur.reentry = 1;
+      granted = true;
+      break;
+    }
+    if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      LockEntry& again = shard.locks[h];
+      if (again.owner == 0) {
+        again.owner = txn_id;
+        again.reentry = 1;
+        granted = true;
+      }
+      break;
+    }
+  }
+  shard.locks[h].waiters--;
+  stats_.wait_nanos.fetch_add(static_cast<uint64_t>(NowNanos() - t0),
+                              std::memory_order_relaxed);
+  if (granted) {
+    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+  return Status::LockTimeout("row lock wait exceeded deadline; owner txn " +
+                             std::to_string(shard.locks[h].owner) +
+                             " me " + std::to_string(txn_id));
+}
+
+void LockManager::Release(uint64_t txn_id, int table_id, const Row& key) {
+  size_t h = LockHash(table_id, key);
+  Shard& shard = ShardFor(h);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  auto it = shard.locks.find(h);
+  if (it == shard.locks.end() || it->second.owner != txn_id) return;
+  if (--it->second.reentry > 0) return;
+  it->second.owner = 0;
+  bool has_waiters = it->second.waiters > 0;
+  if (!has_waiters) {
+    shard.locks.erase(it);
+  }
+  lk.unlock();
+  if (has_waiters) shard.cv.notify_all();
+}
+
+bool LockManager::Holds(uint64_t txn_id, int table_id, const Row& key) {
+  size_t h = LockHash(table_id, key);
+  Shard& shard = ShardFor(h);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  auto it = shard.locks.find(h);
+  return it != shard.locks.end() && it->second.owner == txn_id;
+}
+
+}  // namespace olxp::storage

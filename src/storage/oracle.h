@@ -1,0 +1,62 @@
+#ifndef OLXP_STORAGE_ORACLE_H_
+#define OLXP_STORAGE_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace olxp::storage {
+
+/// Global logical-timestamp dispenser with an atomic commit-publish
+/// protocol. Start timestamps observe the published counter; a committing
+/// transaction (a) enters the commit critical section, (b) installs its
+/// versions with timestamp counter+1 — invisible to every open snapshot
+/// because the counter has not moved — and (c) publishes by advancing the
+/// counter. Without this two-phase publish, a transaction beginning between
+/// timestamp allocation and version installation would read a torn snapshot
+/// (observed as lost updates in the banking conservation property test).
+class TimestampOracle {
+ public:
+  /// Snapshot timestamp for a beginning transaction / statement.
+  uint64_t Current() const { return counter_.load(std::memory_order_acquire); }
+
+  /// RAII commit critical section: exposes the reserved (unpublished)
+  /// commit timestamp; publishes it on destruction.
+  class CommitScope {
+   public:
+    explicit CommitScope(TimestampOracle* oracle)
+        : oracle_(oracle), lock_(oracle->commit_mu_) {
+      ts_ = oracle_->counter_.load(std::memory_order_relaxed) + 1;
+    }
+    ~CommitScope() {
+      oracle_->counter_.store(ts_, std::memory_order_release);
+    }
+    CommitScope(const CommitScope&) = delete;
+    CommitScope& operator=(const CommitScope&) = delete;
+
+    uint64_t commit_ts() const { return ts_; }
+
+   private:
+    TimestampOracle* oracle_;
+    std::lock_guard<std::mutex> lock_;
+    uint64_t ts_ = 0;
+  };
+
+  /// Legacy one-shot advance (single-writer contexts: loaders in tests,
+  /// micro benches). Equivalent to an empty CommitScope.
+  uint64_t Advance() {
+    std::lock_guard<std::mutex> lk(commit_mu_);
+    uint64_t ts = counter_.load(std::memory_order_relaxed) + 1;
+    counter_.store(ts, std::memory_order_release);
+    return ts;
+  }
+
+ private:
+  friend class CommitScope;
+  std::atomic<uint64_t> counter_{0};
+  std::mutex commit_mu_;
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_ORACLE_H_

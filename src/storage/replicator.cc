@@ -1,0 +1,53 @@
+#include "storage/replicator.h"
+
+#include <limits>
+
+#include "common/clock.h"
+
+namespace olxp::storage {
+
+Replicator::Replicator(CommitLog* log, ColumnStore* store, int64_t lag_micros,
+                       int64_t poll_micros)
+    : log_(log),
+      store_(store),
+      lag_micros_(lag_micros),
+      poll_micros_(poll_micros) {}
+
+Replicator::~Replicator() { Stop(); }
+
+void Replicator::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Replicator::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void Replicator::Run() {
+  while (running_.load(std::memory_order_relaxed)) {
+    ApplyUpTo(NowMicros() - lag_micros_.load(std::memory_order_relaxed));
+    SleepMicros(poll_micros_);
+  }
+}
+
+void Replicator::ApplyUpTo(int64_t max_wall_us) {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  std::vector<CommitRecord> batch;
+  uint64_t next = log_->Fetch(next_seq_.load(std::memory_order_relaxed),
+                              max_wall_us, &batch);
+  for (const CommitRecord& rec : batch) {
+    store_->ApplyCommit(rec);
+  }
+  next_seq_.store(next, std::memory_order_release);
+  log_->Trim(next);
+}
+
+void Replicator::CatchUp() {
+  ApplyUpTo(std::numeric_limits<int64_t>::max());
+}
+
+}  // namespace olxp::storage

@@ -1,0 +1,71 @@
+#ifndef OLXP_STORAGE_REPLICATOR_H_
+#define OLXP_STORAGE_REPLICATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "storage/column_store.h"
+#include "storage/wal.h"
+
+namespace olxp::storage {
+
+/// Background log-shipping pipeline: tails the CommitLog and applies
+/// committed mutations to the ColumnStore after a configurable propagation
+/// delay, reproducing TiDB's asynchronous TiKV->TiFlash replication. The
+/// delay is the freshness lag an analytical snapshot observes.
+class Replicator {
+ public:
+  /// `lag_micros`: minimum age of a commit before it becomes visible in the
+  /// column store. `poll_micros`: tail polling interval.
+  Replicator(CommitLog* log, ColumnStore* store, int64_t lag_micros,
+             int64_t poll_micros = 200);
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Starts the shipping thread (idempotent).
+  void Start();
+
+  /// Stops the thread after draining nothing further (idempotent).
+  void Stop();
+
+  /// Blocks until every record committed before this call is applied,
+  /// ignoring the lag (loader/test barrier).
+  void CatchUp();
+
+  /// Dynamically adjusts the propagation delay.
+  void set_lag_micros(int64_t lag) {
+    lag_micros_.store(lag, std::memory_order_relaxed);
+  }
+  int64_t lag_micros() const {
+    return lag_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Records applied so far.
+  uint64_t applied_count() const {
+    return next_seq_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Run();
+  /// Applies everything with commit wall time <= max_wall_us.
+  void ApplyUpTo(int64_t max_wall_us);
+
+  CommitLog* log_;
+  ColumnStore* store_;
+  std::atomic<int64_t> lag_micros_;
+  const int64_t poll_micros_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_seq_{0};
+  std::thread thread_;
+  std::mutex apply_mu_;  ///< serializes ApplyUpTo between thread and CatchUp
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_REPLICATOR_H_

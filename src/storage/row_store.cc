@@ -1,0 +1,59 @@
+#include "storage/row_store.h"
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/strings.h"
+
+namespace olxp::storage {
+
+StatusOr<int> RowStore::CreateTable(TableSchema schema) {
+  std::unique_lock lk(mu_);
+  std::string key = ToLower(schema.name());
+  if (name_to_id_.count(key)) {
+    return Status::AlreadyExists("table " + schema.name());
+  }
+  int id = static_cast<int>(tables_.size());
+  tables_.push_back(std::make_unique<MvccTable>(id, std::move(schema)));
+  name_to_id_.emplace(std::move(key), id);
+  return id;
+}
+
+StatusOr<int> RowStore::TableId(std::string_view name) const {
+  std::shared_lock lk(mu_);
+  auto it = name_to_id_.find(ToLower(name));
+  if (it == name_to_id_.end()) {
+    return Status::NotFound("table " + std::string(name));
+  }
+  return it->second;
+}
+
+MvccTable* RowStore::table(int table_id) {
+  std::shared_lock lk(mu_);
+  if (table_id < 0 || static_cast<size_t>(table_id) >= tables_.size()) {
+    return nullptr;
+  }
+  return tables_[table_id].get();
+}
+
+const MvccTable* RowStore::table(int table_id) const {
+  std::shared_lock lk(mu_);
+  if (table_id < 0 || static_cast<size_t>(table_id) >= tables_.size()) {
+    return nullptr;
+  }
+  return tables_[table_id].get();
+}
+
+std::vector<int> RowStore::TableIds() const {
+  std::shared_lock lk(mu_);
+  std::vector<int> ids(tables_.size());
+  for (size_t i = 0; i < tables_.size(); ++i) ids[i] = static_cast<int>(i);
+  return ids;
+}
+
+int RowStore::num_tables() const {
+  std::shared_lock lk(mu_);
+  return static_cast<int>(tables_.size());
+}
+
+}  // namespace olxp::storage

@@ -1,0 +1,54 @@
+#ifndef OLXP_STORAGE_ROW_STORE_H_
+#define OLXP_STORAGE_ROW_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace olxp::storage {
+
+/// The transactional row store: owns all MvccTables and the name -> id map
+/// (physical catalog). Table ids are dense and stable for the lifetime of
+/// the store.
+class RowStore {
+ public:
+  RowStore() = default;
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+
+  /// Creates a table; fails with AlreadyExists on duplicate name.
+  StatusOr<int> CreateTable(TableSchema schema);
+
+  /// Id by (case-insensitive) name, or NotFound.
+  StatusOr<int> TableId(std::string_view name) const;
+
+  /// Table by id; nullptr when out of range.
+  MvccTable* table(int table_id);
+  const MvccTable* table(int table_id) const;
+
+  /// All table ids in creation order.
+  std::vector<int> TableIds() const;
+
+  int num_tables() const;
+
+  /// Count of live analytical scans running against the row store
+  /// (unified-store engines send OLAP here; the latency model reads this
+  /// as the buffer-pressure signal).
+  std::atomic<int>& active_scans() { return active_scans_; }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<MvccTable>> tables_;
+  std::unordered_map<std::string, int> name_to_id_;  // lower-cased names
+  std::atomic<int> active_scans_{0};
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_ROW_STORE_H_

@@ -1,0 +1,70 @@
+#include "storage/schema.h"
+
+#include "common/strings.h"
+
+namespace olxp::storage {
+
+int TableSchema::ColumnIndex(std::string_view col_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsNoCase(columns_[i].name, col_name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::AddIndex(IndexDef def) {
+  for (const auto& idx : indexes_) {
+    if (EqualsNoCase(idx.name, def.name)) {
+      return Status::AlreadyExists("index " + def.name);
+    }
+  }
+  for (int c : def.column_idx) {
+    if (c < 0 || c >= num_columns()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+  }
+  indexes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Row TableSchema::ExtractPrimaryKey(const Row& row) const {
+  Row key;
+  key.reserve(pk_columns_.size());
+  for (int c : pk_columns_) key.push_back(row[c]);
+  return key;
+}
+
+Row TableSchema::ExtractIndexKey(const IndexDef& idx, const Row& row) const {
+  Row key;
+  key.reserve(idx.column_idx.size());
+  for (int c : idx.column_idx) key.push_back(row[c]);
+  return key;
+}
+
+StatusOr<Row> TableSchema::NormalizeRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s expects %d values, got %d", name_.c_str(),
+                  num_columns(), static_cast<int>(row.size())));
+  }
+  Row out;
+  out.reserve(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (!columns_[i].nullable) {
+        return Status::InvalidArgument("column " + columns_[i].name +
+                                       " is NOT NULL");
+      }
+      out.push_back(Value::Null());
+      continue;
+    }
+    auto cast = row[i].CastTo(columns_[i].type);
+    if (!cast.ok()) {
+      return Status::InvalidArgument("column " + columns_[i].name + ": " +
+                                     cast.status().message());
+    }
+    out.push_back(std::move(cast).value());
+  }
+  return out;
+}
+
+}  // namespace olxp::storage

@@ -1,0 +1,113 @@
+#ifndef OLXP_STORAGE_SCHEMA_H_
+#define OLXP_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace olxp::storage {
+
+/// One column of a table.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+  bool nullable = true;
+};
+
+/// A secondary index over one or more columns (by schema position).
+struct IndexDef {
+  std::string name;
+  std::vector<int> column_idx;
+  bool unique = false;
+};
+
+/// Table definition: columns, composite primary key, secondary indexes,
+/// optional foreign keys (metadata only — enforcement is a profile choice,
+/// mirroring the paper's two schema versions for MemSQL compatibility).
+struct ForeignKeyDef {
+  std::vector<int> column_idx;       ///< referencing columns in this table
+  std::string ref_table;             ///< referenced table name
+  std::vector<int> ref_column_idx;   ///< referenced columns (by position)
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns,
+              std::vector<int> pk_columns)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        pk_columns_(std::move(pk_columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::vector<int>& pk_columns() const { return pk_columns_; }
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+  const std::vector<ForeignKeyDef>& foreign_keys() const {
+    return foreign_keys_;
+  }
+
+  /// Position of column `name` (case-insensitive), or -1.
+  int ColumnIndex(std::string_view col_name) const;
+
+  /// Adds a secondary index; fails on duplicate name or bad column.
+  Status AddIndex(IndexDef def);
+
+  void AddForeignKey(ForeignKeyDef fk) {
+    foreign_keys_.push_back(std::move(fk));
+  }
+
+  /// Mutable FK access for DDL-time reference resolution.
+  std::vector<ForeignKeyDef>* mutable_foreign_keys() { return &foreign_keys_; }
+
+  /// Extracts the primary key values of `row` (schema order of pk columns).
+  Row ExtractPrimaryKey(const Row& row) const;
+
+  /// Extracts an index key for index `idx` from `row`.
+  Row ExtractIndexKey(const IndexDef& idx, const Row& row) const;
+
+  /// Validates arity, NOT NULL, and coerces each value to the column type.
+  /// Returns the normalized row.
+  StatusOr<Row> NormalizeRow(const Row& row) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<int> pk_columns_;
+  std::vector<IndexDef> indexes_;
+  std::vector<ForeignKeyDef> foreign_keys_;
+};
+
+/// Lexicographic comparator over composite keys (Row used as key).
+struct KeyLess {
+  bool operator()(const Row& a, const Row& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Equality + hashing for unordered containers keyed by composite key.
+struct KeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+struct KeyHash {
+  size_t operator()(const Row& k) const { return HashRow(k); }
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_SCHEMA_H_

@@ -1,0 +1,159 @@
+#include "storage/table.h"
+
+#include <cassert>
+#include <mutex>
+#include <shared_mutex>
+
+namespace olxp::storage {
+
+const Version* MvccTable::VisibleVersion(const Chain& chain, uint64_t ts) {
+  for (auto it = chain.versions.rbegin(); it != chain.versions.rend(); ++it) {
+    if (it->commit_ts <= ts) return &*it;
+  }
+  return nullptr;
+}
+
+uint64_t MvccTable::LatestCommitTs(const Row& pk) const {
+  std::shared_lock lk(mu_);
+  auto it = rows_.find(pk);
+  if (it == rows_.end() || it->second.versions.empty()) return 0;
+  return it->second.versions.back().commit_ts;
+}
+
+std::optional<Row> MvccTable::Get(const Row& pk, uint64_t snapshot_ts) const {
+  std::shared_lock lk(mu_);
+  auto it = rows_.find(pk);
+  if (it == rows_.end()) return std::nullopt;
+  const Version* v = VisibleVersion(it->second, snapshot_ts);
+  if (v == nullptr || v->deleted) return std::nullopt;
+  return v->data;
+}
+
+void MvccTable::InstallVersion(const Row& pk, uint64_t commit_ts,
+                               bool deleted, Row data) {
+  std::unique_lock lk(mu_);
+  if (index_entries_.size() != schema_.indexes().size()) {
+    index_entries_.resize(schema_.indexes().size());
+  }
+  Chain& chain = rows_[pk];
+  assert(chain.versions.empty() ||
+         chain.versions.back().commit_ts <= commit_ts);
+  if (!deleted) {
+    for (size_t i = 0; i < schema_.indexes().size(); ++i) {
+      Row ikey = schema_.ExtractIndexKey(schema_.indexes()[i], data);
+      // Avoid duplicate (ikey, pk) pairs: check the narrow equal_range.
+      auto [b, e] = index_entries_[i].equal_range(ikey);
+      bool present = false;
+      for (auto it = b; it != e; ++it) {
+        if (KeyEq()(it->second, pk)) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) index_entries_[i].emplace(std::move(ikey), pk);
+    }
+  }
+  chain.versions.push_back(Version{commit_ts, deleted, std::move(data)});
+}
+
+int64_t MvccTable::Scan(uint64_t snapshot_ts, const RowCallback& cb) const {
+  std::shared_lock lk(mu_);
+  int64_t visited = 0;
+  for (const auto& [pk, chain] : rows_) {
+    ++visited;
+    const Version* v = VisibleVersion(chain, snapshot_ts);
+    if (v == nullptr || v->deleted) continue;
+    if (!cb(v->data)) break;
+  }
+  rows_scanned_.fetch_add(static_cast<uint64_t>(visited),
+                          std::memory_order_relaxed);
+  return visited;
+}
+
+int64_t MvccTable::ScanPkRange(const Row& lo, const Row& hi,
+                               uint64_t snapshot_ts,
+                               const RowCallback& cb) const {
+  std::shared_lock lk(mu_);
+  int64_t visited = 0;
+  auto it = rows_.lower_bound(lo);
+  for (; it != rows_.end(); ++it) {
+    // Stop once past `hi`; prefix keys compare less than any extension, so
+    // test "hi < pk-prefix(hi.size())" by comparing against the prefix.
+    const Row& pk = it->first;
+    Row prefix(pk.begin(),
+               pk.begin() + std::min(pk.size(), hi.size()));
+    if (KeyLess()(hi, prefix)) break;
+    ++visited;
+    const Version* v = VisibleVersion(it->second, snapshot_ts);
+    if (v == nullptr || v->deleted) continue;
+    if (!cb(v->data)) break;
+  }
+  rows_scanned_.fetch_add(static_cast<uint64_t>(visited),
+                          std::memory_order_relaxed);
+  return visited;
+}
+
+int64_t MvccTable::IndexLookup(int index_id, const Row& key,
+                               uint64_t snapshot_ts,
+                               std::vector<Row>* out) const {
+  std::shared_lock lk(mu_);
+  if (index_id < 0 ||
+      static_cast<size_t>(index_id) >= index_entries_.size()) {
+    return 0;
+  }
+  const IndexDef& def = schema_.indexes()[index_id];
+  int64_t visited = 0;
+  const auto& idx = index_entries_[index_id];
+  // Support prefix lookups: [key, key] as prefix range.
+  auto it = idx.lower_bound(key);
+  for (; it != idx.end(); ++it) {
+    const Row& ikey = it->first;
+    Row prefix(ikey.begin(), ikey.begin() + std::min(ikey.size(), key.size()));
+    if (KeyLess()(key, prefix)) break;
+    ++visited;
+    auto rit = rows_.find(it->second);
+    if (rit == rows_.end()) continue;
+    const Version* v = VisibleVersion(rit->second, snapshot_ts);
+    if (v == nullptr || v->deleted) continue;
+    // Verify the row still carries this index key (stale-entry filter).
+    Row live_key = schema_.ExtractIndexKey(def, v->data);
+    Row live_prefix(live_key.begin(),
+                    live_key.begin() + std::min(live_key.size(), key.size()));
+    if (!KeyEq()(live_prefix, key)) continue;
+    out->push_back(v->data);
+  }
+  rows_scanned_.fetch_add(static_cast<uint64_t>(visited),
+                          std::memory_order_relaxed);
+  return visited;
+}
+
+Status MvccTable::AddIndex(IndexDef def) {
+  std::unique_lock lk(mu_);
+  OLXP_RETURN_NOT_OK(schema_.AddIndex(def));
+  index_entries_.resize(schema_.indexes().size());
+  auto& entries = index_entries_.back();
+  const IndexDef& added = schema_.indexes().back();
+  for (const auto& [pk, chain] : rows_) {
+    if (chain.versions.empty() || chain.versions.back().deleted) continue;
+    entries.emplace(schema_.ExtractIndexKey(added, chain.versions.back().data),
+                    pk);
+  }
+  return Status::OK();
+}
+
+size_t MvccTable::ApproxRowCount() const {
+  std::shared_lock lk(mu_);
+  return rows_.size();
+}
+
+void MvccTable::PruneVersions(size_t keep) {
+  std::unique_lock lk(mu_);
+  for (auto& [pk, chain] : rows_) {
+    if (chain.versions.size() > keep) {
+      chain.versions.erase(chain.versions.begin(),
+                           chain.versions.end() - keep);
+    }
+  }
+}
+
+}  // namespace olxp::storage

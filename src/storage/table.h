@@ -1,0 +1,131 @@
+#ifndef OLXP_STORAGE_TABLE_H_
+#define OLXP_STORAGE_TABLE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace olxp::storage {
+
+/// One committed version of a row. Chains are ordered by ascending
+/// commit_ts; a deleted version is a tombstone.
+struct Version {
+  uint64_t commit_ts = 0;
+  bool deleted = false;
+  Row data;
+};
+
+/// Callback receiving a visible row during a scan. Return false to stop.
+using RowCallback = std::function<bool(const Row&)>;
+
+/// Multi-version row table ordered by composite primary key, with
+/// secondary indexes. Writes are *installed* here only at transaction
+/// commit (the transaction layer buffers them and owns the row locks);
+/// readers are lock-free with respect to row locks and see a consistent
+/// snapshot chosen by timestamp.
+///
+/// Concurrency: a table-level shared_mutex protects the tree structure;
+/// version installs take it exclusively (short critical section), reads and
+/// scans take it shared. Version chains are only appended under the
+/// exclusive lock, so shared-lock readers can safely walk them.
+class MvccTable {
+ public:
+  MvccTable(int table_id, TableSchema schema)
+      : table_id_(table_id), schema_(std::move(schema)) {}
+
+  MvccTable(const MvccTable&) = delete;
+  MvccTable& operator=(const MvccTable&) = delete;
+
+  int table_id() const { return table_id_; }
+  const TableSchema& schema() const { return schema_; }
+
+  /// Latest commit timestamp of any version of `pk`; 0 when unknown.
+  /// Used by snapshot-isolation first-committer-wins validation.
+  uint64_t LatestCommitTs(const Row& pk) const;
+
+  /// Reads the version of `pk` visible at `snapshot_ts` (the newest version
+  /// with commit_ts <= snapshot_ts). Returns nullopt when absent/deleted.
+  std::optional<Row> Get(const Row& pk, uint64_t snapshot_ts) const;
+
+  /// Installs a new committed version. Caller (the committing transaction)
+  /// must hold the row lock; commit timestamps must be monotone per row.
+  void InstallVersion(const Row& pk, uint64_t commit_ts, bool deleted,
+                      Row data);
+
+  /// Full scan of rows visible at `snapshot_ts` in primary-key order.
+  /// Returns the number of rows *visited* (versions inspected), which the
+  /// latency model uses as scan cost.
+  int64_t Scan(uint64_t snapshot_ts, const RowCallback& cb) const;
+
+  /// Range scan over primary keys in [lo, hi] (inclusive; either may be a
+  /// key prefix). Visible rows only.
+  int64_t ScanPkRange(const Row& lo, const Row& hi, uint64_t snapshot_ts,
+                      const RowCallback& cb) const;
+
+  /// Point lookups through secondary index `index_id` (position in
+  /// schema().indexes()). Appends visible matching rows to `out`; stale
+  /// index entries are verified against the row and skipped.
+  /// Returns number of index entries visited.
+  int64_t IndexLookup(int index_id, const Row& key, uint64_t snapshot_ts,
+                      std::vector<Row>* out) const;
+
+  /// Adds a secondary index to the live table and backfills entries from
+  /// the newest committed version of every row.
+  Status AddIndex(IndexDef def);
+
+  /// Number of distinct primary keys currently in the tree (incl. rows
+  /// whose newest version is a tombstone).
+  size_t ApproxRowCount() const;
+
+  /// Prunes version chains down to the newest `keep` versions. Benchmarks
+  /// call this between measurement cells; safe only when no transaction
+  /// holds a snapshot older than the pruned versions.
+  void PruneVersions(size_t keep);
+
+  /// Cumulative count of rows visited by scans (interference metric).
+  uint64_t rows_scanned() const {
+    return rows_scanned_.load(std::memory_order_relaxed);
+  }
+
+  /// Live analytical scans touching THIS table. Buffer/latch pressure is
+  /// per-data: the latency model inflates the cost of operations on a table
+  /// by the scans concurrently sweeping it. Scans of tables the OLTP
+  /// workload never touches (e.g. CH-benCHmark's SUPPLIER/NATION/REGION)
+  /// therefore do not slow OLTP down — the asymmetry §V-B1 measures.
+  std::atomic<int>& active_scans() { return active_scans_; }
+  int active_scan_count() const {
+    return active_scans_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Chain {
+    std::vector<Version> versions;  // ascending commit_ts
+  };
+
+  /// Newest version with commit_ts <= ts, or nullptr.
+  static const Version* VisibleVersion(const Chain& chain, uint64_t ts);
+
+  const int table_id_;
+  TableSchema schema_;
+
+  mutable std::shared_mutex mu_;
+  std::map<Row, Chain, KeyLess> rows_;
+  /// One multimap per IndexDef: index key -> primary key. Entries are
+  /// inserted on install and verified (lazily invalidated) on lookup.
+  std::vector<std::multimap<Row, Row, KeyLess>> index_entries_;
+
+  mutable std::atomic<uint64_t> rows_scanned_{0};
+  std::atomic<int> active_scans_{0};
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_TABLE_H_

@@ -1,0 +1,37 @@
+#include "storage/wal.h"
+
+namespace olxp::storage {
+
+void CommitLog::Append(CommitRecord rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.push_back(std::move(rec));
+}
+
+uint64_t CommitLog::Fetch(uint64_t from_seq, int64_t max_wall_us,
+                          std::vector<CommitRecord>* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t seq = from_seq;
+  if (seq < base_seq_) seq = base_seq_;
+  while (seq - base_seq_ < records_.size()) {
+    const CommitRecord& rec = records_[seq - base_seq_];
+    if (rec.commit_wall_us > max_wall_us) break;
+    out->push_back(rec);
+    ++seq;
+  }
+  return seq;
+}
+
+void CommitLog::Trim(uint64_t up_to_seq) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (base_seq_ < up_to_seq && !records_.empty()) {
+    records_.pop_front();
+    ++base_seq_;
+  }
+}
+
+uint64_t CommitLog::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return base_seq_ + records_.size();
+}
+
+}  // namespace olxp::storage

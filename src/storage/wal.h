@@ -1,0 +1,60 @@
+#ifndef OLXP_STORAGE_WAL_H_
+#define OLXP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/value.h"
+
+namespace olxp::storage {
+
+/// One logical row mutation inside a committed transaction.
+struct LogOp {
+  enum class Kind { kUpsert, kDelete };
+  Kind kind = Kind::kUpsert;
+  int table_id = 0;
+  Row pk;
+  Row data;  ///< full row image for upserts; empty for deletes
+};
+
+/// A committed transaction's redo record.
+struct CommitRecord {
+  uint64_t commit_ts = 0;
+  int64_t commit_wall_us = 0;  ///< wall time of commit (drives replication lag)
+  std::vector<LogOp> ops;
+};
+
+/// In-memory ordered redo log connecting the row store to the columnar
+/// replica. The paper's TiDB deployment ships TiKV raft logs to TiFlash
+/// asynchronously; this log plus the Replicator reproduce that pipeline
+/// (ordering, watermarks, configurable lag) without the network.
+class CommitLog {
+ public:
+  /// Appends a record (commit_ts must be monotone; enforced by the caller
+  /// holding commit order through the timestamp oracle).
+  void Append(CommitRecord rec);
+
+  /// Copies out records with sequence number >= `from_seq` whose wall commit
+  /// time is <= `max_wall_us`. Returns the next sequence number to resume
+  /// from.
+  uint64_t Fetch(uint64_t from_seq, int64_t max_wall_us,
+                 std::vector<CommitRecord>* out) const;
+
+  /// Drops records with sequence number < `up_to_seq` (applied by all
+  /// consumers). Keeps memory bounded during long runs.
+  void Trim(uint64_t up_to_seq);
+
+  /// Total records ever appended.
+  uint64_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<CommitRecord> records_;
+  uint64_t base_seq_ = 0;  ///< sequence number of records_.front()
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_WAL_H_

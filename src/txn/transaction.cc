@@ -1,0 +1,360 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/clock.h"
+
+namespace olxp::txn {
+
+const char* IsolationLevelName(IsolationLevel lvl) {
+  switch (lvl) {
+    case IsolationLevel::kReadCommitted:
+      return "read-committed";
+    case IsolationLevel::kSnapshotIsolation:
+      return "snapshot-isolation";
+  }
+  return "?";
+}
+
+Transaction::Transaction(uint64_t id, IsolationLevel isolation,
+                         uint64_t start_ts, storage::RowStore* store,
+                         storage::LockManager* locks,
+                         storage::TimestampOracle* oracle,
+                         storage::CommitLog* log,
+                         int64_t lock_timeout_micros)
+    : id_(id),
+      isolation_(isolation),
+      start_ts_(start_ts),
+      store_(store),
+      locks_(locks),
+      oracle_(oracle),
+      log_(log),
+      lock_timeout_micros_(lock_timeout_micros) {}
+
+Transaction::~Transaction() {
+  if (state_ == TxnState::kActive) {
+    Abort();
+  }
+}
+
+uint64_t Transaction::StatementSnapshot() const {
+  return isolation_ == IsolationLevel::kSnapshotIsolation ? start_ts_
+                                                          : oracle_->Current();
+}
+
+StatusOr<std::optional<Row>> Transaction::Get(int table_id, const Row& pk) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  ++seeks_;
+  auto ws = write_sets_.find(table_id);
+  if (ws != write_sets_.end()) {
+    auto it = ws->second.find(pk);
+    if (it != ws->second.end()) {
+      if (it->second.deleted) return std::optional<Row>();
+      return std::optional<Row>(it->second.data);
+    }
+  }
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  ++rows_visited_;
+  return t->Get(pk, StatementSnapshot());
+}
+
+Status Transaction::Scan(int table_id, const storage::RowCallback& cb,
+                         int64_t* rows_visited) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  const WriteMap* ws = nullptr;
+  auto wit = write_sets_.find(table_id);
+  if (wit != write_sets_.end()) ws = &wit->second;
+
+  bool keep_going = true;
+  int64_t visited = t->Scan(
+      StatementSnapshot(), [&](const Row& row) {
+        if (ws != nullptr) {
+          Row pk = t->schema().ExtractPrimaryKey(row);
+          if (ws->count(pk)) return true;  // superseded by our write
+        }
+        keep_going = cb(row);
+        return keep_going;
+      });
+  if (keep_going && ws != nullptr) {
+    for (const auto& [pk, w] : *ws) {
+      ++visited;
+      if (w.deleted) continue;
+      if (!cb(w.data)) break;
+    }
+  }
+  rows_visited_ += visited;
+  if (rows_visited != nullptr) *rows_visited = visited;
+  return Status::OK();
+}
+
+Status Transaction::ScanPkRange(int table_id, const Row& lo, const Row& hi,
+                                const storage::RowCallback& cb,
+                                int64_t* rows_visited) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  const WriteMap* ws = nullptr;
+  auto wit = write_sets_.find(table_id);
+  if (wit != write_sets_.end()) ws = &wit->second;
+
+  ++seeks_;
+  bool keep_going = true;
+  int64_t visited = t->ScanPkRange(
+      lo, hi, StatementSnapshot(), [&](const Row& row) {
+        if (ws != nullptr) {
+          Row pk = t->schema().ExtractPrimaryKey(row);
+          if (ws->count(pk)) return true;
+        }
+        keep_going = cb(row);
+        return keep_going;
+      });
+  if (keep_going && ws != nullptr) {
+    storage::KeyLess less;
+    for (const auto& [pk, w] : *ws) {
+      // In-range test with prefix semantics matching ScanPkRange.
+      Row lo_prefix(pk.begin(), pk.begin() + std::min(pk.size(), lo.size()));
+      Row hi_prefix(pk.begin(), pk.begin() + std::min(pk.size(), hi.size()));
+      if (less(lo_prefix, lo) || less(hi, hi_prefix)) continue;
+      ++visited;
+      if (w.deleted) continue;
+      if (!cb(w.data)) break;
+    }
+  }
+  rows_visited_ += visited;
+  if (rows_visited != nullptr) *rows_visited = visited;
+  return Status::OK();
+}
+
+Status Transaction::IndexLookup(int table_id, int index_id, const Row& key,
+                                std::vector<Row>* out,
+                                int64_t* rows_visited) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  ++seeks_;
+  std::vector<Row> stored;
+  int64_t visited =
+      t->IndexLookup(index_id, key, StatementSnapshot(), &stored);
+
+  const WriteMap* ws = nullptr;
+  auto wit = write_sets_.find(table_id);
+  if (wit != write_sets_.end()) ws = &wit->second;
+  const storage::IndexDef& def = t->schema().indexes()[index_id];
+
+  for (Row& row : stored) {
+    if (ws != nullptr) {
+      Row pk = t->schema().ExtractPrimaryKey(row);
+      if (ws->count(pk)) continue;  // superseded below
+    }
+    out->push_back(std::move(row));
+  }
+  if (ws != nullptr) {
+    storage::KeyEq eq;
+    for (const auto& [pk, w] : *ws) {
+      if (w.deleted) continue;
+      Row ikey = t->schema().ExtractIndexKey(def, w.data);
+      Row prefix(ikey.begin(),
+                 ikey.begin() + std::min(ikey.size(), key.size()));
+      ++visited;
+      if (eq(prefix, key)) out->push_back(w.data);
+    }
+  }
+  rows_visited_ += visited;
+  if (rows_visited != nullptr) *rows_visited = visited;
+  return Status::OK();
+}
+
+StatusOr<std::optional<Row>> Transaction::LockAndGet(int table_id,
+                                                     const Row& pk) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  OLXP_RETURN_NOT_OK(LockAndValidate(table_id, pk));
+  ++seeks_;
+  ++rows_visited_;
+  auto ws = write_sets_.find(table_id);
+  if (ws != write_sets_.end()) {
+    auto it = ws->second.find(pk);
+    if (it != ws->second.end()) {
+      if (it->second.deleted) return std::optional<Row>();
+      return std::optional<Row>(it->second.data);
+    }
+  }
+  // Freshest committed version: we hold the lock, so nothing newer can
+  // land while this statement runs.
+  return t->Get(pk, oracle_->Current());
+}
+
+Status Transaction::LockAndValidate(int table_id, const Row& pk) {
+  Status lock = locks_->Acquire(id_, table_id, pk, lock_timeout_micros_);
+  if (!lock.ok()) {
+    if (lock.code() == StatusCode::kLockTimeout) {
+      storage::MvccTable* t = store_->table(table_id);
+      std::string key_str;
+      for (const Value& v : pk) key_str += v.ToString() + ",";
+      return Status::LockTimeout(
+          (t != nullptr ? t->schema().name() : "?") + " key=(" + key_str +
+          ") txn=" + std::to_string(id_) + " [" + lock.message() + "]");
+    }
+    return lock;
+  }
+  held_locks_.emplace_back(table_id, pk);
+  if (isolation_ == IsolationLevel::kSnapshotIsolation) {
+    // First-committer-wins: abort if someone committed this row after our
+    // snapshot was taken.
+    storage::MvccTable* t = store_->table(table_id);
+    if (t != nullptr && t->LatestCommitTs(pk) > start_ts_) {
+      return Status::Conflict("write-write conflict on " +
+                              t->schema().name());
+    }
+  }
+  return Status::OK();
+}
+
+Status Transaction::Insert(int table_id, Row row) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  auto normalized = t->schema().NormalizeRow(row);
+  if (!normalized.ok()) return normalized.status();
+  Row pk = t->schema().ExtractPrimaryKey(*normalized);
+  OLXP_RETURN_NOT_OK(LockAndValidate(table_id, pk));
+
+  WriteMap& ws = write_sets_[table_id];
+  auto wit = ws.find(pk);
+  if (wit != ws.end()) {
+    if (!wit->second.deleted) {
+      return Status::AlreadyExists("duplicate key in " + t->schema().name());
+    }
+  } else if (t->Get(pk, StatementSnapshot()).has_value()) {
+    return Status::AlreadyExists("duplicate key in " + t->schema().name());
+  }
+  ws[pk] = PendingWrite{false, std::move(*normalized)};
+  ++writes_;
+  return Status::OK();
+}
+
+Status Transaction::Update(int table_id, Row row) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  auto normalized = t->schema().NormalizeRow(row);
+  if (!normalized.ok()) return normalized.status();
+  Row pk = t->schema().ExtractPrimaryKey(*normalized);
+  OLXP_RETURN_NOT_OK(LockAndValidate(table_id, pk));
+
+  WriteMap& ws = write_sets_[table_id];
+  auto wit = ws.find(pk);
+  bool exists = wit != ws.end()
+                    ? !wit->second.deleted
+                    : t->Get(pk, StatementSnapshot()).has_value();
+  if (!exists) return Status::NotFound("update of absent row");
+  ws[pk] = PendingWrite{false, std::move(*normalized)};
+  ++writes_;
+  return Status::OK();
+}
+
+Status Transaction::Delete(int table_id, const Row& pk) {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  storage::MvccTable* t = store_->table(table_id);
+  if (t == nullptr) return Status::NotFound("bad table id");
+  OLXP_RETURN_NOT_OK(LockAndValidate(table_id, pk));
+
+  WriteMap& ws = write_sets_[table_id];
+  auto wit = ws.find(pk);
+  bool exists = wit != ws.end()
+                    ? !wit->second.deleted
+                    : t->Get(pk, StatementSnapshot()).has_value();
+  if (!exists) return Status::NotFound("delete of absent row");
+  ws[pk] = PendingWrite{true, Row{}};
+  ++writes_;
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  if (write_sets_.empty()) {
+    state_ = TxnState::kCommitted;
+    ReleaseAllLocks();
+    return Status::OK();
+  }
+  {
+    // Two-phase commit publish: versions install with a reserved timestamp
+    // that no open snapshot can observe until the scope ends (see
+    // TimestampOracle). The critical section also serializes the redo-log
+    // append with the publish so the log stays in commit order. Row locks
+    // MUST outlive the publish: releasing them earlier lets a waiting
+    // read-committed writer read the pre-publish value and lose our update.
+    storage::TimestampOracle::CommitScope scope(oracle_);
+    const uint64_t commit_ts = scope.commit_ts();
+    storage::CommitRecord rec;
+    rec.commit_ts = commit_ts;
+    rec.commit_wall_us = NowMicros();
+    for (auto& [table_id, ws] : write_sets_) {
+      storage::MvccTable* t = store_->table(table_id);
+      assert(t != nullptr);
+      for (auto& [pk, w] : ws) {
+        t->InstallVersion(pk, commit_ts, w.deleted, w.data);
+        storage::LogOp op;
+        op.kind = w.deleted ? storage::LogOp::Kind::kDelete
+                            : storage::LogOp::Kind::kUpsert;
+        op.table_id = table_id;
+        op.pk = pk;
+        op.data = std::move(w.data);
+        rec.ops.push_back(std::move(op));
+      }
+    }
+    if (log_ != nullptr) log_->Append(std::move(rec));
+  }  // timestamp published here
+  write_sets_.clear();
+  state_ = TxnState::kCommitted;
+  ReleaseAllLocks();
+  return Status::OK();
+}
+
+Status Transaction::Abort() {
+  if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
+  write_sets_.clear();
+  state_ = TxnState::kAborted;
+  ReleaseAllLocks();
+  return Status::OK();
+}
+
+size_t Transaction::WriteSetSize() const {
+  size_t n = 0;
+  for (const auto& [tid, ws] : write_sets_) n += ws.size();
+  return n;
+}
+
+void Transaction::ReleaseAllLocks() {
+  // Release in reverse acquisition order.
+  for (auto it = held_locks_.rbegin(); it != held_locks_.rend(); ++it) {
+    locks_->Release(id_, it->first, it->second);
+  }
+  held_locks_.clear();
+}
+
+TransactionManager::TransactionManager(storage::RowStore* store,
+                                       storage::LockManager* locks,
+                                       storage::TimestampOracle* oracle,
+                                       storage::CommitLog* log,
+                                       int64_t lock_timeout_micros)
+    : store_(store),
+      locks_(locks),
+      oracle_(oracle),
+      log_(log),
+      lock_timeout_micros_(lock_timeout_micros) {}
+
+std::unique_ptr<Transaction> TransactionManager::Begin(
+    IsolationLevel isolation) {
+  uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<Transaction>(id, isolation, oracle_->Current(),
+                                       store_, locks_, oracle_, log_,
+                                       lock_timeout_micros_);
+}
+
+}  // namespace olxp::txn

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/value.h"
+
+namespace olxp {
+namespace {
+
+// ---------------------------------- Status --------------------------------
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "Ok");
+  Status nf = Status::NotFound("row 7");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_EQ(nf.code(), StatusCode::kNotFound);
+  EXPECT_EQ(nf.ToString(), "NotFound: row 7");
+}
+
+TEST(Status, RetryableClassification) {
+  EXPECT_TRUE(Status::Conflict().IsRetryable());
+  EXPECT_TRUE(Status::LockTimeout().IsRetryable());
+  EXPECT_FALSE(Status::Aborted().IsRetryable());
+  EXPECT_FALSE(Status::NotFound().IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(StatusOr, ValueAndError) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  StatusOr<int> e = Status::InvalidArgument("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------- Value ---------------------------------
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Timestamp(123).AsInt(), 123);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_FALSE(Value::Bool(false).AsBool());
+}
+
+TEST(Value, CrossNumericComparison) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.1).Compare(Value::Int(3)), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Timestamp(5)), 0);
+}
+
+TEST(Value, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-1000000)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(Value, LargeIntegersCompareExactly) {
+  // Doubles lose precision above 2^53; int compare must stay exact.
+  int64_t big = (int64_t{1} << 55) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Int(big - 1)), 0);
+}
+
+TEST(Value, CastTo) {
+  EXPECT_EQ(Value::String("42").CastTo(ValueType::kInt)->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::String("2.5").CastTo(ValueType::kDouble)->AsDouble(),
+                   2.5);
+  EXPECT_EQ(Value::Int(3).CastTo(ValueType::kString)->AsString(), "3");
+  EXPECT_FALSE(Value::String("abc").CastTo(ValueType::kInt).ok());
+  EXPECT_TRUE(Value::Null().CastTo(ValueType::kInt)->is_null());
+}
+
+TEST(Value, ToStringFormats) {
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(Value, HashAvoidsStructuredCollisions) {
+  // Regression for the lock-table collision found during bring-up:
+  // composite keys (w, i) on a small integer grid must not collide.
+  std::set<size_t> hashes;
+  int collisions = 0;
+  for (int w = 1; w <= 8; ++w) {
+    for (int i = 1; i <= 4096; ++i) {
+      size_t h = HashRow({Value::Int(w), Value::Int(i)});
+      if (!hashes.insert(h).second) ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Value, IntegralDoubleHashesLikeInt) {
+  EXPECT_EQ(Value::Double(42.0).Hash(), Value::Int(42).Hash());
+}
+
+// ----------------------------------- Rng -----------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Uniform(int64_t{5}, int64_t{9});
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(int64_t{0},
+                                                         int64_t{9}));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NURandWithinBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NURand(1023, 1, 3000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+}
+
+TEST(Rng, LastNameSyllables) {
+  EXPECT_EQ(Rng::LastName(0), "BARBARBAR");
+  EXPECT_EQ(Rng::LastName(999), "EINGEINGEING");
+  EXPECT_EQ(Rng::LastName(371), "PRICALLYOUGHT");
+}
+
+TEST(Rng, StringHelpers) {
+  Rng rng(9);
+  std::string s = rng.AlnumString(12);
+  EXPECT_EQ(s.size(), 12u);
+  std::string d = rng.DigitString(9);
+  EXPECT_EQ(d.size(), 9u);
+  for (char c : d) EXPECT_TRUE(c >= '0' && c <= '9');
+  for (int i = 0; i < 50; ++i) {
+    std::string v = rng.AlnumString(3, 8);
+    EXPECT_GE(v.size(), 3u);
+    EXPECT_LE(v.size(), 8u);
+  }
+}
+
+// -------------------------------- Histogram --------------------------------
+
+TEST(Histogram, BasicStats) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1000);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 100000);
+  EXPECT_NEAR(h.Mean(), 50500, 1);
+  EXPECT_NEAR(h.Median(), 50000, 5000);
+  EXPECT_NEAR(h.P90(), 90000, 9000);
+  EXPECT_NEAR(h.StdDev(), 28866, 300);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  LatencyHistogram h;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(rng.Uniform(int64_t{10}, int64_t{1000000}));
+  }
+  double last = 0;
+  for (double q : {0.1, 0.5, 0.9, 0.95, 0.999, 0.9999}) {
+    double v = h.Percentile(q);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_LE(last, static_cast<double>(h.max()));
+}
+
+TEST(Histogram, MergeMatchesCombined) {
+  LatencyHistogram a, b, all;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(int64_t{1}, int64_t{50000});
+    (i % 2 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), all.Mean());
+  EXPECT_NEAR(a.Median(), all.Median(), 1);
+}
+
+TEST(Histogram, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Mean(), 0);
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+// --------------------------------- strings ---------------------------------
+
+TEST(Strings, SplitTrimJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Trim("  x \t"), "x");
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_EQ(ToLower("aBc"), "abc");
+  EXPECT_TRUE(EqualsNoCase("SELECT", "select"));
+  EXPECT_TRUE(StartsWithNoCase("Warehouse", "ware"));
+  EXPECT_FALSE(StartsWithNoCase("ware", "warehouse"));
+}
+
+TEST(Strings, SqlLikeSemantics) {
+  EXPECT_TRUE(SqlLike("hello", "hello"));
+  EXPECT_TRUE(SqlLike("hello", "h%"));
+  EXPECT_TRUE(SqlLike("hello", "%llo"));
+  EXPECT_TRUE(SqlLike("hello", "%ell%"));
+  EXPECT_TRUE(SqlLike("hello", "h_llo"));
+  EXPECT_FALSE(SqlLike("hello", "h_lo"));
+  EXPECT_TRUE(SqlLike("", "%"));
+  EXPECT_FALSE(SqlLike("", "_"));
+  EXPECT_TRUE(SqlLike("abc", "%%c"));
+  EXPECT_FALSE(SqlLike("abc", "c%"));
+  // Backtracking case.
+  EXPECT_TRUE(SqlLike("aXbXcXd", "%X%X%d"));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
+}
+
+// ---------------------------------- Config ---------------------------------
+
+TEST(Config, ParseSectionsAndTypes) {
+  auto cfg = Config::Parse(
+      "# comment\n"
+      "top = 1\n"
+      "[workload]\n"
+      "benchmark = subenchmark\n"
+      "rate = 42.5\n"
+      "weights = 45, 43, 4, 4, 4\n"
+      "open_loop = true\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("top", 0).value(), 1);
+  EXPECT_EQ(cfg->GetString("workload.benchmark", ""), "subenchmark");
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("workload.rate", 0).value(), 42.5);
+  EXPECT_TRUE(cfg->GetBool("workload.open_loop", false).value());
+  auto weights = cfg->GetDoubleList("workload.weights", {});
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights->size(), 5u);
+  EXPECT_DOUBLE_EQ((*weights)[0], 45);
+}
+
+TEST(Config, CaseInsensitiveAndDefaults) {
+  auto cfg = Config::Parse("[SUT]\nProfile = tidb-like\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetString("sut.profile", ""), "tidb-like");
+  EXPECT_EQ(cfg->GetInt("absent", 9).value(), 9);
+  EXPECT_FALSE(cfg->Has("absent"));
+}
+
+TEST(Config, Errors) {
+  EXPECT_FALSE(Config::Parse("[broken\n").ok());
+  EXPECT_FALSE(Config::Parse("novalue\n").ok());
+  auto cfg = Config::Parse("x = abc\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg->GetInt("x", 0).ok());
+  EXPECT_FALSE(cfg->GetBool("x", false).ok());
+}
+
+TEST(Config, LaterDuplicateWins) {
+  auto cfg = Config::Parse("a = 1\na = 2\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a", 0).value(), 2);
+}
+
+}  // namespace
+}  // namespace olxp

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/session.h"
+
+namespace olxp::engine {
+namespace {
+
+EngineProfile NoRowOlap(EngineProfile p) {
+  p.olap_row_fraction = 0.0;  // deterministic routing in tests
+  return p;
+}
+
+TEST(Profile, PresetsAndLookup) {
+  EXPECT_EQ(EngineProfile::MemSqlLike().architecture,
+            StoreArchitecture::kUnified);
+  EXPECT_EQ(EngineProfile::TiDbLike().architecture,
+            StoreArchitecture::kSeparated);
+  EXPECT_EQ(EngineProfile::TiDbLike().isolation,
+            txn::IsolationLevel::kSnapshotIsolation);
+  EXPECT_EQ(EngineProfile::MemSqlLike().isolation,
+            txn::IsolationLevel::kReadCommitted);
+  EXPECT_FALSE(EngineProfile::MemSqlLike().enforce_foreign_keys);
+  ASSERT_TRUE(EngineProfile::ByName("tidb").ok());
+  ASSERT_TRUE(EngineProfile::ByName("MEMSQL-LIKE").ok());
+  ASSERT_TRUE(EngineProfile::ByName("oceanbase").ok());
+  EXPECT_FALSE(EngineProfile::ByName("oracle").ok());
+}
+
+TEST(ClusterModel, ScalingFactors) {
+  ClusterModel m;
+  m.commit_scale_per_doubling = 0.5;
+  m.read_scale_per_doubling = 0.25;
+  m.num_nodes = 4;
+  EXPECT_DOUBLE_EQ(m.CommitFactor(), 1.0);
+  m.num_nodes = 8;
+  EXPECT_DOUBLE_EQ(m.CommitFactor(), 1.5);
+  EXPECT_DOUBLE_EQ(m.ReadFactor(), 1.25);
+  m.num_nodes = 16;
+  EXPECT_DOUBLE_EQ(m.CommitFactor(), 2.0);
+}
+
+TEST(Session, RoutingRules) {
+  Database db(NoRowOlap(EngineProfile::TiDbLike()));
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 2), (3, 4)").ok());
+  db.WaitReplicaCaughtUp();
+
+  // Point read stays on the row store even standalone.
+  ASSERT_TRUE(s->Execute("SELECT b FROM t WHERE a = 1").ok());
+  EXPECT_EQ(s->last_route(), RoutedStore::kRowStore);
+  // Analytical standalone SELECT routes to the replica.
+  ASSERT_TRUE(s->Execute("SELECT SUM(b) FROM t").ok());
+  EXPECT_EQ(s->last_route(), RoutedStore::kColumnStore);
+  // Inside a transaction everything pins to the row store.
+  ASSERT_TRUE(s->Begin().ok());
+  ASSERT_TRUE(s->Execute("SELECT SUM(b) FROM t").ok());
+  EXPECT_EQ(s->last_route(), RoutedStore::kRowStore);
+  ASSERT_TRUE(s->Commit().ok());
+  // Writes always row store.
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (5, 6)").ok());
+  EXPECT_EQ(s->last_route(), RoutedStore::kRowStore);
+}
+
+TEST(Session, UnifiedArchitectureNeverRoutesToReplica) {
+  Database db(EngineProfile::MemSqlLike());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 2)").ok());
+  ASSERT_TRUE(s->Execute("SELECT SUM(b) FROM t").ok());
+  EXPECT_EQ(s->last_route(), RoutedStore::kRowStore);
+}
+
+TEST(Session, ReplicaFreshnessLagIsObservable) {
+  EngineProfile p = NoRowOlap(EngineProfile::TiDbLike());
+  p.replication_lag_micros = 300000;  // 300 ms
+  Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 10)").ok());
+  db.WaitReplicaCaughtUp();
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (2, 20)").ok());
+
+  // Replica still serves the pre-insert snapshot.
+  auto stale = s->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(s->last_route(), RoutedStore::kColumnStore);
+  EXPECT_EQ(stale->rows[0][0].AsInt(), 1);
+  // The row store (inside a txn) sees fresh data.
+  ASSERT_TRUE(s->Begin().ok());
+  auto fresh = s->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->rows[0][0].AsInt(), 2);
+  ASSERT_TRUE(s->Commit().ok());
+  // After catch-up the replica converges.
+  db.WaitReplicaCaughtUp();
+  auto conv = s->Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(conv->rows[0][0].AsInt(), 2);
+}
+
+TEST(Session, ForeignKeyEnforcementPerProfile) {
+  const char* ddl_parent = "CREATE TABLE p (id INT PRIMARY KEY)";
+  const char* ddl_child =
+      "CREATE TABLE c (id INT PRIMARY KEY, pid INT, "
+      "FOREIGN KEY (pid) REFERENCES p (id))";
+  {
+    Database db(EngineProfile::TiDbLike());  // enforces FKs
+    auto s = db.CreateSession();
+    s->set_charging_enabled(false);
+    ASSERT_TRUE(s->Execute(ddl_parent).ok());
+    ASSERT_TRUE(s->Execute(ddl_child).ok());
+    ASSERT_TRUE(s->Execute("INSERT INTO p VALUES (1)").ok());
+    EXPECT_TRUE(s->Execute("INSERT INTO c VALUES (10, 1)").ok());
+    auto bad = s->Execute("INSERT INTO c VALUES (11, 99)");
+    EXPECT_FALSE(bad.ok());
+    // NULL FK passes.
+    EXPECT_TRUE(s->Execute("INSERT INTO c VALUES (12, NULL)").ok());
+  }
+  {
+    Database db(EngineProfile::MemSqlLike());  // FKs are metadata only
+    auto s = db.CreateSession();
+    s->set_charging_enabled(false);
+    ASSERT_TRUE(s->Execute(ddl_parent).ok());
+    ASSERT_TRUE(s->Execute(ddl_child).ok());
+    EXPECT_TRUE(s->Execute("INSERT INTO c VALUES (11, 99)").ok());
+  }
+}
+
+TEST(Session, FailedStatementAbortsTransaction) {
+  Database db(EngineProfile::MemSqlLike());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  ASSERT_TRUE(s->Begin().ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(s->Execute("INSERT INTO t VALUES (1)").ok());  // duplicate
+  EXPECT_FALSE(s->InTransaction());  // auto-aborted
+  EXPECT_TRUE(s->Rollback().ok());   // idempotent no-op
+  auto rs = s->Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 0);  // nothing survived
+}
+
+TEST(Session, TransactionControlErrors) {
+  Database db(EngineProfile::MemSqlLike());
+  auto s = db.CreateSession();
+  EXPECT_FALSE(s->Commit().ok());  // no open txn
+  ASSERT_TRUE(s->Begin().ok());
+  EXPECT_FALSE(s->Begin().ok());  // nested
+  EXPECT_TRUE(s->Rollback().ok());
+}
+
+TEST(Session, ChargingAccumulatesAndScalesWithCluster) {
+  EngineProfile p = EngineProfile::TiDbLike();
+  p.olap_row_fraction = 0.0;
+  Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);  // account but do not sleep
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (?, ?)",
+                           {Value::Int(i), Value::Int(i)})
+                    .ok());
+  }
+  int64_t c4 = s->charged_micros();
+  EXPECT_GT(c4, 0);
+
+  db.set_cluster_nodes(16);
+  auto s2 = db.CreateSession();
+  s2->set_charging_enabled(false);
+  for (int i = 100; i < 150; ++i) {
+    ASSERT_TRUE(s2->Execute("INSERT INTO t VALUES (?, ?)",
+                            {Value::Int(i), Value::Int(i)})
+                    .ok());
+  }
+  // Same work on a 16-node cluster must charge measurably more.
+  EXPECT_GT(s2->charged_micros(), c4);
+}
+
+TEST(Session, PreparedStatementCacheReuse) {
+  Database db(EngineProfile::MemSqlLike());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  // Same text many times with different params exercises the cache.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (?, ?)",
+                           {Value::Int(i), Value::Int(i * 2)})
+                    .ok());
+  }
+  auto rs = s->Execute("SELECT SUM(b) FROM t");
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 9900);
+}
+
+TEST(Database, PruneVersionsKeepsLatestVisible) {
+  Database db(EngineProfile::MemSqlLike());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 0)").ok());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(s->Execute("UPDATE t SET b = ? WHERE a = 1",
+                           {Value::Int(i)})
+                    .ok());
+  }
+  db.PruneAllVersions(2);
+  auto rs = s->Execute("SELECT b FROM t WHERE a = 1");
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 20);
+}
+
+}  // namespace
+}  // namespace olxp::engine

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/session.h"
+
+namespace olxp {
+namespace {
+
+TEST(Smoke, CreateInsertSelect) {
+  engine::Database db(engine::EngineProfile::MemSqlLike());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE item (i_id INT PRIMARY KEY, i_name VARCHAR(24), i_price DOUBLE)").ok());
+  for (int i = 0; i < 10; ++i) {
+    auto rs = s->Execute("INSERT INTO item VALUES (?, ?, ?)",
+                         {Value::Int(i), Value::String("it" + std::to_string(i)),
+                          Value::Double(1.5 * i)});
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+  auto rs = s->Execute("SELECT COUNT(*), MIN(i_price), MAX(i_price) FROM item");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 10);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(rs->rows[0][2].AsDouble(), 13.5);
+
+  auto one = s->Execute("SELECT i_name FROM item WHERE i_id = ?", {Value::Int(3)});
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_EQ(one->rows.size(), 1u);
+  EXPECT_EQ(one->rows[0][0].AsString(), "it3");
+
+  auto upd = s->Execute("UPDATE item SET i_price = i_price + 100 WHERE i_id < 3");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd->affected_rows, 3);
+
+  auto grp = s->Execute(
+      "SELECT i_id % 2 odd, COUNT(*) c FROM item GROUP BY i_id % 2 ORDER BY odd");
+  ASSERT_TRUE(grp.ok()) << grp.status().ToString();
+  ASSERT_EQ(grp->rows.size(), 2u);
+  EXPECT_EQ(grp->rows[0][1].AsInt(), 5);
+
+  auto sub = s->Execute(
+      "SELECT i_id FROM item WHERE i_price = (SELECT MIN(i_price) FROM item)");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  ASSERT_EQ(sub->rows.size(), 1u);
+  EXPECT_EQ(sub->rows[0][0].AsInt(), 3);  // rows 0..2 got +100
+}
+
+TEST(Smoke, TxnConflictAndColumnRoute) {
+  engine::EngineProfile profile = engine::EngineProfile::TiDbLike();
+  profile.olap_row_fraction = 0.0;  // deterministic routing for this test
+  engine::Database db(profile);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE acc (id INT PRIMARY KEY, bal DOUBLE)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO acc VALUES (1, 100.0), (2, 50.0)").ok());
+
+  // Hybrid txn: query inside txn routes to row store.
+  ASSERT_TRUE(s->Begin().ok());
+  auto q = s->Execute("SELECT SUM(bal) FROM acc");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kRowStore);
+  ASSERT_TRUE(s->Execute("UPDATE acc SET bal = bal - 10 WHERE id = 1").ok());
+  ASSERT_TRUE(s->Commit().ok());
+
+  // Stand-alone analytical query routes to the columnar replica.
+  db.WaitReplicaCaughtUp();
+  auto q2 = s->Execute("SELECT SUM(bal) FROM acc");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kColumnStore);
+  EXPECT_DOUBLE_EQ(q2->rows[0][0].AsDouble(), 140.0);
+}
+
+}  // namespace
+}  // namespace olxp

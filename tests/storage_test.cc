@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "storage/column_store.h"
+#include "storage/lock_manager.h"
+#include "storage/oracle.h"
+#include "storage/replicator.h"
+#include "storage/row_store.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/wal.h"
+
+namespace olxp::storage {
+namespace {
+
+TableSchema KvSchema() {
+  return TableSchema("kv",
+                     {{"k", ValueType::kInt, false},
+                      {"v", ValueType::kString, true},
+                      {"n", ValueType::kInt, true}},
+                     {0});
+}
+
+TableSchema CompositeSchema() {
+  return TableSchema("comp",
+                     {{"a", ValueType::kInt, false},
+                      {"b", ValueType::kString, false},
+                      {"x", ValueType::kDouble, true}},
+                     {0, 1});
+}
+
+Row KvRow(int64_t k, const std::string& v, int64_t n) {
+  return {Value::Int(k), Value::String(v), Value::Int(n)};
+}
+
+// --------------------------------- schema ---------------------------------
+
+TEST(Schema, ColumnIndexCaseInsensitive) {
+  TableSchema s = KvSchema();
+  EXPECT_EQ(s.ColumnIndex("K"), 0);
+  EXPECT_EQ(s.ColumnIndex("v"), 1);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(Schema, NormalizeRowCoercesAndChecksNulls) {
+  TableSchema s = KvSchema();
+  auto ok = s.NormalizeRow({Value::String("5"), Value::Null(), Value::Double(
+                                                                   2.9)});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].AsInt(), 5);
+  EXPECT_EQ((*ok)[2].AsInt(), 3);  // 2.9 -> INT rounds
+  EXPECT_FALSE(s.NormalizeRow({Value::Null(), Value::Null(), Value::Null()})
+                   .ok());  // pk NOT NULL
+  EXPECT_FALSE(s.NormalizeRow({Value::Int(1)}).ok());  // arity
+}
+
+TEST(Schema, KeyExtractionAndIndexes) {
+  TableSchema s = CompositeSchema();
+  Row row = {Value::Int(1), Value::String("x"), Value::Double(5)};
+  Row pk = s.ExtractPrimaryKey(row);
+  ASSERT_EQ(pk.size(), 2u);
+  EXPECT_EQ(pk[1].AsString(), "x");
+  ASSERT_TRUE(s.AddIndex({"by_x", {2}, false}).ok());
+  EXPECT_FALSE(s.AddIndex({"by_x", {2}, false}).ok());  // duplicate
+  EXPECT_FALSE(s.AddIndex({"bad", {9}, false}).ok());   // out of range
+}
+
+TEST(Schema, KeyLessPrefixSemantics) {
+  KeyLess less;
+  Row ab = {Value::Int(1), Value::Int(2)};
+  Row a = {Value::Int(1)};
+  EXPECT_TRUE(less(a, ab));   // prefix sorts before extension
+  EXPECT_FALSE(less(ab, a));
+}
+
+// -------------------------------- MvccTable --------------------------------
+
+TEST(MvccTable, VisibilityByTimestamp) {
+  MvccTable t(0, KvSchema());
+  t.InstallVersion({Value::Int(1)}, 10, false, KvRow(1, "v10", 0));
+  t.InstallVersion({Value::Int(1)}, 20, false, KvRow(1, "v20", 0));
+
+  EXPECT_FALSE(t.Get({Value::Int(1)}, 9).has_value());
+  EXPECT_EQ(t.Get({Value::Int(1)}, 10)->at(1).AsString(), "v10");
+  EXPECT_EQ(t.Get({Value::Int(1)}, 15)->at(1).AsString(), "v10");
+  EXPECT_EQ(t.Get({Value::Int(1)}, 20)->at(1).AsString(), "v20");
+  EXPECT_EQ(t.Get({Value::Int(1)}, 999)->at(1).AsString(), "v20");
+  EXPECT_EQ(t.LatestCommitTs({Value::Int(1)}), 20u);
+  EXPECT_EQ(t.LatestCommitTs({Value::Int(2)}), 0u);
+}
+
+TEST(MvccTable, TombstoneHidesRow) {
+  MvccTable t(0, KvSchema());
+  t.InstallVersion({Value::Int(1)}, 10, false, KvRow(1, "a", 0));
+  t.InstallVersion({Value::Int(1)}, 20, true, {});
+  EXPECT_TRUE(t.Get({Value::Int(1)}, 15).has_value());
+  EXPECT_FALSE(t.Get({Value::Int(1)}, 25).has_value());
+  // Resurrection.
+  t.InstallVersion({Value::Int(1)}, 30, false, KvRow(1, "b", 0));
+  EXPECT_EQ(t.Get({Value::Int(1)}, 35)->at(1).AsString(), "b");
+}
+
+TEST(MvccTable, ScanSnapshotAndOrder) {
+  MvccTable t(0, KvSchema());
+  for (int i = 5; i >= 1; --i) {
+    t.InstallVersion({Value::Int(i)}, 10 + i, false, KvRow(i, "v", i));
+  }
+  std::vector<int64_t> keys;
+  t.Scan(13, [&](const Row& r) {
+    keys.push_back(r[0].AsInt());
+    return true;
+  });
+  // Snapshot 13 sees commits at ts 11..13 => keys 1..3 in pk order.
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], 1);
+  EXPECT_EQ(keys[2], 3);
+}
+
+TEST(MvccTable, ScanEarlyStop) {
+  MvccTable t(0, KvSchema());
+  for (int i = 1; i <= 10; ++i) {
+    t.InstallVersion({Value::Int(i)}, i, false, KvRow(i, "v", i));
+  }
+  int count = 0;
+  t.Scan(100, [&](const Row&) { return ++count < 4; });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(MvccTable, PkRangeWithCompositePrefix) {
+  MvccTable t(0, CompositeSchema());
+  uint64_t ts = 0;
+  for (int a = 1; a <= 3; ++a) {
+    for (char b = 'a'; b <= 'c'; ++b) {
+      t.InstallVersion({Value::Int(a), Value::String(std::string(1, b))},
+                       ++ts, false,
+                       {Value::Int(a), Value::String(std::string(1, b)),
+                        Value::Double(a)});
+    }
+  }
+  // Prefix range [a=2, a=2] should return all three b's of a=2.
+  std::vector<std::string> bs;
+  t.ScanPkRange({Value::Int(2)}, {Value::Int(2)}, 100, [&](const Row& r) {
+    bs.push_back(r[1].AsString());
+    return true;
+  });
+  ASSERT_EQ(bs.size(), 3u);
+  EXPECT_EQ(bs[0], "a");
+  EXPECT_EQ(bs[2], "c");
+  // Full-key range.
+  int n = 0;
+  t.ScanPkRange({Value::Int(1), Value::String("b")},
+                {Value::Int(2), Value::String("a")}, 100, [&](const Row&) {
+                  ++n;
+                  return true;
+                });
+  EXPECT_EQ(n, 3);  // (1,b), (1,c), (2,a)
+}
+
+TEST(MvccTable, SecondaryIndexLookupAndStaleEntries) {
+  TableSchema schema = KvSchema();
+  ASSERT_TRUE(schema.AddIndex({"by_n", {2}, false}).ok());
+  MvccTable t(0, schema);
+  t.InstallVersion({Value::Int(1)}, 1, false, KvRow(1, "x", 7));
+  t.InstallVersion({Value::Int(2)}, 2, false, KvRow(2, "y", 7));
+  t.InstallVersion({Value::Int(3)}, 3, false, KvRow(3, "z", 8));
+
+  std::vector<Row> out;
+  t.IndexLookup(0, {Value::Int(7)}, 100, &out);
+  EXPECT_EQ(out.size(), 2u);
+
+  // Update row 1's n to 9: the old (7 -> 1) index entry is stale and must
+  // be filtered by verification.
+  t.InstallVersion({Value::Int(1)}, 4, false, KvRow(1, "x", 9));
+  out.clear();
+  t.IndexLookup(0, {Value::Int(7)}, 100, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0].AsInt(), 2);
+  out.clear();
+  t.IndexLookup(0, {Value::Int(9)}, 100, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0].AsInt(), 1);
+  // Old snapshot still sees the old value through the index.
+  out.clear();
+  t.IndexLookup(0, {Value::Int(7)}, 3, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MvccTable, AddIndexBackfills) {
+  MvccTable t(0, KvSchema());
+  for (int i = 1; i <= 5; ++i) {
+    t.InstallVersion({Value::Int(i)}, i, false, KvRow(i, "v", i % 2));
+  }
+  t.InstallVersion({Value::Int(5)}, 6, true, {});  // deleted: no entry
+  ASSERT_TRUE(t.AddIndex({"by_n", {2}, false}).ok());
+  std::vector<Row> out;
+  t.IndexLookup(0, {Value::Int(1)}, 100, &out);
+  EXPECT_EQ(out.size(), 2u);  // keys 1, 3 (5 deleted)
+}
+
+TEST(MvccTable, PruneVersionsKeepsNewest) {
+  MvccTable t(0, KvSchema());
+  for (uint64_t ts = 1; ts <= 10; ++ts) {
+    t.InstallVersion({Value::Int(1)}, ts, false,
+                     KvRow(1, "v" + std::to_string(ts), 0));
+  }
+  t.PruneVersions(2);
+  EXPECT_FALSE(t.Get({Value::Int(1)}, 8).has_value());  // pruned
+  EXPECT_EQ(t.Get({Value::Int(1)}, 10)->at(1).AsString(), "v10");
+  EXPECT_EQ(t.Get({Value::Int(1)}, 9)->at(1).AsString(), "v9");
+}
+
+TEST(MvccTable, ConcurrentReadersAndInstalls) {
+  MvccTable t(0, KvSchema());
+  TimestampOracle oracle;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      t.InstallVersion({Value::Int(i % 64)}, oracle.Advance(), false,
+                       KvRow(i % 64, "w", i));
+    }
+    stop = true;
+  });
+  int64_t reads = 0;
+  while (!stop.load()) {
+    uint64_t ts = oracle.Current();
+    t.Scan(ts, [&](const Row& r) {
+      ++reads;
+      return true;
+    });
+  }
+  writer.join();
+  EXPECT_GT(reads, 0);
+  EXPECT_EQ(t.ApproxRowCount(), 64u);
+}
+
+// ------------------------------- LockManager -------------------------------
+
+TEST(LockManager, ExclusiveAndReentrant) {
+  LockManager lm;
+  Row key = {Value::Int(1)};
+  ASSERT_TRUE(lm.Acquire(1, 0, key, 1000).ok());
+  ASSERT_TRUE(lm.Acquire(1, 0, key, 1000).ok());  // reentrant
+  EXPECT_TRUE(lm.Holds(1, 0, key));
+  Status blocked = lm.Acquire(2, 0, key, 1000);
+  EXPECT_EQ(blocked.code(), StatusCode::kLockTimeout);
+  lm.Release(1, 0, key);
+  EXPECT_TRUE(lm.Holds(1, 0, key));  // one release left
+  lm.Release(1, 0, key);
+  EXPECT_FALSE(lm.Holds(1, 0, key));
+  EXPECT_TRUE(lm.Acquire(2, 0, key, 1000).ok());
+  lm.Release(2, 0, key);
+}
+
+TEST(LockManager, DifferentTablesDoNotConflict) {
+  LockManager lm;
+  Row key = {Value::Int(1)};
+  ASSERT_TRUE(lm.Acquire(1, 0, key, 1000).ok());
+  ASSERT_TRUE(lm.Acquire(2, 1, key, 1000).ok());
+  lm.Release(1, 0, key);
+  lm.Release(2, 1, key);
+}
+
+TEST(LockManager, WaiterGetsLockOnRelease) {
+  LockManager lm;
+  Row key = {Value::Int(42)};
+  ASSERT_TRUE(lm.Acquire(1, 0, key, 1000).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status st = lm.Acquire(2, 0, key, 2000000);
+    granted = st.ok();
+  });
+  SleepMicros(20000);
+  EXPECT_FALSE(granted.load());
+  lm.Release(1, 0, key);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  lm.Release(2, 0, key);
+  EXPECT_GE(lm.stats().waits.load(), 1u);
+  EXPECT_GT(lm.stats().wait_nanos.load(), 0u);
+}
+
+TEST(LockManager, StatsCountTimeouts) {
+  LockManager lm;
+  Row key = {Value::Int(9)};
+  ASSERT_TRUE(lm.Acquire(1, 0, key, 1000).ok());
+  EXPECT_FALSE(lm.Acquire(2, 0, key, 2000).ok());
+  EXPECT_EQ(lm.stats().timeouts.load(), 1u);
+  lm.Release(1, 0, key);
+}
+
+TEST(LockManager, HighContentionStress) {
+  LockManager lm;
+  constexpr int kThreads = 8;
+  std::atomic<int> in_critical{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Row key = {Value::Int(5)};
+      for (int i = 0; i < 300; ++i) {
+        if (!lm.Acquire(100 + t, 0, key, 5000000).ok()) continue;
+        if (in_critical.fetch_add(1) != 0) violations++;
+        in_critical.fetch_sub(1);
+        lm.Release(100 + t, 0, key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+// ------------------------------ CommitLog/WAL ------------------------------
+
+TEST(CommitLog, FetchRespectsWallClock) {
+  CommitLog log;
+  CommitRecord r1;
+  r1.commit_ts = 1;
+  r1.commit_wall_us = 100;
+  CommitRecord r2;
+  r2.commit_ts = 2;
+  r2.commit_wall_us = 200;
+  log.Append(r1);
+  log.Append(r2);
+
+  std::vector<CommitRecord> out;
+  uint64_t next = log.Fetch(0, 150, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(next, 1u);
+  out.clear();
+  next = log.Fetch(next, 300, &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].commit_ts, 2u);
+  EXPECT_EQ(next, 2u);
+}
+
+TEST(CommitLog, TrimKeepsSequenceNumbers) {
+  CommitLog log;
+  for (int i = 0; i < 5; ++i) {
+    CommitRecord r;
+    r.commit_ts = i + 1;
+    r.commit_wall_us = i;
+    log.Append(r);
+  }
+  log.Trim(3);
+  std::vector<CommitRecord> out;
+  uint64_t next = log.Fetch(0, 1000, &out);  // from_seq below base clamps
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].commit_ts, 4u);
+  EXPECT_EQ(next, 5u);
+}
+
+// ------------------------------- ColumnStore -------------------------------
+
+TEST(ColumnStore, ApplyUpsertDeleteAndSlotReuse) {
+  ColumnTable t(KvSchema());
+  LogOp ins;
+  ins.kind = LogOp::Kind::kUpsert;
+  ins.pk = {Value::Int(1)};
+  ins.data = KvRow(1, "a", 10);
+  t.Apply(ins);
+  EXPECT_EQ(t.LiveRowCount(), 1u);
+  EXPECT_EQ(t.Get({Value::Int(1)})->at(1).AsString(), "a");
+
+  ins.data = KvRow(1, "b", 11);
+  t.Apply(ins);  // in-place update
+  EXPECT_EQ(t.LiveRowCount(), 1u);
+  EXPECT_EQ(t.Get({Value::Int(1)})->at(1).AsString(), "b");
+
+  LogOp del;
+  del.kind = LogOp::Kind::kDelete;
+  del.pk = {Value::Int(1)};
+  t.Apply(del);
+  EXPECT_EQ(t.LiveRowCount(), 0u);
+  EXPECT_FALSE(t.Get({Value::Int(1)}).has_value());
+  t.Apply(del);  // idempotent
+
+  LogOp ins2;
+  ins2.kind = LogOp::Kind::kUpsert;
+  ins2.pk = {Value::Int(2)};
+  ins2.data = KvRow(2, "c", 12);
+  t.Apply(ins2);  // reuses the freed slot
+  int64_t visited = t.Scan([](const Row&) { return true; });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(Replicator, ShipsAfterLagAndCatchUp) {
+  RowStore rows;
+  ColumnStore cols;
+  CommitLog log;
+  cols.AddTable(0, KvSchema());
+  Replicator rep(&log, &cols, /*lag_micros=*/50000, /*poll_micros=*/200);
+  rep.Start();
+
+  CommitRecord rec;
+  rec.commit_ts = 1;
+  rec.commit_wall_us = NowMicros();
+  LogOp op;
+  op.kind = LogOp::Kind::kUpsert;
+  op.table_id = 0;
+  op.pk = {Value::Int(1)};
+  op.data = KvRow(1, "fresh", 0);
+  rec.ops.push_back(op);
+  log.Append(rec);
+
+  // Within the lag window the replica must not see the row.
+  SleepMicros(5000);
+  EXPECT_FALSE(cols.table(0)->Get({Value::Int(1)}).has_value());
+  EXPECT_EQ(cols.replicated_ts(), 0u);
+
+  rep.CatchUp();
+  EXPECT_TRUE(cols.table(0)->Get({Value::Int(1)}).has_value());
+  EXPECT_EQ(cols.replicated_ts(), 1u);
+  rep.Stop();
+}
+
+TEST(Replicator, EventualVisibilityWithoutCatchUp) {
+  ColumnStore cols;
+  CommitLog log;
+  cols.AddTable(0, KvSchema());
+  Replicator rep(&log, &cols, /*lag_micros=*/2000, /*poll_micros=*/200);
+  rep.Start();
+  CommitRecord rec;
+  rec.commit_ts = 7;
+  rec.commit_wall_us = NowMicros();
+  LogOp op;
+  op.kind = LogOp::Kind::kUpsert;
+  op.table_id = 0;
+  op.pk = {Value::Int(3)};
+  op.data = KvRow(3, "x", 0);
+  rec.ops.push_back(op);
+  log.Append(rec);
+  int64_t deadline = NowMicros() + 2000000;
+  while (cols.replicated_ts() < 7 && NowMicros() < deadline) {
+    SleepMicros(500);
+  }
+  EXPECT_EQ(cols.replicated_ts(), 7u);
+  rep.Stop();
+}
+
+// --------------------------------- RowStore --------------------------------
+
+TEST(RowStore, CreateAndResolve) {
+  RowStore store;
+  auto id = store.CreateTable(KvSchema());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*store.TableId("KV"), *id);  // case-insensitive
+  EXPECT_FALSE(store.CreateTable(KvSchema()).ok());
+  EXPECT_FALSE(store.TableId("nope").ok());
+  EXPECT_NE(store.table(*id), nullptr);
+  EXPECT_EQ(store.table(99), nullptr);
+  EXPECT_EQ(store.num_tables(), 1);
+}
+
+}  // namespace
+}  // namespace olxp::storage
