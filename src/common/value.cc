@@ -24,30 +24,7 @@ const char* ValueTypeName(ValueType t) {
   return "?";
 }
 
-int64_t Value::AsInt() const {
-  if (type_ == ValueType::kInt || type_ == ValueType::kTimestamp) {
-    return std::get<int64_t>(scalar_);
-  }
-  if (type_ == ValueType::kDouble) {
-    return static_cast<int64_t>(std::llround(std::get<double>(scalar_)));
-  }
-  assert(false && "AsInt on non-numeric value");
-  return 0;
-}
-
-double Value::AsDouble() const {
-  if (type_ == ValueType::kDouble) return std::get<double>(scalar_);
-  if (type_ == ValueType::kInt || type_ == ValueType::kTimestamp) {
-    return static_cast<double>(std::get<int64_t>(scalar_));
-  }
-  assert(false && "AsDouble on non-numeric value");
-  return 0.0;
-}
-
-const std::string& Value::AsString() const {
-  assert(type_ == ValueType::kString);
-  return str_;
-}
+// AsInt/AsDouble/AsString are inline in value.h (vectorized-scan hot path).
 
 int Value::Compare(const Value& other) const {
   if (is_null() || other.is_null()) {

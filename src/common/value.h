@@ -1,6 +1,8 @@
 #ifndef OLXP_COMMON_VALUE_H_
 #define OLXP_COMMON_VALUE_H_
 
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -48,9 +50,29 @@ class Value {
   }
 
   /// Accessors assert the stored type (int accessor also accepts timestamp).
-  int64_t AsInt() const;
-  double AsDouble() const;  ///< Numeric widening: int/timestamp -> double.
-  const std::string& AsString() const;
+  /// Inline: these sit in the vectorized engine's gather loops.
+  int64_t AsInt() const {
+    if (type_ == ValueType::kInt || type_ == ValueType::kTimestamp) {
+      return std::get<int64_t>(scalar_);
+    }
+    if (type_ == ValueType::kDouble) {
+      return static_cast<int64_t>(std::llround(std::get<double>(scalar_)));
+    }
+    assert(false && "AsInt on non-numeric value");
+    return 0;
+  }
+  double AsDouble() const {  ///< Numeric widening: int/timestamp -> double.
+    if (type_ == ValueType::kDouble) return std::get<double>(scalar_);
+    if (type_ == ValueType::kInt || type_ == ValueType::kTimestamp) {
+      return static_cast<double>(std::get<int64_t>(scalar_));
+    }
+    assert(false && "AsDouble on non-numeric value");
+    return 0.0;
+  }
+  const std::string& AsString() const {
+    assert(type_ == ValueType::kString);
+    return str_;
+  }
   bool AsBool() const { return !is_null() && AsDouble() != 0.0; }
 
   /// Three-way comparison. NULL sorts before everything; numeric types

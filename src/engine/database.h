@@ -65,6 +65,12 @@ class Database : public sql::Catalog {
   /// Adjusts the simulated cluster size (Fig. 10 scaling bench).
   void set_cluster_nodes(int nodes) { profile_.cluster.num_nodes = nodes; }
 
+  /// Toggles the vectorized columnar engine at runtime (parity tests and
+  /// interpreter-vs-vectorized benches flip this between runs).
+  void set_vectorized_execution(bool on) {
+    profile_.vectorized_execution = on;
+  }
+
  private:
   EngineProfile profile_;
   storage::RowStore row_store_;

@@ -39,6 +39,7 @@ EngineProfile EngineProfile::TiDbLike() {
   p.latency.row_scan_row_ns = 2500;
   p.latency.row_analytic_scan_row_ns = 60000;
   p.latency.col_scan_row_ns = 15000;
+  p.latency.col_vector_row_ns = 1800;  // TiFlash-style batch execution
   p.latency.write_ns = 2500;
   p.latency.commit_base_ns = 450000;
   p.latency.statement_overhead_ns = 35000;

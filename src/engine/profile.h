@@ -31,6 +31,9 @@ struct LatencyModel {
   /// block reads.
   int64_t row_analytic_scan_row_ns = 2000;
   int64_t col_scan_row_ns = 60;      ///< per row visited scanning replica
+  /// Per row visited when the vectorized engine serves the replica scan
+  /// (batch-amortized: no per-row materialization or interpreter dispatch).
+  int64_t col_vector_row_ns = 8;
   int64_t write_ns = 1000;           ///< per buffered write at commit
   int64_t commit_base_ns = 30000;    ///< commit round trip (quorum, log)
   int64_t statement_overhead_ns = 5000;  ///< dispatch/SQL-layer hop
@@ -82,6 +85,17 @@ struct EngineProfile {
   /// waiting time (§VI-A1). Separated-store engines suffer less (the row
   /// store at least holds rows contiguously).
   double txn_analytical_scan_penalty = 1.0;
+  /// Vectorized columnar execution (src/exec/): stand-alone analytical
+  /// SELECTs routed to the replica that the engine can lower run
+  /// column-at-a-time over raw column vectors instead of through the
+  /// row-at-a-time interpreter. Unsupported shapes (joins, subqueries) fall
+  /// back to the interpreter automatically.
+  bool vectorized_execution = true;
+  /// Deterministic cost-based routing: an index-backed single-table SELECT
+  /// runs on the row store when its estimated cost beats a full replica
+  /// sweep (the replica keeps no ordered index). Complements the stochastic
+  /// olap_row_fraction model above.
+  bool cost_based_routing = true;
   /// The paper ships two schema variants because MemSQL lacks FK support;
   /// profiles therefore choose whether FKs are enforced.
   bool enforce_foreign_keys = false;

@@ -2,13 +2,30 @@
 
 #include <cassert>
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "engine/database.h"
+#include "exec/vectorized.h"
 #include "sql/parser.h"
 
 namespace olxp::engine {
 
 namespace {
+
+/// Charges the simulated duration of one replica scan: `concurrent` is the
+/// number of other analytical scans active when this one started; scans
+/// slow each other sublinearly (bandwidth sharing). Shared by the
+/// interpreter and vectorized column paths so their contention models can
+/// never diverge.
+void ChargeReplicaScan(Session* session, const LatencyModel& m, int64_t rows,
+                       int64_t per_row_ns, int concurrent) {
+  double pressure = 1.0;
+  if (concurrent > 0) pressure += 0.15 * m.scan_contention * concurrent;
+  session->InlineCharge(static_cast<int64_t>(static_cast<double>(rows) *
+                                             static_cast<double>(per_row_ns) *
+                                             pressure / 1000.0));
+}
 
 /// StorageIface over the transactional row store. Forwards reads/writes to
 /// a Transaction and accounts access costs. FK enforcement happens here when
@@ -239,11 +256,8 @@ class ColumnSnapshotStorage : public sql::StorageIface {
     int concurrent = counter.fetch_add(1, std::memory_order_relaxed);
     int64_t visited = t->Scan(cb);
     stats_->col_rows += visited;
-    const LatencyModel& m = db_->profile().latency;
-    double pressure = 1.0;
-    if (concurrent > 0) pressure += 0.15 * m.scan_contention * concurrent;
-    double ns = static_cast<double>(visited) * m.col_scan_row_ns * pressure;
-    session_->InlineCharge(static_cast<int64_t>(ns / 1000.0));
+    ChargeReplicaScan(session_, db_->profile().latency, visited,
+                      db_->profile().latency.col_scan_row_ns, concurrent);
     counter.fetch_sub(1, std::memory_order_relaxed);
     return Status::OK();
   }
@@ -321,29 +335,30 @@ Session::~Session() {
   if (txn_) txn_->Abort();
 }
 
-StatusOr<const sql::CompiledStatement*> Session::Prepare(
+StatusOr<const Session::Prepared*> Session::Prepare(
     const std::string& sql_text) {
   auto it = cache_.find(sql_text);
-  if (it != cache_.end()) return it->second.compiled.get();
+  if (it != cache_.end()) return &it->second;
   auto parsed = sql::Parse(sql_text);
   if (!parsed.ok()) return parsed.status();
   auto compiled = sql::Compile(*parsed, *db_);
   if (!compiled.ok()) return compiled.status();
   Prepared p;
   p.compiled = std::move(compiled).value();
-  const sql::CompiledStatement* out = p.compiled.get();
-  cache_.emplace(sql_text, std::move(p));
-  return out;
+  p.shape = exec::InspectPlan(*p.compiled);
+  return &cache_.emplace(sql_text, std::move(p)).first->second;
 }
 
 StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
                                           std::span<const Value> params) {
   auto prepared = Prepare(sql_text);
   if (!prepared.ok()) return prepared.status();
-  const sql::CompiledStatement& stmt = **prepared;
+  const sql::CompiledStatement& stmt = *(*prepared)->compiled;
+  const exec::PlanShape& shape = (*prepared)->shape;
 
   AccessStats stats;
   const bool in_txn = txn_ != nullptr;
+  last_vectorized_ = false;
   bool route_to_column =
       !in_txn && stmt.IsSelect() && !stmt.IsPointRead() &&
       db_->profile().architecture == StoreArchitecture::kSeparated;
@@ -358,7 +373,62 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
   }
 
   if (route_to_column) {
+    if (db_->profile().cost_based_routing && shape.single_table &&
+        shape.indexed_path) {
+      // Deterministic cost comparison: the replica can only serve this plan
+      // with a full sweep (it keeps no ordered index), while the row store
+      // has a pk/index path touching an estimated selective fraction.
+      const LatencyModel& m = db_->profile().latency;
+      const storage::ColumnTable* ct =
+          db_->column_store().table(shape.table_id);
+      const double live =
+          ct != nullptr ? static_cast<double>(ct->LiveRowCount()) : 0.0;
+      const double col_row_ns =
+          db_->profile().vectorized_execution && shape.vectorizable
+              ? static_cast<double>(m.col_vector_row_ns)
+              : static_cast<double>(m.col_scan_row_ns);
+      constexpr double kIndexedSelectivity = 0.01;
+      const double col_ns = live * col_row_ns;
+      const double row_ns =
+          static_cast<double>(m.row_seek_ns) +
+          std::max(1.0, live * kIndexedSelectivity) *
+              static_cast<double>(m.row_analytic_scan_row_ns);
+      if (row_ns < col_ns) route_to_column = false;
+    }
+  }
+
+  if (route_to_column) {
     last_route_ = RoutedStore::kColumnStore;
+    last_snapshot_ts_ = db_->column_store().replicated_ts();
+    if (db_->profile().vectorized_execution && shape.vectorizable) {
+      const storage::ColumnTable* ct =
+          db_->column_store().table(shape.table_id);
+      if (ct != nullptr) {
+        // Vectorized columnar execution "as of" the replication watermark.
+        const LatencyModel& m = db_->profile().latency;
+        auto& counter = db_->column_store().active_scans();
+        int concurrent = counter.fetch_add(1, std::memory_order_relaxed);
+        exec::VecExecStats vstats;
+        auto rs = exec::ExecuteVectorized(stmt, params, *ct, &vstats);
+        counter.fetch_sub(1, std::memory_order_relaxed);
+        if (rs.ok()) {
+          // Charge and account only on success: an aborted partial scan
+          // (late unsupported-shape detection) must not double-bill the
+          // statement on top of the interpreter re-execution below.
+          stats.col_rows += vstats.rows_scanned;
+          ChargeReplicaScan(this, m, vstats.rows_scanned, m.col_vector_row_ns,
+                            concurrent);
+          last_vectorized_ = true;
+          ChargeStatement(stats, RoutedStore::kColumnStore);
+          FlushCharge();
+          return rs;
+        }
+        // Fall through to the interpreter on any vectorized-engine error
+        // (unsupported construct discovered at lowering/evaluation time):
+        // behavior is never lost, and genuine statement errors resurface
+        // with the interpreter's diagnostics.
+      }
+    }
     ColumnSnapshotStorage storage(db_, &stats, this);
     auto rs = sql::Execute(stmt, params, &storage);
     ChargeStatement(stats, RoutedStore::kColumnStore);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "exec/vectorized.h"
 #include "sql/executor.h"
 #include "txn/transaction.h"
 
@@ -71,6 +72,14 @@ class Session {
   /// Store that served the most recent statement.
   RoutedStore last_route() const { return last_route_; }
 
+  /// True when the most recent statement ran on the vectorized columnar
+  /// engine (false for interpreter execution on either store).
+  bool last_vectorized() const { return last_vectorized_; }
+
+  /// Replication watermark the most recent column-store statement executed
+  /// "as of" (0 if no statement has routed to the replica yet).
+  uint64_t last_snapshot_ts() const { return last_snapshot_ts_; }
+
   /// Total simulated microseconds charged to this session so far.
   int64_t charged_micros() const { return charged_micros_; }
 
@@ -99,9 +108,11 @@ class Session {
 
   struct Prepared {
     std::unique_ptr<sql::CompiledStatement> compiled;
+    /// Router inputs derived once at prepare time (immutable per plan).
+    exec::PlanShape shape;
   };
 
-  StatusOr<const sql::CompiledStatement*> Prepare(const std::string& sql);
+  StatusOr<const Prepared*> Prepare(const std::string& sql);
 
   /// Charges the simulated cost of the statement just executed.
   void ChargeStatement(const AccessStats& stats, RoutedStore route);
@@ -112,6 +123,8 @@ class Session {
   std::unique_ptr<txn::Transaction> txn_;
   std::unordered_map<std::string, Prepared> cache_;
   RoutedStore last_route_ = RoutedStore::kRowStore;
+  bool last_vectorized_ = false;
+  uint64_t last_snapshot_ts_ = 0;
   int64_t charged_micros_ = 0;
   int64_t pending_charge_micros_ = 0;
   int64_t txn_writes_ = 0;  ///< writes buffered in the open transaction

@@ -1,0 +1,523 @@
+#include "exec/vectorized.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/vec.h"
+#include "exec/vexpr.h"
+#include "sql/bound_plan.h"
+
+namespace olxp::exec {
+
+namespace {
+
+using sql::AggAccum;
+using sql::BoundExpr;
+using sql::BoundOrderItem;
+using sql::BoundSelect;
+using sql::TableStep;
+
+/// Accumulates a whole argument vector into one aggregate accumulator with
+/// typed inner loops; min/max merge as Values once per chunk, not per row.
+void AccumulateVec(AggAccum* acc, const Vec& v) {
+  const size_t n = v.n;
+  if (n == 0 || v.type == ValueType::kNull) return;
+  if (v.type == ValueType::kInt || v.type == ValueType::kTimestamp) {
+    bool has = false;
+    int64_t lo = 0, hi = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (v.null_at(i)) continue;
+      int64_t x = v.int_at(i);
+      ++acc->count;
+      acc->isum += x;
+      acc->dsum += static_cast<double>(x);
+      if (!has) {
+        lo = hi = x;
+        has = true;
+      } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+    }
+    if (has) {
+      Value vlo = v.type == ValueType::kTimestamp ? Value::Timestamp(lo)
+                                                  : Value::Int(lo);
+      Value vhi = v.type == ValueType::kTimestamp ? Value::Timestamp(hi)
+                                                  : Value::Int(hi);
+      if (acc->min.is_null() || vlo.Compare(acc->min) < 0) acc->min = vlo;
+      if (acc->max.is_null() || vhi.Compare(acc->max) > 0) acc->max = vhi;
+    }
+    return;
+  }
+  if (v.type == ValueType::kDouble) {
+    bool has = false;
+    double lo = 0, hi = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (v.null_at(i)) continue;
+      double x = v.dbl_at(i);
+      ++acc->count;
+      acc->any_double = true;
+      acc->dsum += x;
+      if (!has) {
+        lo = hi = x;
+        has = true;
+      } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+    }
+    if (has) {
+      Value vlo = Value::Double(lo), vhi = Value::Double(hi);
+      if (acc->min.is_null() || vlo.Compare(acc->min) < 0) acc->min = vlo;
+      if (acc->max.is_null() || vhi.Compare(acc->max) > 0) acc->max = vhi;
+    }
+    return;
+  }
+  // Strings: counted, never summed; min/max lexicographic.
+  const std::string* lo = nullptr;
+  const std::string* hi = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    if (v.null_at(i)) continue;
+    const std::string& s = v.str_at(i);
+    ++acc->count;
+    if (lo == nullptr || s < *lo) lo = &s;
+    if (hi == nullptr || *hi < s) hi = &s;
+  }
+  if (lo != nullptr) {
+    Value vlo = Value::String(*lo), vhi = Value::String(*hi);
+    if (acc->min.is_null() || vlo.Compare(acc->min) < 0) acc->min = vlo;
+    if (acc->max.is_null() || vhi.Compare(acc->max) > 0) acc->max = vhi;
+  }
+}
+
+/// One aggregation group (the global aggregate is a single implicit group).
+/// Key values live in the probing structures (group_index / int_groups).
+struct VGroup {
+  Row repr;  ///< representative input tuple (first row of the group)
+  std::vector<AggAccum> accums;
+  int64_t star_count = 0;
+};
+
+/// Accumulates one argument vector into per-group accumulators with typed
+/// inner loops (no per-row Value boxing). A given expression always yields
+/// one payload family, so comparing typed values against the accumulator's
+/// current min/max Value is exact.
+void AccumulateGrouped(std::vector<VGroup>& groups,
+                       const std::vector<uint32_t>& gidx, size_t a,
+                       const Vec& v) {
+  const size_t n = v.n;
+  if (v.type == ValueType::kNull) return;
+  if (v.type == ValueType::kInt || v.type == ValueType::kTimestamp) {
+    const bool ts = v.type == ValueType::kTimestamp;
+    for (size_t i = 0; i < n; ++i) {
+      if (v.null_at(i)) continue;
+      AggAccum& acc = groups[gidx[i]].accums[a];
+      int64_t x = v.int_at(i);
+      ++acc.count;
+      acc.isum += x;
+      acc.dsum += static_cast<double>(x);
+      // AsInt on a kDouble extreme would round; an expression's payload can
+      // flip family between chunks when a branch is all-NULL in one chunk,
+      // so use the exact Value comparison whenever a double extreme is
+      // present (NULL extremes have type kNull and stay on the fast path).
+      if (acc.min.type() != ValueType::kDouble &&
+          acc.max.type() != ValueType::kDouble) {
+        if (acc.min.is_null() || x < acc.min.AsInt()) {
+          acc.min = ts ? Value::Timestamp(x) : Value::Int(x);
+        }
+        if (acc.max.is_null() || x > acc.max.AsInt()) {
+          acc.max = ts ? Value::Timestamp(x) : Value::Int(x);
+        }
+      } else {
+        Value val = ts ? Value::Timestamp(x) : Value::Int(x);
+        if (acc.min.is_null() || val.Compare(acc.min) < 0) acc.min = val;
+        if (acc.max.is_null() || val.Compare(acc.max) > 0) {
+          acc.max = std::move(val);
+        }
+      }
+    }
+    return;
+  }
+  if (v.type == ValueType::kDouble) {
+    for (size_t i = 0; i < n; ++i) {
+      if (v.null_at(i)) continue;
+      AggAccum& acc = groups[gidx[i]].accums[a];
+      double x = v.dbl_at(i);
+      ++acc.count;
+      acc.any_double = true;
+      acc.dsum += x;
+      if (acc.min.is_null() || x < acc.min.AsDouble()) {
+        acc.min = Value::Double(x);
+      }
+      if (acc.max.is_null() || x > acc.max.AsDouble()) {
+        acc.max = Value::Double(x);
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!v.null_at(i)) groups[gidx[i]].accums[a].Add(v.value_at(i));
+  }
+}
+
+struct PendingRow {
+  Row out;
+  Row order_keys;
+};
+
+}  // namespace
+
+bool CanVectorize(const sql::CompiledStatement& stmt) {
+  const auto& impl = stmt.impl();
+  if (impl.kind != sql::StmtKind::kSelect || !impl.select) return false;
+  const BoundSelect& p = *impl.select;
+  if (p.steps.size() != 1) return false;
+  for (const auto& f : p.steps[0].filters) {
+    if (sql::ContainsSubquery(*f)) return false;
+  }
+  for (const auto& g : p.group_by) {
+    if (sql::ContainsSubquery(*g)) return false;
+  }
+  for (const auto& a : p.aggs) {
+    if (a.arg && sql::ContainsSubquery(*a.arg)) return false;
+  }
+  for (const auto& pr : p.projections) {
+    if (sql::ContainsSubquery(*pr)) return false;
+  }
+  if (p.having && sql::ContainsSubquery(*p.having)) return false;
+  for (const BoundOrderItem& oi : p.order_by) {
+    if (oi.expr && sql::ContainsSubquery(*oi.expr)) return false;
+  }
+  return true;
+}
+
+PlanShape InspectPlan(const sql::CompiledStatement& stmt) {
+  PlanShape s;
+  const auto& impl = stmt.impl();
+  s.is_select = impl.kind == sql::StmtKind::kSelect;
+  if (!s.is_select || !impl.select) return s;
+  const BoundSelect& p = *impl.select;
+  if (p.steps.size() == 1) {
+    s.single_table = true;
+    s.table_id = p.steps[0].table_id;
+    s.indexed_path = p.steps[0].path != TableStep::Path::kFull;
+  }
+  s.vectorizable = CanVectorize(stmt);
+  return s;
+}
+
+StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
+                                           std::span<const Value> params,
+                                           const storage::ColumnTable& table,
+                                           VecExecStats* stats) {
+  const auto& impl = stmt.impl();
+  if (impl.kind != sql::StmtKind::kSelect || !impl.select ||
+      impl.select->steps.size() != 1) {
+    return Status::Unsupported("not a vectorizable statement");
+  }
+  const BoundSelect& plan = *impl.select;
+  const storage::TableSchema& schema = table.schema();
+  const int ncols = schema.num_columns();
+  const bool agg = plan.aggregate_mode;
+
+  // ----- lower the scan-side expressions (params folded) -----
+  std::vector<VExpr> filters;
+  filters.reserve(plan.steps[0].filters.size());
+  for (const auto& f : plan.steps[0].filters) {
+    auto lowered = LowerExpr(*f, schema, params);
+    if (!lowered.ok()) return lowered.status();
+    filters.push_back(std::move(lowered).value());
+  }
+  std::vector<VExpr> group_exprs;
+  struct LoweredAgg {
+    bool has_arg = false;
+    VExpr arg;
+  };
+  std::vector<LoweredAgg> agg_args;
+  std::vector<VExpr> proj_exprs;   // non-agg mode only
+  std::vector<VExpr> order_exprs;  // non-agg mode, one per expr order item
+  if (agg) {
+    group_exprs.reserve(plan.group_by.size());
+    for (const auto& g : plan.group_by) {
+      auto lowered = LowerExpr(*g, schema, params);
+      if (!lowered.ok()) return lowered.status();
+      group_exprs.push_back(std::move(lowered).value());
+    }
+    agg_args.reserve(plan.aggs.size());
+    for (const auto& spec : plan.aggs) {
+      LoweredAgg la;
+      if (spec.arg) {
+        auto lowered = LowerExpr(*spec.arg, schema, params);
+        if (!lowered.ok()) return lowered.status();
+        la.has_arg = true;
+        la.arg = std::move(lowered).value();
+      }
+      agg_args.push_back(std::move(la));
+    }
+  } else {
+    proj_exprs.reserve(plan.projections.size());
+    for (const auto& p : plan.projections) {
+      auto lowered = LowerExpr(*p, schema, params);
+      if (!lowered.ok()) return lowered.status();
+      proj_exprs.push_back(std::move(lowered).value());
+    }
+    for (const BoundOrderItem& oi : plan.order_by) {
+      if (oi.proj_index >= 0) continue;
+      auto lowered = LowerExpr(*oi.expr, schema, params);
+      if (!lowered.ok()) return lowered.status();
+      order_exprs.push_back(std::move(lowered).value());
+    }
+  }
+
+  // ----- pipeline state -----
+  std::vector<PendingRow> pending;
+  // DISTINCT dedup by value (same semantics as the interpreter's buckets).
+  std::unordered_set<Row, storage::KeyHash, storage::KeyEq> distinct_seen;
+  const bool can_stop_early = !agg && plan.order_by.empty() &&
+                              !plan.distinct && plan.limit >= 0;
+
+  std::vector<VGroup> groups;
+  std::unordered_map<Row, uint32_t, storage::KeyHash, storage::KeyEq>
+      group_index;
+  // Fast path for the dominant shape "GROUP BY <integer column>": probe an
+  // int-keyed map instead of boxing a key Row per input row. Static plan
+  // typing keeps the choice consistent across chunks.
+  const bool single_int_key =
+      agg && group_exprs.size() == 1 &&
+      group_exprs[0].kind == sql::BKind::kSlot &&
+      (group_exprs[0].col_type == ValueType::kInt ||
+       group_exprs[0].col_type == ValueType::kTimestamp);
+  std::unordered_map<int64_t, uint32_t> int_groups;
+  uint32_t null_group = UINT32_MAX;
+
+  Status inner = Status::OK();
+
+  int64_t scanned = table.BatchScan(
+      kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
+        Sel sel;
+        sel.reserve(chunk.rows);
+        for (size_t i = 0; i < chunk.rows; ++i) {
+          if (chunk.live[i]) sel.push_back(static_cast<uint32_t>(i));
+        }
+        if (sel.empty()) return true;
+
+        // Vectorized predicate evaluation, one conjunct at a time; each
+        // pass narrows the selection the next conjunct touches.
+        for (const VExpr& f : filters) {
+          auto cond = EvalVec(f, chunk, sel);
+          if (!cond.ok()) {
+            inner = cond.status();
+            return false;
+          }
+          if (cond->type == ValueType::kString) {
+            // A string-typed conjunct has no vector truthiness; let the
+            // interpreter own the (degenerate) semantics.
+            inner = Status::Unsupported("non-boolean string predicate");
+            return false;
+          }
+          ApplyFilter(*cond, &sel);
+          if (sel.empty()) return true;
+        }
+
+        if (!agg) {
+          std::vector<Vec> pvecs;
+          pvecs.reserve(proj_exprs.size());
+          for (const VExpr& p : proj_exprs) {
+            auto v = EvalVec(p, chunk, sel);
+            if (!v.ok()) {
+              inner = v.status();
+              return false;
+            }
+            pvecs.push_back(std::move(v).value());
+          }
+          std::vector<Vec> ovecs;
+          ovecs.reserve(order_exprs.size());
+          for (const VExpr& o : order_exprs) {
+            auto v = EvalVec(o, chunk, sel);
+            if (!v.ok()) {
+              inner = v.status();
+              return false;
+            }
+            ovecs.push_back(std::move(v).value());
+          }
+          for (size_t i = 0; i < sel.size(); ++i) {
+            PendingRow pr;
+            pr.out.reserve(pvecs.size());
+            for (const Vec& pv : pvecs) pr.out.push_back(pv.value_at(i));
+            if (plan.distinct && !distinct_seen.insert(pr.out).second) {
+              continue;
+            }
+            size_t next_expr = 0;
+            for (const BoundOrderItem& oi : plan.order_by) {
+              if (oi.proj_index >= 0) {
+                pr.order_keys.push_back(pr.out[oi.proj_index]);
+              } else {
+                pr.order_keys.push_back(ovecs[next_expr++].value_at(i));
+              }
+            }
+            pending.push_back(std::move(pr));
+            if (can_stop_early &&
+                pending.size() >= static_cast<size_t>(plan.limit)) {
+              return false;  // enough rows; stop the scan
+            }
+          }
+          return true;
+        }
+
+        // ----- aggregation -----
+        if (group_exprs.empty()) {
+          // Global aggregate: one implicit group. The representative tuple
+          // is the first selected row (projections may reference raw slots).
+          if (groups.empty()) {
+            VGroup g;
+            g.repr.resize(ncols);
+            for (int c = 0; c < ncols; ++c) {
+              g.repr[c] = chunk.at(c, sel[0]);
+            }
+            g.accums.resize(plan.aggs.size());
+            groups.push_back(std::move(g));
+          }
+          groups[0].star_count += static_cast<int64_t>(sel.size());
+          for (size_t a = 0; a < agg_args.size(); ++a) {
+            if (!agg_args[a].has_arg) continue;  // COUNT(*): star_count only
+            auto v = EvalVec(agg_args[a].arg, chunk, sel);
+            if (!v.ok()) {
+              inner = v.status();
+              return false;
+            }
+            AccumulateVec(&groups[0].accums[a], *v);
+          }
+          return true;
+        }
+
+        std::vector<Vec> kvecs;
+        kvecs.reserve(group_exprs.size());
+        for (const VExpr& g : group_exprs) {
+          auto v = EvalVec(g, chunk, sel);
+          if (!v.ok()) {
+            inner = v.status();
+            return false;
+          }
+          kvecs.push_back(std::move(v).value());
+        }
+        auto new_group = [&](size_t row) -> uint32_t {
+          uint32_t g = static_cast<uint32_t>(groups.size());
+          VGroup grp;
+          grp.repr.resize(ncols);
+          for (int c = 0; c < ncols; ++c) grp.repr[c] = chunk.at(c, row);
+          grp.accums.resize(plan.aggs.size());
+          groups.push_back(std::move(grp));
+          return g;
+        };
+
+        std::vector<uint32_t> gidx(sel.size());
+        if (single_int_key) {
+          const Vec& kv = kvecs[0];
+          for (size_t i = 0; i < sel.size(); ++i) {
+            uint32_t g;
+            if (kv.null_at(i)) {
+              if (null_group == UINT32_MAX) null_group = new_group(sel[i]);
+              g = null_group;
+            } else {
+              int64_t x = kv.int_at(i);
+              auto [it, inserted] = int_groups.try_emplace(x, 0);
+              if (inserted) it->second = new_group(sel[i]);
+              g = it->second;
+            }
+            groups[g].star_count++;
+            gidx[i] = g;
+          }
+        } else {
+          Row key;
+          for (size_t i = 0; i < sel.size(); ++i) {
+            key.clear();
+            key.reserve(kvecs.size());
+            for (const Vec& kv : kvecs) key.push_back(kv.value_at(i));
+            auto [it, inserted] = group_index.try_emplace(key, 0);
+            if (inserted) it->second = new_group(sel[i]);
+            uint32_t g = it->second;
+            groups[g].star_count++;
+            gidx[i] = g;
+          }
+        }
+        for (size_t a = 0; a < agg_args.size(); ++a) {
+          if (!agg_args[a].has_arg) continue;
+          auto v = EvalVec(agg_args[a].arg, chunk, sel);
+          if (!v.ok()) {
+            inner = v.status();
+            return false;
+          }
+          AccumulateGrouped(groups, gidx, a, *v);
+        }
+        return true;
+      });
+
+  if (!inner.ok()) return inner;
+  if (stats != nullptr) stats->rows_scanned = scanned;
+
+  // ----- aggregate finalization: HAVING, projection, order keys -----
+  if (agg) {
+    if (groups.empty() && plan.group_by.empty()) {
+      // Global aggregate over empty input still yields one row.
+      VGroup g;
+      g.repr.assign(plan.total_slots, Value::Null());
+      g.accums.resize(plan.aggs.size());
+      groups.push_back(std::move(g));
+    }
+    for (const VGroup& g : groups) {
+      std::vector<Value> agg_values(plan.aggs.size());
+      for (size_t a = 0; a < plan.aggs.size(); ++a) {
+        agg_values[a] = g.accums[a].Result(plan.aggs[a].fn, g.star_count);
+      }
+      if (plan.having) {
+        auto v = sql::EvalBound(*plan.having, g.repr, params, &agg_values);
+        if (!v.ok()) return v.status();
+        if (!v->AsBool()) continue;
+      }
+      PendingRow pr;
+      pr.out.reserve(plan.projections.size());
+      for (const auto& p : plan.projections) {
+        auto v = sql::EvalBound(*p, g.repr, params, &agg_values);
+        if (!v.ok()) return v.status();
+        pr.out.push_back(std::move(v).value());
+      }
+      if (plan.distinct && !distinct_seen.insert(pr.out).second) continue;
+      for (const BoundOrderItem& oi : plan.order_by) {
+        if (oi.proj_index >= 0) {
+          pr.order_keys.push_back(pr.out[oi.proj_index]);
+        } else {
+          auto v = sql::EvalBound(*oi.expr, g.repr, params, &agg_values);
+          if (!v.ok()) return v.status();
+          pr.order_keys.push_back(std::move(v).value());
+        }
+      }
+      pending.push_back(std::move(pr));
+    }
+  }
+
+  // ----- sort / limit / emit (identical to the interpreter) -----
+  if (!plan.order_by.empty()) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&](const PendingRow& a, const PendingRow& b) {
+                       for (size_t i = 0; i < plan.order_by.size(); ++i) {
+                         int c = a.order_keys[i].Compare(b.order_keys[i]);
+                         if (c != 0) {
+                           return plan.order_by[i].desc ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+  sql::ResultSet rs;
+  rs.column_names = plan.column_names;
+  size_t n = pending.size();
+  if (plan.limit >= 0) n = std::min(n, static_cast<size_t>(plan.limit));
+  rs.rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) rs.rows.push_back(std::move(pending[i].out));
+  rs.affected_rows = 0;
+  return rs;
+}
+
+}  // namespace olxp::exec

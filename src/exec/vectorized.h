@@ -1,0 +1,61 @@
+#ifndef OLXP_EXEC_VECTORIZED_H_
+#define OLXP_EXEC_VECTORIZED_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/executor.h"
+#include "sql/storage_iface.h"
+#include "storage/column_store.h"
+
+/// Vectorized columnar execution engine. Single-table analytical SELECTs
+/// lowered from the bound plan run here column-at-a-time over the replica's
+/// raw column vectors (scan -> vectorized filter -> projection / hash
+/// aggregation -> order / limit), skipping the interpreter's per-row Row
+/// materialization and expression walks. The engine::Session cost router
+/// decides when to use it; anything it cannot lower falls back to the
+/// interpreter, so no statement loses behavior.
+
+namespace olxp::exec {
+
+/// Rows per scan chunk: large enough to amortize dispatch, small enough to
+/// keep a chunk's working vectors cache-resident.
+inline constexpr size_t kVecChunkRows = 1024;
+
+/// Static plan summary consumed by the engine's cost-based router.
+struct PlanShape {
+  bool is_select = false;
+  bool single_table = false;
+  int table_id = -1;
+  /// The row store could serve this plan through a pk/secondary-index path
+  /// instead of a full scan (the replica cannot: it has no ordered index).
+  bool indexed_path = false;
+  bool vectorizable = false;
+};
+
+PlanShape InspectPlan(const sql::CompiledStatement& stmt);
+
+/// True when the statement is a single-table SELECT whose expressions the
+/// vectorized engine can all lower (no subqueries; joins never qualify).
+bool CanVectorize(const sql::CompiledStatement& stmt);
+
+/// Access accounting for the latency model.
+struct VecExecStats {
+  int64_t rows_scanned = 0;  ///< live rows visited on the replica
+};
+
+/// Executes a vectorizable SELECT against one columnar replica table. The
+/// result is identical to the interpreter's (the parity suite in
+/// tests/exec_test.cc enforces this). Returns Unsupported for constructs
+/// detected only at lowering/evaluation time — callers fall back to the
+/// interpreter on any error.
+StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
+                                           std::span<const Value> params,
+                                           const storage::ColumnTable& table,
+                                           VecExecStats* stats);
+
+}  // namespace olxp::exec
+
+#endif  // OLXP_EXEC_VECTORIZED_H_

@@ -1,0 +1,569 @@
+#include "exec/vexpr.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace olxp::exec {
+
+namespace {
+
+using sql::BKind;
+using sql::BinaryOp;
+using sql::UnaryOp;
+
+Vec AllNull(size_t rows) {
+  Vec out;
+  out.type = ValueType::kNull;
+  out.n = rows;
+  return out;
+}
+
+bool IsIntFamily(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kTimestamp;
+}
+
+/// Three-way compare of two non-null rows, mirroring Value::Compare:
+/// numerics compare by value (exactly when both integral), strings
+/// lexicographically, heterogeneous pairs by type tag.
+int CmpRow(const Vec& l, const Vec& r, size_t i) {
+  if (l.numeric() && r.numeric()) {
+    if (l.type != ValueType::kDouble && r.type != ValueType::kDouble) {
+      int64_t a = l.int_at(i), b = r.int_at(i);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = l.dbl_at(i), b = r.dbl_at(i);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (l.type == ValueType::kString && r.type == ValueType::kString) {
+    int c = l.str_at(i).compare(r.str_at(i));
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return static_cast<int>(l.type) < static_cast<int>(r.type) ? -1 : 1;
+}
+
+bool CmpMatches(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNe: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+/// NULL-rejecting comparison (interpreter: any NULL operand -> false).
+Vec CompareKernel(BinaryOp op, const Vec& l, const Vec& r) {
+  const size_t n = l.n;
+  Vec out = Vec::Bools(n);
+  if (l.type == ValueType::kNull || r.type == ValueType::kNull) return out;
+  const bool no_nulls = l.nulls.empty() && r.nulls.empty();
+  if (l.numeric() && r.numeric() && l.type != ValueType::kDouble &&
+      r.type != ValueType::kDouble) {
+    // Hot path: integer against integer (ids, counters, timestamps).
+    for (size_t i = 0; i < n; ++i) {
+      if (!no_nulls && (l.null_at(i) || r.null_at(i))) continue;
+      int64_t a = l.int_at(i), b = r.int_at(i);
+      out.ints[i] = CmpMatches(op, a < b ? -1 : (a > b ? 1 : 0)) ? 1 : 0;
+    }
+    return out;
+  }
+  if (l.numeric() && r.numeric()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!no_nulls && (l.null_at(i) || r.null_at(i))) continue;
+      double a = l.dbl_at(i), b = r.dbl_at(i);
+      out.ints[i] = CmpMatches(op, a < b ? -1 : (a > b ? 1 : 0)) ? 1 : 0;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (l.null_at(i) || r.null_at(i)) continue;
+    out.ints[i] = CmpMatches(op, CmpRow(l, r, i)) ? 1 : 0;
+  }
+  return out;
+}
+
+/// Numeric arithmetic with the interpreter's promotion rules: double when
+/// either side is double or the op is division; NULL on NULL operands and
+/// on division/modulo by zero.
+StatusOr<Vec> ArithKernel(BinaryOp op, const Vec& l, const Vec& r) {
+  const size_t n = l.n;
+  if (l.type == ValueType::kNull || r.type == ValueType::kNull) {
+    return AllNull(n);
+  }
+  if (!l.numeric() || !r.numeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  Vec out;
+  out.n = n;
+  out.nulls.assign(n, 0);
+  bool any_null = false;
+  const bool as_double = l.type == ValueType::kDouble ||
+                         r.type == ValueType::kDouble ||
+                         op == BinaryOp::kDiv;
+  if (as_double) {
+    out.type = ValueType::kDouble;
+    out.dbls.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      if (l.null_at(i) || r.null_at(i)) {
+        out.nulls[i] = 1;
+        any_null = true;
+        continue;
+      }
+      double x = l.dbl_at(i), y = r.dbl_at(i);
+      switch (op) {
+        case BinaryOp::kAdd: out.dbls[i] = x + y; break;
+        case BinaryOp::kSub: out.dbls[i] = x - y; break;
+        case BinaryOp::kMul: out.dbls[i] = x * y; break;
+        case BinaryOp::kDiv:
+          if (y == 0) {
+            out.nulls[i] = 1;
+            any_null = true;
+          } else {
+            out.dbls[i] = x / y;
+          }
+          break;
+        case BinaryOp::kMod:
+          if (y == 0) {
+            out.nulls[i] = 1;
+            any_null = true;
+          } else {
+            out.dbls[i] = std::fmod(x, y);
+          }
+          break;
+        default:
+          return Status::Internal("bad arith op");
+      }
+    }
+  } else {
+    out.type = ValueType::kInt;
+    out.ints.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (l.null_at(i) || r.null_at(i)) {
+        out.nulls[i] = 1;
+        any_null = true;
+        continue;
+      }
+      int64_t x = l.int_at(i), y = r.int_at(i);
+      switch (op) {
+        case BinaryOp::kAdd: out.ints[i] = x + y; break;
+        case BinaryOp::kSub: out.ints[i] = x - y; break;
+        case BinaryOp::kMul: out.ints[i] = x * y; break;
+        case BinaryOp::kMod:
+          if (y == 0) {
+            out.nulls[i] = 1;
+            any_null = true;
+          } else {
+            out.ints[i] = x % y;
+          }
+          break;
+        default:
+          return Status::Internal("bad arith op");
+      }
+    }
+  }
+  if (!any_null) out.nulls.clear();
+  return out;
+}
+
+/// Gathers a table column over the selection into a typed vector. Columns
+/// hold NormalizeRow output, so every non-NULL value has the declared type.
+Vec Gather(int col, ValueType decl, const storage::ColumnChunkView& chunk,
+           const Sel& sel) {
+  const size_t n = sel.size();
+  Vec out;
+  out.n = n;
+  out.type = decl;
+  out.nulls.assign(n, 0);
+  bool any_value = false;
+  bool any_null = false;
+  if (IsIntFamily(decl)) {
+    out.ints.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = chunk.at(col, sel[i]);
+      if (v.is_null()) {
+        out.nulls[i] = 1;
+        any_null = true;
+      } else {
+        out.ints[i] = v.AsInt();
+        any_value = true;
+      }
+    }
+  } else if (decl == ValueType::kDouble) {
+    out.dbls.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = chunk.at(col, sel[i]);
+      if (v.is_null()) {
+        out.nulls[i] = 1;
+        any_null = true;
+      } else {
+        out.dbls[i] = v.AsDouble();
+        any_value = true;
+      }
+    }
+  } else {
+    out.strs.assign(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = chunk.at(col, sel[i]);
+      if (v.is_null()) {
+        out.nulls[i] = 1;
+        any_null = true;
+      } else {
+        out.strs[i] = &v.AsString();
+        any_value = true;
+      }
+    }
+  }
+  if (!any_value) return AllNull(n);
+  if (!any_null) out.nulls.clear();
+  return out;
+}
+
+Status RequireTruthyCapable(const Vec& v, const char* what) {
+  if (v.type == ValueType::kString) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " requires a boolean/numeric operand");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<VExpr> LowerExpr(const sql::BoundExpr& e,
+                          const storage::TableSchema& schema,
+                          std::span<const Value> params) {
+  VExpr out;
+  out.kind = e.kind;
+  switch (e.kind) {
+    case BKind::kLiteral:
+      out.literal = e.literal;
+      return out;
+    case BKind::kParam:
+      if (e.param_index < 0 ||
+          static_cast<size_t>(e.param_index) >= params.size()) {
+        return Status::InvalidArgument("missing statement parameter");
+      }
+      out.kind = BKind::kLiteral;
+      out.literal = params[e.param_index];
+      return out;
+    case BKind::kSlot:
+      if (e.slot < 0 || e.slot >= schema.num_columns()) {
+        return Status::Internal("slot out of range for single-table plan");
+      }
+      out.col = e.slot;
+      out.col_type = schema.columns()[e.slot].type;
+      return out;
+    case BKind::kUnary:
+      out.uop = e.uop;
+      break;
+    case BKind::kBinary:
+      out.bop = e.bop;
+      break;
+    case BKind::kBetween:
+    case BKind::kInList:
+    case BKind::kCase:
+      break;
+    case BKind::kAggRef:
+      return Status::Unsupported("aggregate reference in vectorized scan");
+    case BKind::kInSubquery:
+    case BKind::kScalarSubquery:
+      return Status::Unsupported("subquery in vectorized plan");
+  }
+  out.negated_in = e.negated_in;
+  out.children.reserve(e.children.size());
+  for (const auto& c : e.children) {
+    auto lowered = LowerExpr(*c, schema, params);
+    if (!lowered.ok()) return lowered.status();
+    out.children.push_back(std::move(lowered).value());
+  }
+  return out;
+}
+
+StatusOr<Vec> EvalVec(const VExpr& e, const storage::ColumnChunkView& chunk,
+                      const Sel& sel) {
+  const size_t n = sel.size();
+  switch (e.kind) {
+    case BKind::kLiteral:
+      return Vec::Const(e.literal, n);
+    case BKind::kSlot:
+      return Gather(e.col, e.col_type, chunk, sel);
+    case BKind::kParam:
+      return Status::Internal("parameter not folded at lowering");
+    case BKind::kAggRef:
+    case BKind::kInSubquery:
+    case BKind::kScalarSubquery:
+      return Status::Internal("unsupported node survived lowering");
+
+    case BKind::kUnary: {
+      auto c = EvalVec(e.children[0], chunk, sel);
+      if (!c.ok()) return c;
+      const Vec& v = *c;
+      switch (e.uop) {
+        case UnaryOp::kNeg: {
+          if (v.type == ValueType::kNull) return AllNull(n);
+          if (!v.numeric()) {
+            return Status::InvalidArgument("negation of non-numeric value");
+          }
+          Vec out;
+          out.n = n;
+          out.nulls = v.nulls;
+          if (v.is_const && !v.nulls.empty()) out.nulls.assign(n, v.nulls[0]);
+          if (v.type == ValueType::kDouble) {
+            out.type = ValueType::kDouble;
+            out.dbls.resize(n);
+            for (size_t i = 0; i < n; ++i) out.dbls[i] = -v.dbl_at(i);
+          } else {
+            out.type = ValueType::kInt;  // interpreter yields INT
+            out.ints.resize(n);
+            for (size_t i = 0; i < n; ++i) out.ints[i] = -v.int_at(i);
+          }
+          return out;
+        }
+        case UnaryOp::kNot: {
+          OLXP_RETURN_NOT_OK(RequireTruthyCapable(v, "NOT"));
+          Vec out = Vec::Bools(n);
+          for (size_t i = 0; i < n; ++i) out.ints[i] = v.truthy(i) ? 0 : 1;
+          return out;
+        }
+        case UnaryOp::kIsNull: {
+          Vec out = Vec::Bools(n);
+          for (size_t i = 0; i < n; ++i) out.ints[i] = v.null_at(i) ? 1 : 0;
+          return out;
+        }
+        case UnaryOp::kIsNotNull: {
+          Vec out = Vec::Bools(n);
+          for (size_t i = 0; i < n; ++i) out.ints[i] = v.null_at(i) ? 0 : 1;
+          return out;
+        }
+      }
+      return Status::Internal("bad unary op");
+    }
+
+    case BKind::kBinary: {
+      auto l = EvalVec(e.children[0], chunk, sel);
+      if (!l.ok()) return l;
+      auto r = EvalVec(e.children[1], chunk, sel);
+      if (!r.ok()) return r;
+      switch (e.bop) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          // Both sides are evaluated for the whole selection (no per-row
+          // short-circuit); NULL truthiness is false as in the interpreter.
+          OLXP_RETURN_NOT_OK(RequireTruthyCapable(*l, "AND/OR"));
+          OLXP_RETURN_NOT_OK(RequireTruthyCapable(*r, "AND/OR"));
+          Vec out = Vec::Bools(n);
+          if (e.bop == BinaryOp::kAnd) {
+            for (size_t i = 0; i < n; ++i) {
+              out.ints[i] = (l->truthy(i) && r->truthy(i)) ? 1 : 0;
+            }
+          } else {
+            for (size_t i = 0; i < n; ++i) {
+              out.ints[i] = (l->truthy(i) || r->truthy(i)) ? 1 : 0;
+            }
+          }
+          return out;
+        }
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return ArithKernel(e.bop, *l, *r);
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return CompareKernel(e.bop, *l, *r);
+        case BinaryOp::kLike:
+        case BinaryOp::kNotLike: {
+          Vec out = Vec::Bools(n);
+          if (l->type == ValueType::kNull || r->type == ValueType::kNull) {
+            return out;  // NULL LIKE x -> false
+          }
+          if (l->type != ValueType::kString ||
+              r->type != ValueType::kString) {
+            return Status::InvalidArgument("LIKE requires strings");
+          }
+          const bool want = e.bop == BinaryOp::kLike;
+          for (size_t i = 0; i < n; ++i) {
+            if (l->null_at(i) || r->null_at(i)) continue;
+            bool m = SqlLike(l->str_at(i), r->str_at(i));
+            out.ints[i] = (m == want) ? 1 : 0;
+          }
+          return out;
+        }
+      }
+      return Status::Internal("bad binary op");
+    }
+
+    case BKind::kBetween: {
+      auto v = EvalVec(e.children[0], chunk, sel);
+      if (!v.ok()) return v;
+      auto lo = EvalVec(e.children[1], chunk, sel);
+      if (!lo.ok()) return lo;
+      auto hi = EvalVec(e.children[2], chunk, sel);
+      if (!hi.ok()) return hi;
+      Vec out = Vec::Bools(n);
+      if (v->type == ValueType::kNull || lo->type == ValueType::kNull ||
+          hi->type == ValueType::kNull) {
+        return out;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (v->null_at(i) || lo->null_at(i) || hi->null_at(i)) continue;
+        out.ints[i] =
+            (CmpRow(*v, *lo, i) >= 0 && CmpRow(*v, *hi, i) <= 0) ? 1 : 0;
+      }
+      return out;
+    }
+
+    case BKind::kInList: {
+      auto v = EvalVec(e.children[0], chunk, sel);
+      if (!v.ok()) return v;
+      std::vector<Vec> items;
+      items.reserve(e.children.size() - 1);
+      for (size_t k = 1; k < e.children.size(); ++k) {
+        auto item = EvalVec(e.children[k], chunk, sel);
+        if (!item.ok()) return item;
+        items.push_back(std::move(item).value());
+      }
+      Vec out = Vec::Bools(n);
+      const bool negated = e.negated_in;
+      for (size_t i = 0; i < n; ++i) {
+        bool found = false;
+        if (!v->null_at(i)) {
+          for (const Vec& item : items) {
+            if (!item.null_at(i) && CmpRow(*v, item, i) == 0) {
+              found = true;
+              break;
+            }
+          }
+        }
+        out.ints[i] = (negated ? !found : found) ? 1 : 0;
+      }
+      return out;
+    }
+
+    case BKind::kCase: {
+      const size_t nc = e.children.size();
+      const bool has_else = nc % 2 == 1;
+      const size_t pairs = nc / 2;
+      std::vector<Vec> conds;
+      std::vector<Vec> vals;
+      conds.reserve(pairs);
+      vals.reserve(pairs + 1);
+      for (size_t p = 0; p < pairs; ++p) {
+        auto cond = EvalVec(e.children[2 * p], chunk, sel);
+        if (!cond.ok()) return cond;
+        OLXP_RETURN_NOT_OK(RequireTruthyCapable(*cond, "CASE condition"));
+        conds.push_back(std::move(cond).value());
+        auto val = EvalVec(e.children[2 * p + 1], chunk, sel);
+        if (!val.ok()) return val;
+        vals.push_back(std::move(val).value());
+      }
+      if (has_else) {
+        auto val = EvalVec(e.children[nc - 1], chunk, sel);
+        if (!val.ok()) return val;
+        vals.push_back(std::move(val).value());
+      }
+      // Result type: all branches must share one payload family. The
+      // interpreter returns each row with its picked branch's own type, so
+      // any mixed-family CASE (string/numeric, INT/DOUBLE, INT/TIMESTAMP)
+      // falls back to it — a promoted vector would change result types.
+      bool any_num = false, any_double = false, any_str = false;
+      bool any_ts = false, any_int = false;
+      for (const Vec& v : vals) {
+        if (v.type == ValueType::kNull) continue;
+        if (v.type == ValueType::kString) {
+          any_str = true;
+        } else {
+          any_num = true;
+          if (v.type == ValueType::kDouble) any_double = true;
+          if (v.type == ValueType::kTimestamp) any_ts = true;
+          if (v.type == ValueType::kInt) any_int = true;
+        }
+      }
+      if (any_str && any_num) {
+        return Status::Unsupported("CASE branches mix string and numeric");
+      }
+      if ((any_double && (any_int || any_ts)) || (any_int && any_ts)) {
+        return Status::Unsupported("CASE branches mix numeric types");
+      }
+      Vec out;
+      out.n = n;
+      if (!any_str && !any_num) return AllNull(n);
+      out.nulls.assign(n, 0);
+      bool any_null_row = false;
+      // Per-row branch pick (first truthy condition, else ELSE, else NULL).
+      auto pick = [&](size_t i) -> const Vec* {
+        for (size_t p = 0; p < pairs; ++p) {
+          if (conds[p].truthy(i)) return &vals[p];
+        }
+        return has_else ? &vals.back() : nullptr;
+      };
+      if (any_str) {
+        out.type = ValueType::kString;
+        out.strs.assign(n, nullptr);
+        // Strings the branch does not borrow from column storage (constants,
+        // nested pools) are copied into this Vec's own pool so the pointers
+        // outlive the branch vectors.
+        std::vector<const std::string*> const_ptr(vals.size(), nullptr);
+        for (size_t j = 0; j < vals.size(); ++j) {
+          if (vals[j].type == ValueType::kString && vals[j].is_const) {
+            out.owned_pool.push_back(vals[j].owned);
+            const_ptr[j] = &out.owned_pool.back();
+          }
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const Vec* v = pick(i);
+          if (v == nullptr || v->null_at(i)) {
+            out.nulls[i] = 1;
+            any_null_row = true;
+            continue;
+          }
+          const size_t j = static_cast<size_t>(v - vals.data());
+          if (const_ptr[j] != nullptr) {
+            out.strs[i] = const_ptr[j];
+          } else if (!v->owned_pool.empty()) {
+            out.owned_pool.push_back(*v->strs[i]);
+            out.strs[i] = &out.owned_pool.back();
+          } else {
+            out.strs[i] = v->strs[i];
+          }
+        }
+      } else if (any_double) {
+        out.type = ValueType::kDouble;
+        out.dbls.assign(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          const Vec* v = pick(i);
+          if (v == nullptr || v->null_at(i)) {
+            out.nulls[i] = 1;
+            any_null_row = true;
+            continue;
+          }
+          out.dbls[i] = v->dbl_at(i);
+        }
+      } else {
+        out.type = any_ts ? ValueType::kTimestamp : ValueType::kInt;
+        out.ints.assign(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const Vec* v = pick(i);
+          if (v == nullptr || v->null_at(i)) {
+            out.nulls[i] = 1;
+            any_null_row = true;
+            continue;
+          }
+          out.ints[i] = v->int_at(i);
+        }
+      }
+      if (!any_null_row) out.nulls.clear();
+      return out;
+    }
+  }
+  return Status::Internal("unhandled vectorized expression kind");
+}
+
+}  // namespace olxp::exec

@@ -1,0 +1,47 @@
+#ifndef OLXP_EXEC_VEXPR_H_
+#define OLXP_EXEC_VEXPR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/vec.h"
+#include "sql/bound_plan.h"
+#include "storage/column_store.h"
+
+namespace olxp::exec {
+
+/// A bound expression lowered for vectorized evaluation: parameters are
+/// folded into literals, column references carry their declared type, and
+/// subquery/aggregate-reference nodes are rejected at lowering time (the
+/// router falls back to the interpreter for those shapes).
+struct VExpr {
+  sql::BKind kind = sql::BKind::kLiteral;
+  Value literal;                          ///< kLiteral (params pre-folded)
+  int col = -1;                           ///< kSlot: column index
+  ValueType col_type = ValueType::kNull;  ///< declared type of `col`
+  sql::UnaryOp uop = sql::UnaryOp::kNeg;
+  sql::BinaryOp bop = sql::BinaryOp::kEq;
+  bool negated_in = false;
+  std::vector<VExpr> children;
+};
+
+/// Lowers a bound expression for vectorized evaluation against `schema`
+/// (single-table plans: slot index == column index). Returns Unsupported for
+/// constructs the vectorized engine does not cover (subqueries, aggregate
+/// references) — callers fall back to the interpreter.
+StatusOr<VExpr> LowerExpr(const sql::BoundExpr& e,
+                          const storage::TableSchema& schema,
+                          std::span<const Value> params);
+
+/// Evaluates `e` over the selected rows of one chunk, producing one logical
+/// row per selection entry. Mirrors the interpreter's Eval semantics
+/// (NULL-rejecting comparisons, int/double promotion, NULL on division by
+/// zero) evaluated column-at-a-time.
+StatusOr<Vec> EvalVec(const VExpr& e, const storage::ColumnChunkView& chunk,
+                      const Sel& sel);
+
+}  // namespace olxp::exec
+
+#endif  // OLXP_EXEC_VEXPR_H_

@@ -36,8 +36,9 @@ class CompiledStatement {
   /// Number of '?' parameters expected.
   int ParamCount() const;
 
-  /// Implementation detail (bound plan); public only so the compiler and
-  /// executor free functions in the .cc can construct/consume it.
+  /// Bound plan (defined in sql/bound_plan.h); public so the compiler and
+  /// executor free functions construct/consume it and so the vectorized
+  /// engine in src/exec/ can lower analytical shapes onto column vectors.
   struct Impl;
   explicit CompiledStatement(std::unique_ptr<Impl> impl);
   const Impl& impl() const { return *impl_; }

@@ -1,5 +1,6 @@
 #include "storage/column_store.h"
 
+#include <algorithm>
 #include <mutex>
 #include <shared_mutex>
 
@@ -32,9 +33,19 @@ void ColumnTable::Apply(const LogOp& op) {
     pk_to_slot_.emplace(op.pk, slot);
   } else {
     slot = live_.size();
+    if (live_.size() == live_.capacity()) {
+      // Grow all column vectors in lockstep so a replicated burst does one
+      // coordinated reallocation instead of num_columns independent ones.
+      size_t cap = std::max<size_t>(1024, live_.capacity() * 2);
+      live_.reserve(cap);
+      for (auto& col : columns_) col.reserve(cap);
+    }
     live_.push_back(1);
-    for (auto& col : columns_) col.emplace_back();
+    for (int c = 0; c < schema_.num_columns(); ++c) {
+      columns_[c].push_back(op.data[c]);
+    }
     pk_to_slot_.emplace(op.pk, slot);
+    return;
   }
   for (int c = 0; c < schema_.num_columns(); ++c) {
     columns_[c][slot] = op.data[c];
@@ -50,6 +61,28 @@ int64_t ColumnTable::Scan(const RowCallback& cb) const {
     ++visited;
     for (int c = 0; c < schema_.num_columns(); ++c) row[c] = columns_[c][slot];
     if (!cb(row)) break;
+  }
+  return visited;
+}
+
+int64_t ColumnTable::BatchScan(size_t chunk_rows,
+                               const ChunkCallback& cb) const {
+  assert(chunk_rows > 0);
+  std::shared_lock lk(mu_);
+  std::vector<const std::vector<Value>*> cols;
+  cols.reserve(columns_.size());
+  for (const auto& col : columns_) cols.push_back(&col);
+
+  int64_t visited = 0;
+  const size_t total = live_.size();
+  for (size_t base = 0; base < total; base += chunk_rows) {
+    ColumnChunkView view;
+    view.base = base;
+    view.rows = std::min(chunk_rows, total - base);
+    view.live = live_.data() + base;
+    view.columns = cols.data();
+    for (size_t i = 0; i < view.rows; ++i) visited += view.live[i];
+    if (!cb(view)) break;
   }
   return visited;
 }

@@ -2,6 +2,7 @@
 #define OLXP_STORAGE_COLUMN_STORE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -16,12 +17,30 @@
 
 namespace olxp::storage {
 
+/// A window over one table's raw column storage handed to BatchScan
+/// callbacks: `rows` consecutive slots starting at `base`, live-slot flags,
+/// and direct pointers to the full column vectors. No per-row
+/// materialization happens — the vectorized engine reads values in place.
+/// Pointers are valid only for the duration of the callback (the scan holds
+/// the table's shared lock).
+struct ColumnChunkView {
+  size_t base = 0;                               ///< first slot of the chunk
+  size_t rows = 0;                               ///< slots in the chunk
+  const uint8_t* live = nullptr;                 ///< [rows] 1 = live
+  const std::vector<Value>* const* columns = nullptr;  ///< [num_columns]
+
+  /// Value of column `col` at chunk-relative row `i`.
+  const Value& at(int col, size_t i) const { return (*columns[col])[base + i]; }
+};
+
 /// Columnar replica of one table: one value vector per column plus a
 /// primary-key hash index into row slots. Deleted rows leave reusable
 /// holes. Mirrors TiFlash's role: analytical scans run here and take no
 /// row-store locks.
 class ColumnTable {
  public:
+  using ChunkCallback = std::function<bool(const ColumnChunkView&)>;
+
   explicit ColumnTable(TableSchema schema);
 
   ColumnTable(const ColumnTable&) = delete;
@@ -35,6 +54,13 @@ class ColumnTable {
   /// Scans all live rows, materializing each as a Row in schema order.
   /// Returns rows visited (live slots), the columnar scan cost driver.
   int64_t Scan(const RowCallback& cb) const;
+
+  /// Chunked scan over raw column storage (the vectorized engine's access
+  /// path): invokes `cb` with views of up to `chunk_rows` consecutive slots
+  /// until the table is exhausted or `cb` returns false. Returns live rows
+  /// visited. The whole scan runs under one shared lock; callbacks must not
+  /// retain the view past their invocation.
+  int64_t BatchScan(size_t chunk_rows, const ChunkCallback& cb) const;
 
   /// Point lookup by primary key.
   std::optional<Row> Get(const Row& pk) const;

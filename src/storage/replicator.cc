@@ -30,7 +30,10 @@ void Replicator::Stop() {
 void Replicator::Run() {
   while (running_.load(std::memory_order_relaxed)) {
     ApplyUpTo(NowMicros() - lag_micros_.load(std::memory_order_relaxed));
-    SleepMicros(poll_micros_);
+    // A real OS sleep, not SleepMicros: the poll interval is scheduling
+    // slack, not a simulated device latency, and the spin-wait tail would
+    // otherwise burn a full core for the life of the database.
+    std::this_thread::sleep_for(std::chrono::microseconds(poll_micros_));
   }
 }
 

@@ -8,17 +8,26 @@ void CommitLog::Append(CommitRecord rec) {
 }
 
 uint64_t CommitLog::Fetch(uint64_t from_seq, int64_t max_wall_us,
-                          std::vector<CommitRecord>* out) const {
+                          std::vector<CommitRecord>* out) {
   std::lock_guard<std::mutex> lk(mu_);
   uint64_t seq = from_seq;
   if (seq < base_seq_) seq = base_seq_;
-  while (seq - base_seq_ < records_.size()) {
-    const CommitRecord& rec = records_[seq - base_seq_];
-    if (rec.commit_wall_us > max_wall_us) break;
-    out->push_back(rec);
-    ++seq;
+  const size_t first = seq - base_seq_;
+  size_t count = 0;
+  while (first + count < records_.size() &&
+         records_[first + count].commit_wall_us <= max_wall_us) {
+    ++count;
   }
-  return seq;
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    CommitRecord& rec = records_[first + i];
+    CommitRecord drained;
+    drained.commit_ts = rec.commit_ts;
+    drained.commit_wall_us = rec.commit_wall_us;
+    drained.ops = std::move(rec.ops);  // consumed; caller trims past us
+    out->push_back(std::move(drained));
+  }
+  return seq + count;
 }
 
 void CommitLog::Trim(uint64_t up_to_seq) {

@@ -36,11 +36,15 @@ class CommitLog {
   /// holding commit order through the timestamp oracle).
   void Append(CommitRecord rec);
 
-  /// Copies out records with sequence number >= `from_seq` whose wall commit
-  /// time is <= `max_wall_us`. Returns the next sequence number to resume
-  /// from.
+  /// Drains records with sequence number >= `from_seq` whose wall commit
+  /// time is <= `max_wall_us` into `out`, and returns the next sequence
+  /// number to resume from. Consuming: each record's op payload is MOVED
+  /// out (not deep-copied — a replicator poll would otherwise copy every
+  /// row image twice), so a sequence number may be fetched only once. The
+  /// Replicator, the single consumer, trims past what it fetched right
+  /// after applying.
   uint64_t Fetch(uint64_t from_seq, int64_t max_wall_us,
-                 std::vector<CommitRecord>* out) const;
+                 std::vector<CommitRecord>* out);
 
   /// Drops records with sequence number < `up_to_seq` (applied by all
   /// consumers). Keeps memory bounded during long runs.
