@@ -73,7 +73,11 @@ class Value {
     assert(type_ == ValueType::kString);
     return str_;
   }
-  bool AsBool() const { return !is_null() && AsDouble() != 0.0; }
+  /// SQL truthiness: non-zero numerics are true; NULL and strings are
+  /// false (the binder rejects string predicates where it can; the
+  /// degenerate cases that slip through must not trip AsDouble's
+  /// numeric-only assert in debug builds).
+  bool AsBool() const { return is_numeric() && AsDouble() != 0.0; }
 
   /// Three-way comparison. NULL sorts before everything; numeric types
   /// compare by value across int/double/timestamp; strings lexicographic.

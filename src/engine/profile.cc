@@ -40,6 +40,8 @@ EngineProfile EngineProfile::TiDbLike() {
   p.latency.row_analytic_scan_row_ns = 60000;
   p.latency.col_scan_row_ns = 15000;
   p.latency.col_vector_row_ns = 1800;  // TiFlash-style batch execution
+  p.latency.col_join_build_row_ns = 2200;  // hash-table insert per build row
+  p.latency.col_join_row_ns = 2600;        // per joined tuple materialized
   p.latency.write_ns = 2500;
   p.latency.commit_base_ns = 450000;
   p.latency.statement_overhead_ns = 35000;

@@ -34,6 +34,10 @@ struct LatencyModel {
   /// Per row visited when the vectorized engine serves the replica scan
   /// (batch-amortized: no per-row materialization or interpreter dispatch).
   int64_t col_vector_row_ns = 8;
+  /// Per row materialized into a vectorized-join hash table (build side).
+  int64_t col_join_build_row_ns = 12;
+  /// Per joined tuple emitted by a vectorized hash-join probe stage.
+  int64_t col_join_row_ns = 16;
   int64_t write_ns = 1000;           ///< per buffered write at commit
   int64_t commit_base_ns = 30000;    ///< commit round trip (quorum, log)
   int64_t statement_overhead_ns = 5000;  ///< dispatch/SQL-layer hop
@@ -99,6 +103,10 @@ struct EngineProfile {
   /// The paper ships two schema variants because MemSQL lacks FK support;
   /// profiles therefore choose whether FKs are enforced.
   bool enforce_foreign_keys = false;
+  /// Per-session prepared-statement cache bound (LRU eviction). Ad-hoc SQL
+  /// with inlined literals would otherwise grow a long-lived session's
+  /// cache without limit. 0 disables the bound (unbounded cache).
+  size_t prepared_statement_cache_capacity = 256;
   /// Row-lock wait deadline before a retryable LockTimeout abort.
   int64_t lock_timeout_micros = 100000;
 

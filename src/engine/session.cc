@@ -13,18 +13,15 @@ namespace olxp::engine {
 
 namespace {
 
-/// Charges the simulated duration of one replica scan: `concurrent` is the
-/// number of other analytical scans active when this one started; scans
-/// slow each other sublinearly (bandwidth sharing). Shared by the
-/// interpreter and vectorized column paths so their contention models can
-/// never diverge.
-void ChargeReplicaScan(Session* session, const LatencyModel& m, int64_t rows,
-                       int64_t per_row_ns, int concurrent) {
+/// Charges `ns` of simulated replica work: `concurrent` is the number of
+/// other analytical scans active when this one started; scans slow each
+/// other sublinearly (bandwidth sharing). Shared by the interpreter and
+/// vectorized column paths so their contention models can never diverge.
+void ChargeReplicaWork(Session* session, const LatencyModel& m, double ns,
+                       int concurrent) {
   double pressure = 1.0;
   if (concurrent > 0) pressure += 0.15 * m.scan_contention * concurrent;
-  session->InlineCharge(static_cast<int64_t>(static_cast<double>(rows) *
-                                             static_cast<double>(per_row_ns) *
-                                             pressure / 1000.0));
+  session->InlineCharge(static_cast<int64_t>(ns * pressure / 1000.0));
 }
 
 /// StorageIface over the transactional row store. Forwards reads/writes to
@@ -256,8 +253,11 @@ class ColumnSnapshotStorage : public sql::StorageIface {
     int concurrent = counter.fetch_add(1, std::memory_order_relaxed);
     int64_t visited = t->Scan(cb);
     stats_->col_rows += visited;
-    ChargeReplicaScan(session_, db_->profile().latency, visited,
-                      db_->profile().latency.col_scan_row_ns, concurrent);
+    const LatencyModel& m = db_->profile().latency;
+    ChargeReplicaWork(session_, m,
+                      static_cast<double>(visited) *
+                          static_cast<double>(m.col_scan_row_ns),
+                      concurrent);
     counter.fetch_sub(1, std::memory_order_relaxed);
     return Status::OK();
   }
@@ -338,7 +338,10 @@ Session::~Session() {
 StatusOr<const Session::Prepared*> Session::Prepare(
     const std::string& sql_text) {
   auto it = cache_.find(sql_text);
-  if (it != cache_.end()) return &it->second;
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return &it->second;
+  }
   auto parsed = sql::Parse(sql_text);
   if (!parsed.ok()) return parsed.status();
   auto compiled = sql::Compile(*parsed, *db_);
@@ -346,6 +349,19 @@ StatusOr<const Session::Prepared*> Session::Prepare(
   Prepared p;
   p.compiled = std::move(compiled).value();
   p.shape = exec::InspectPlan(*p.compiled);
+  // Bounded cache: evict least-recently-used plans before inserting so
+  // ad-hoc SQL (inlined literals) cannot grow a long-lived session without
+  // limit. The new entry is inserted after eviction and is never evicted
+  // here, so the returned pointer stays valid for the whole Execute.
+  const size_t cap = db_->profile().prepared_statement_cache_capacity;
+  if (cap > 0) {
+    while (cache_.size() >= cap && !lru_.empty()) {
+      cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  lru_.push_front(sql_text);
+  p.lru_it = lru_.begin();
   return &cache_.emplace(sql_text, std::move(p)).first->second;
 }
 
@@ -372,27 +388,66 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
     if (u < db_->profile().olap_row_fraction) route_to_column = false;
   }
 
-  if (route_to_column) {
-    if (db_->profile().cost_based_routing && shape.single_table &&
-        shape.indexed_path) {
+  if (route_to_column && db_->profile().cost_based_routing) {
+    const LatencyModel& m = db_->profile().latency;
+    auto live_rows = [&](int table_id) {
+      const storage::ColumnTable* ct = db_->column_store().table(table_id);
+      return ct != nullptr ? static_cast<double>(ct->LiveRowCount()) : 0.0;
+    };
+    constexpr double kIndexedSelectivity = 0.01;
+    const double col_row_ns =
+        db_->profile().vectorized_execution && shape.vectorizable
+            ? static_cast<double>(m.col_vector_row_ns)
+            : static_cast<double>(m.col_scan_row_ns);
+    if (shape.single_table && shape.indexed_path) {
       // Deterministic cost comparison: the replica can only serve this plan
       // with a full sweep (it keeps no ordered index), while the row store
       // has a pk/index path touching an estimated selective fraction.
-      const LatencyModel& m = db_->profile().latency;
-      const storage::ColumnTable* ct =
-          db_->column_store().table(shape.table_id);
-      const double live =
-          ct != nullptr ? static_cast<double>(ct->LiveRowCount()) : 0.0;
-      const double col_row_ns =
-          db_->profile().vectorized_execution && shape.vectorizable
-              ? static_cast<double>(m.col_vector_row_ns)
-              : static_cast<double>(m.col_scan_row_ns);
-      constexpr double kIndexedSelectivity = 0.01;
+      const double live = live_rows(shape.table_id);
       const double col_ns = live * col_row_ns;
       const double row_ns =
           static_cast<double>(m.row_seek_ns) +
           std::max(1.0, live * kIndexedSelectivity) *
               static_cast<double>(m.row_analytic_scan_row_ns);
+      if (row_ns < col_ns) route_to_column = false;
+    } else if (shape.table_ids.size() > 1 && shape.indexed_driver &&
+               shape.inner_steps_indexed) {
+      // Selective indexed join: the row store drives it with an index probe
+      // and joins by per-row seeks, while the replica must sweep (and hash)
+      // every table. Large joinable analytical statements keep routing to
+      // the replica; only seek-dominated shapes come back.
+      const double driver_live = live_rows(shape.table_ids[0]);
+      double col_ns = 0;
+      double build_live = 0;
+      double stream_live = driver_live;
+      for (size_t i = 0; i < shape.table_ids.size(); ++i) {
+        const double live = live_rows(shape.table_ids[i]);
+        col_ns += live * col_row_ns;
+        if (i > 0) build_live += live;
+      }
+      if (shape.table_ids.size() == 2) {
+        // Two-table joins build from the smaller side and stream the
+        // bigger one (when parity allows), so estimate that split.
+        const double other = live_rows(shape.table_ids[1]);
+        build_live = std::min(driver_live, other);
+        stream_live = std::max(driver_live, other);
+      }
+      if (db_->profile().vectorized_execution && shape.vectorizable) {
+        // The vectorized path also charges hashing the build sides and
+        // emitting joined tuples (estimated one per streamed row, the
+        // fk-join shape); the estimate mirrors what execution bills.
+        col_ns += build_live *
+                      static_cast<double>(m.col_join_build_row_ns) +
+                  stream_live * static_cast<double>(m.col_join_row_ns);
+      }
+      const double probes = std::max(1.0, driver_live * kIndexedSelectivity);
+      const double inner_seeks =
+          static_cast<double>(shape.table_ids.size() - 1) *
+          static_cast<double>(m.row_seek_ns);
+      const double row_ns =
+          static_cast<double>(m.row_seek_ns) +
+          probes * (static_cast<double>(m.row_analytic_scan_row_ns) +
+                    inner_seeks);
       if (row_ns < col_ns) route_to_column = false;
     }
   }
@@ -401,37 +456,40 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
     last_route_ = RoutedStore::kColumnStore;
     last_snapshot_ts_ = db_->column_store().replicated_ts();
     if (db_->profile().vectorized_execution && shape.vectorizable) {
-      const storage::ColumnTable* ct =
-          db_->column_store().table(shape.table_id);
-      if (ct != nullptr) {
-        // Vectorized columnar execution "as of" the replication watermark.
-        const LatencyModel& m = db_->profile().latency;
-        auto& counter = db_->column_store().active_scans();
-        int concurrent = counter.fetch_add(1, std::memory_order_relaxed);
-        exec::VecExecStats vstats;
-        auto rs = exec::ExecuteVectorized(stmt, params, *ct, &vstats);
-        counter.fetch_sub(1, std::memory_order_relaxed);
-        if (rs.ok()) {
-          // Charge and account only on success: an aborted partial scan
-          // (late unsupported-shape detection) must not double-bill the
-          // statement on top of the interpreter re-execution below.
-          stats.col_rows += vstats.rows_scanned;
-          ChargeReplicaScan(this, m, vstats.rows_scanned, m.col_vector_row_ns,
-                            concurrent);
-          last_vectorized_ = true;
-          ChargeStatement(stats, RoutedStore::kColumnStore);
-          FlushCharge();
-          return rs;
-        }
-        // Fall through to the interpreter on any vectorized-engine error
-        // (unsupported construct discovered at lowering/evaluation time):
-        // behavior is never lost, and genuine statement errors resurface
-        // with the interpreter's diagnostics.
+      // Vectorized columnar execution "as of" the replication watermark.
+      const LatencyModel& m = db_->profile().latency;
+      auto& counter = db_->column_store().active_scans();
+      int concurrent = counter.fetch_add(1, std::memory_order_relaxed);
+      exec::VecExecStats vstats;
+      auto rs =
+          exec::ExecuteVectorized(stmt, params, db_->column_store(), &vstats);
+      counter.fetch_sub(1, std::memory_order_relaxed);
+      if (rs.ok()) {
+        // Charge and account only on success: an aborted partial scan
+        // (late unsupported-shape detection) must not double-bill the
+        // statement on top of the interpreter re-execution below.
+        stats.col_rows += vstats.rows_scanned;
+        const double ns =
+            static_cast<double>(vstats.rows_scanned) *
+                static_cast<double>(m.col_vector_row_ns) +
+            static_cast<double>(vstats.rows_built) *
+                static_cast<double>(m.col_join_build_row_ns) +
+            static_cast<double>(vstats.rows_joined) *
+                static_cast<double>(m.col_join_row_ns);
+        ChargeReplicaWork(this, m, ns, concurrent);
+        last_vectorized_ = true;
+        ChargeStatement(stats);
+        FlushCharge();
+        return rs;
       }
+      // Fall through to the interpreter on any vectorized-engine error
+      // (unsupported construct discovered at lowering/evaluation time or a
+      // table without a replica): behavior is never lost, and genuine
+      // statement errors resurface with the interpreter's diagnostics.
     }
     ColumnSnapshotStorage storage(db_, &stats, this);
     auto rs = sql::Execute(stmt, params, &storage);
-    ChargeStatement(stats, RoutedStore::kColumnStore);
+    ChargeStatement(stats);
     FlushCharge();
     return rs;
   }
@@ -453,7 +511,7 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
                      /*standalone_analytical=*/!in_txn && analytical,
                      scan_penalty);
   auto rs = sql::Execute(stmt, params, &storage);
-  ChargeStatement(stats, RoutedStore::kRowStore);
+  ChargeStatement(stats);
 
   if (!rs.ok()) {
     // Abort whichever transaction was in flight; explicit transactions are
@@ -531,7 +589,7 @@ void Session::FlushCharge() {
   if (charging_enabled_) SleepMicros(micros);
 }
 
-void Session::ChargeStatement(const AccessStats& stats, RoutedStore route) {
+void Session::ChargeStatement(const AccessStats& stats) {
   const LatencyModel& m = db_->profile().latency;
   const ClusterModel& c = db_->profile().cluster;
   double ns = static_cast<double>(m.statement_overhead_ns) * c.ReadFactor();

@@ -2,6 +2,7 @@
 #define OLXP_ENGINE_SESSION_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <span>
 #include <string>
@@ -83,6 +84,10 @@ class Session {
   /// Total simulated microseconds charged to this session so far.
   int64_t charged_micros() const { return charged_micros_; }
 
+  /// Prepared statements currently cached (bounded by the profile's
+  /// prepared_statement_cache_capacity; diagnostics and tests).
+  size_t prepared_cache_size() const { return cache_.size(); }
+
   /// When false, the session skips SleepMicros charging (unit tests run at
   /// full speed; benches keep it on).
   void set_charging_enabled(bool on) { charging_enabled_ = on; }
@@ -110,18 +115,23 @@ class Session {
     std::unique_ptr<sql::CompiledStatement> compiled;
     /// Router inputs derived once at prepare time (immutable per plan).
     exec::PlanShape shape;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
   };
 
   StatusOr<const Prepared*> Prepare(const std::string& sql);
 
   /// Charges the simulated cost of the statement just executed.
-  void ChargeStatement(const AccessStats& stats, RoutedStore route);
+  void ChargeStatement(const AccessStats& stats);
   void ChargeCommit(int64_t writes);
 
   Database* db_;
   uint64_t route_rng_state_;  ///< cheap LCG for the OLAP routing fraction
   std::unique_ptr<txn::Transaction> txn_;
+  /// Prepared-statement cache with LRU eviction (lru_ front = most recent);
+  /// bounded by profile().prepared_statement_cache_capacity.
   std::unordered_map<std::string, Prepared> cache_;
+  std::list<std::string> lru_;
   RoutedStore last_route_ = RoutedStore::kRowStore;
   bool last_vectorized_ = false;
   uint64_t last_snapshot_ts_ = 0;

@@ -1,0 +1,91 @@
+#ifndef OLXP_EXEC_HASH_JOIN_H_
+#define OLXP_EXEC_HASH_JOIN_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/vec.h"
+#include "exec/vexpr.h"
+#include "sql/bound_plan.h"
+#include "storage/column_store.h"
+#include "storage/schema.h"
+
+/// Vectorized hash-join building blocks. The planner-side classification
+/// splits a join step's conjuncts into equi-join keys, build-local filters
+/// and cross-table residuals; HashJoinTable materializes the build side
+/// from the replica's raw column vectors and indexes it by join key.
+
+namespace olxp::exec {
+
+/// One equi-join conjunct `probe = build`: the probe child references only
+/// slots of steps already joined, the build child only slots of the build
+/// step. Pointers borrow from the bound plan (valid for its lifetime).
+struct JoinKey {
+  const sql::BoundExpr* probe = nullptr;
+  const sql::BoundExpr* build = nullptr;
+};
+
+/// Classification of one non-driver TableStep's conjuncts.
+struct JoinStepPlan {
+  std::vector<JoinKey> keys;
+  /// Conjuncts over this step's slots only (applied while building).
+  std::vector<const sql::BoundExpr*> locals;
+  /// Cross-table conjuncts that are not simple equi keys (re-checked on the
+  /// joined batch, exactly like the interpreter re-checks every filter).
+  std::vector<const sql::BoundExpr*> residuals;
+};
+
+/// Splits step `k`'s filters into keys/locals/residuals. Returns false when
+/// the step has no equi-join key linking it to earlier steps (the hash join
+/// would degenerate to a cross product — the interpreter keeps those) or a
+/// filter references slots outside the joined prefix.
+bool ClassifyJoinStep(const sql::BoundSelect& plan, size_t k,
+                      JoinStepPlan* out);
+
+/// The build side of one hash-join level: surviving rows' column values in
+/// columnar layout plus a join-key index into them. Key equality matches
+/// the interpreter's `=` exactly: Value::Compare semantics via KeyEq (NULL
+/// keys are skipped on both sides — NULL never joins), with a fast path for
+/// a single integer-family key.
+class HashJoinTable {
+ public:
+  /// Scans `table`'s raw column vectors, applies `local_filters`
+  /// (vectorized), evaluates `key_exprs` per chunk and indexes every
+  /// surviving non-NULL-key row. Only columns flagged in `needed_cols` are
+  /// materialized (empty span = all) — the join only pays for columns the
+  /// rest of the plan references. Adds live rows visited to *rows_scanned.
+  Status Build(const storage::ColumnTable& table,
+               std::span<const VExpr> local_filters,
+               std::span<const VExpr> key_exprs,
+               std::span<const uint8_t> needed_cols, int64_t* rows_scanned);
+
+  size_t rows() const { return nrows_; }
+  int ncols() const { return static_cast<int>(cols_.size()); }
+  bool int_keyed() const { return int_keyed_; }
+
+  /// Matching build-row indices, or nullptr. Probe with the variant that
+  /// matches int_keyed(); ProbeRow also serves int-keyed tables.
+  const std::vector<uint32_t>* ProbeInt(int64_t key) const;
+  const std::vector<uint32_t>* ProbeRow(const Row& key) const;
+
+  /// Column `c` of build row `r`.
+  const Value& at(int c, uint32_t r) const { return cols_[c][r]; }
+
+ private:
+  std::vector<std::vector<Value>> cols_;  // [col][build row]
+  size_t nrows_ = 0;
+  bool int_keyed_ = false;
+  size_t key_width_ = 0;
+  std::unordered_map<int64_t, std::vector<uint32_t>> int_index_;
+  std::unordered_map<Row, std::vector<uint32_t>, storage::KeyHash,
+                     storage::KeyEq>
+      row_index_;
+};
+
+}  // namespace olxp::exec
+
+#endif  // OLXP_EXEC_HASH_JOIN_H_

@@ -1,10 +1,12 @@
 #include "exec/vectorized.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "exec/hash_join.h"
 #include "exec/vec.h"
 #include "exec/vexpr.h"
 #include "sql/bound_plan.h"
@@ -167,15 +169,725 @@ struct PendingRow {
   Row order_keys;
 };
 
+std::vector<ValueType> SchemaTypes(const storage::TableSchema& schema) {
+  std::vector<ValueType> types;
+  types.reserve(schema.num_columns());
+  for (const auto& c : schema.columns()) types.push_back(c.type);
+  return types;
+}
+
+/// The shared tail of both pipelines: consumes filtered (chunk, selection)
+/// pairs — real replica chunks in the single-table case, materialized
+/// joined batches in the join case — and runs DISTINCT / hash aggregation /
+/// projection, then ORDER BY / LIMIT at Finish. Chunk column `c` holds slot
+/// `c` of the plan's tuple layout.
+class VecSink {
+ public:
+  VecSink(const BoundSelect& plan, std::span<const Value> params)
+      : plan_(plan), params_(params) {}
+
+  /// Join batches fill only referenced slots; group representatives must
+  /// not read the empty columns (unset slots stay NULL, which EvalBound
+  /// never touches by construction of the mask).
+  void set_needed_slots(const std::vector<uint8_t>* mask) { needed_ = mask; }
+
+  Status Init(std::span<const ValueType> slot_types) {
+    repr_cols_ = plan_.total_slots;
+    if (plan_.aggregate_mode) {
+      group_exprs_.reserve(plan_.group_by.size());
+      for (const auto& g : plan_.group_by) {
+        auto lowered = LowerExprSlots(*g, slot_types, 0, params_);
+        if (!lowered.ok()) return lowered.status();
+        group_exprs_.push_back(std::move(lowered).value());
+      }
+      agg_args_.reserve(plan_.aggs.size());
+      for (const auto& spec : plan_.aggs) {
+        LoweredAgg la;
+        if (spec.arg) {
+          auto lowered = LowerExprSlots(*spec.arg, slot_types, 0, params_);
+          if (!lowered.ok()) return lowered.status();
+          la.has_arg = true;
+          la.arg = std::move(lowered).value();
+        }
+        agg_args_.push_back(std::move(la));
+      }
+      // Fast path for the dominant shape "GROUP BY <integer column>": probe
+      // an int-keyed map instead of boxing a key Row per input row. Static
+      // plan typing keeps the choice consistent across chunks.
+      single_int_key_ =
+          group_exprs_.size() == 1 &&
+          group_exprs_[0].kind == sql::BKind::kSlot &&
+          (group_exprs_[0].col_type == ValueType::kInt ||
+           group_exprs_[0].col_type == ValueType::kTimestamp);
+    } else {
+      proj_exprs_.reserve(plan_.projections.size());
+      for (const auto& p : plan_.projections) {
+        auto lowered = LowerExprSlots(*p, slot_types, 0, params_);
+        if (!lowered.ok()) return lowered.status();
+        proj_exprs_.push_back(std::move(lowered).value());
+      }
+      for (const BoundOrderItem& oi : plan_.order_by) {
+        if (oi.proj_index >= 0) continue;
+        auto lowered = LowerExprSlots(*oi.expr, slot_types, 0, params_);
+        if (!lowered.ok()) return lowered.status();
+        order_exprs_.push_back(std::move(lowered).value());
+      }
+      can_stop_early_ =
+          plan_.order_by.empty() && !plan_.distinct && plan_.limit >= 0;
+    }
+    return Status::OK();
+  }
+
+  /// Consumes the selected rows of one chunk. Returns false when the plan's
+  /// LIMIT is satisfied and the producer may stop scanning.
+  StatusOr<bool> Consume(const storage::ColumnChunkView& chunk,
+                         const Sel& sel) {
+    if (sel.empty()) return true;
+    if (!plan_.aggregate_mode) return ConsumeRows(chunk, sel);
+    if (group_exprs_.empty()) return ConsumeGlobalAgg(chunk, sel);
+    return ConsumeGroupedAgg(chunk, sel);
+  }
+
+  StatusOr<sql::ResultSet> Finish() {
+    // ----- aggregate finalization: HAVING, projection, order keys -----
+    if (plan_.aggregate_mode) {
+      if (groups_.empty() && plan_.group_by.empty()) {
+        // Global aggregate over empty input still yields one row.
+        VGroup g;
+        g.repr.assign(plan_.total_slots, Value::Null());
+        g.accums.resize(plan_.aggs.size());
+        groups_.push_back(std::move(g));
+      }
+      for (const VGroup& g : groups_) {
+        std::vector<Value> agg_values(plan_.aggs.size());
+        for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+          agg_values[a] =
+              g.accums[a].Result(plan_.aggs[a].fn, g.star_count);
+        }
+        if (plan_.having) {
+          auto v =
+              sql::EvalBound(*plan_.having, g.repr, params_, &agg_values);
+          if (!v.ok()) return v.status();
+          if (!v->AsBool()) continue;
+        }
+        PendingRow pr;
+        pr.out.reserve(plan_.projections.size());
+        for (const auto& p : plan_.projections) {
+          auto v = sql::EvalBound(*p, g.repr, params_, &agg_values);
+          if (!v.ok()) return v.status();
+          pr.out.push_back(std::move(v).value());
+        }
+        if (plan_.distinct && !distinct_seen_.insert(pr.out).second) {
+          continue;
+        }
+        for (const BoundOrderItem& oi : plan_.order_by) {
+          if (oi.proj_index >= 0) {
+            pr.order_keys.push_back(pr.out[oi.proj_index]);
+          } else {
+            auto v = sql::EvalBound(*oi.expr, g.repr, params_, &agg_values);
+            if (!v.ok()) return v.status();
+            pr.order_keys.push_back(std::move(v).value());
+          }
+        }
+        pending_.push_back(std::move(pr));
+      }
+    }
+
+    // ----- sort / limit / emit (identical to the interpreter) -----
+    if (!plan_.order_by.empty()) {
+      std::stable_sort(pending_.begin(), pending_.end(),
+                       [&](const PendingRow& a, const PendingRow& b) {
+                         for (size_t i = 0; i < plan_.order_by.size(); ++i) {
+                           int c = a.order_keys[i].Compare(b.order_keys[i]);
+                           if (c != 0) {
+                             return plan_.order_by[i].desc ? c > 0 : c < 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+    sql::ResultSet rs;
+    rs.column_names = plan_.column_names;
+    size_t n = pending_.size();
+    if (plan_.limit >= 0) n = std::min(n, static_cast<size_t>(plan_.limit));
+    rs.rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rs.rows.push_back(std::move(pending_[i].out));
+    }
+    rs.affected_rows = 0;
+    return rs;
+  }
+
+ private:
+  struct LoweredAgg {
+    bool has_arg = false;
+    VExpr arg;
+  };
+
+  StatusOr<bool> ConsumeRows(const storage::ColumnChunkView& chunk,
+                             const Sel& sel) {
+    std::vector<Vec> pvecs;
+    pvecs.reserve(proj_exprs_.size());
+    for (const VExpr& p : proj_exprs_) {
+      auto v = EvalVec(p, chunk, sel);
+      if (!v.ok()) return v.status();
+      pvecs.push_back(std::move(v).value());
+    }
+    std::vector<Vec> ovecs;
+    ovecs.reserve(order_exprs_.size());
+    for (const VExpr& o : order_exprs_) {
+      auto v = EvalVec(o, chunk, sel);
+      if (!v.ok()) return v.status();
+      ovecs.push_back(std::move(v).value());
+    }
+    for (size_t i = 0; i < sel.size(); ++i) {
+      PendingRow pr;
+      pr.out.reserve(pvecs.size());
+      for (const Vec& pv : pvecs) pr.out.push_back(pv.value_at(i));
+      if (plan_.distinct && !distinct_seen_.insert(pr.out).second) {
+        continue;
+      }
+      size_t next_expr = 0;
+      for (const BoundOrderItem& oi : plan_.order_by) {
+        if (oi.proj_index >= 0) {
+          pr.order_keys.push_back(pr.out[oi.proj_index]);
+        } else {
+          pr.order_keys.push_back(ovecs[next_expr++].value_at(i));
+        }
+      }
+      pending_.push_back(std::move(pr));
+      if (can_stop_early_ &&
+          pending_.size() >= static_cast<size_t>(plan_.limit)) {
+        return false;  // enough rows; stop the scan
+      }
+    }
+    return true;
+  }
+
+  StatusOr<bool> ConsumeGlobalAgg(const storage::ColumnChunkView& chunk,
+                                  const Sel& sel) {
+    // Global aggregate: one implicit group. The representative tuple is
+    // the first selected row (projections may reference raw slots).
+    if (groups_.empty()) {
+      VGroup g;
+      g.repr.resize(repr_cols_);
+      for (int c = 0; c < repr_cols_; ++c) {
+        if (needed_ == nullptr || (*needed_)[c]) g.repr[c] = chunk.at(c, sel[0]);
+      }
+      g.accums.resize(plan_.aggs.size());
+      groups_.push_back(std::move(g));
+    }
+    groups_[0].star_count += static_cast<int64_t>(sel.size());
+    for (size_t a = 0; a < agg_args_.size(); ++a) {
+      if (!agg_args_[a].has_arg) continue;  // COUNT(*): star_count only
+      auto v = EvalVec(agg_args_[a].arg, chunk, sel);
+      if (!v.ok()) return v.status();
+      AccumulateVec(&groups_[0].accums[a], *v);
+    }
+    return true;
+  }
+
+  StatusOr<bool> ConsumeGroupedAgg(const storage::ColumnChunkView& chunk,
+                                   const Sel& sel) {
+    std::vector<Vec> kvecs;
+    kvecs.reserve(group_exprs_.size());
+    for (const VExpr& g : group_exprs_) {
+      auto v = EvalVec(g, chunk, sel);
+      if (!v.ok()) return v.status();
+      kvecs.push_back(std::move(v).value());
+    }
+    auto new_group = [&](size_t row) -> uint32_t {
+      uint32_t g = static_cast<uint32_t>(groups_.size());
+      VGroup grp;
+      grp.repr.resize(repr_cols_);
+      for (int c = 0; c < repr_cols_; ++c) {
+        if (needed_ == nullptr || (*needed_)[c]) grp.repr[c] = chunk.at(c, row);
+      }
+      grp.accums.resize(plan_.aggs.size());
+      groups_.push_back(std::move(grp));
+      return g;
+    };
+
+    std::vector<uint32_t> gidx(sel.size());
+    if (single_int_key_) {
+      const Vec& kv = kvecs[0];
+      for (size_t i = 0; i < sel.size(); ++i) {
+        uint32_t g;
+        if (kv.null_at(i)) {
+          if (null_group_ == UINT32_MAX) null_group_ = new_group(sel[i]);
+          g = null_group_;
+        } else {
+          int64_t x = kv.int_at(i);
+          auto [it, inserted] = int_groups_.try_emplace(x, 0);
+          if (inserted) it->second = new_group(sel[i]);
+          g = it->second;
+        }
+        groups_[g].star_count++;
+        gidx[i] = g;
+      }
+    } else {
+      Row key;
+      for (size_t i = 0; i < sel.size(); ++i) {
+        key.clear();
+        key.reserve(kvecs.size());
+        for (const Vec& kv : kvecs) key.push_back(kv.value_at(i));
+        auto [it, inserted] = group_index_.try_emplace(key, 0);
+        if (inserted) it->second = new_group(sel[i]);
+        uint32_t g = it->second;
+        groups_[g].star_count++;
+        gidx[i] = g;
+      }
+    }
+    for (size_t a = 0; a < agg_args_.size(); ++a) {
+      if (!agg_args_[a].has_arg) continue;
+      auto v = EvalVec(agg_args_[a].arg, chunk, sel);
+      if (!v.ok()) return v.status();
+      AccumulateGrouped(groups_, gidx, a, *v);
+    }
+    return true;
+  }
+
+  const BoundSelect& plan_;
+  std::span<const Value> params_;
+  int repr_cols_ = 0;
+
+  std::vector<VExpr> group_exprs_;
+  std::vector<LoweredAgg> agg_args_;
+  std::vector<VExpr> proj_exprs_;   // non-agg mode only
+  std::vector<VExpr> order_exprs_;  // non-agg mode, one per expr order item
+  bool single_int_key_ = false;
+  bool can_stop_early_ = false;
+
+  std::vector<PendingRow> pending_;
+  // DISTINCT dedup by value (same semantics as the interpreter's buckets).
+  std::unordered_set<Row, storage::KeyHash, storage::KeyEq> distinct_seen_;
+  std::vector<VGroup> groups_;
+  std::unordered_map<Row, uint32_t, storage::KeyHash, storage::KeyEq>
+      group_index_;
+  std::unordered_map<int64_t, uint32_t> int_groups_;
+  uint32_t null_group_ = UINT32_MAX;
+  const std::vector<uint8_t>* needed_ = nullptr;
+};
+
+// LiveRows/ApplyConjuncts live in vexpr.{h,cc}: the scan, hash-build and
+// join-probe stages share one filtering (and fallback) implementation.
+
+// ---------------------------- single-table path ----------------------------
+
+StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
+                                        std::span<const Value> params,
+                                        const storage::ColumnTable& table,
+                                        VecSink& sink, VecExecStats* stats) {
+  std::vector<VExpr> filters;
+  filters.reserve(plan.steps[0].filters.size());
+  for (const auto& f : plan.steps[0].filters) {
+    auto lowered = LowerExpr(*f, table.schema(), params);
+    if (!lowered.ok()) return lowered.status();
+    filters.push_back(std::move(lowered).value());
+  }
+
+  Status inner = Status::OK();
+  int64_t scanned = table.BatchScan(
+      kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
+        Sel sel = LiveRows(chunk);
+        Status st = ApplyConjuncts(filters, chunk, &sel);
+        if (!st.ok()) {
+          inner = st;
+          return false;
+        }
+        auto more = sink.Consume(chunk, sel);
+        if (!more.ok()) {
+          inner = more.status();
+          return false;
+        }
+        return *more;
+      });
+  if (!inner.ok()) return inner;
+  if (stats != nullptr) stats->rows_scanned += scanned;
+  return sink.Finish();
+}
+
+// ------------------------------- join path ---------------------------------
+
+/// A materialized batch of joined tuples in slot layout: one Value vector
+/// per plan slot. Only slots the rest of the plan references are filled
+/// (the needed-slot mask); unreferenced columns stay empty and are never
+/// read.
+struct Batch {
+  std::vector<std::vector<Value>> cols;
+  std::vector<const std::vector<Value>*> ptrs;
+  std::vector<uint8_t> live;
+  size_t rows = 0;
+
+  explicit Batch(size_t nslots) : cols(nslots), ptrs(nslots) {
+    for (size_t i = 0; i < nslots; ++i) ptrs[i] = &cols[i];
+  }
+
+  void Clear() {
+    rows = 0;
+    for (auto& c : cols) c.clear();  // keeps capacity across chunks
+  }
+
+  storage::ColumnChunkView View() {
+    // Grow-only all-ones array: View is called several times per batch
+    // (probe keys, residuals, sink) and must not re-memset each time.
+    if (live.size() < rows) live.resize(rows, 1);
+    storage::ColumnChunkView v;
+    v.base = 0;
+    v.rows = rows;
+    v.live = live.data();
+    v.columns = ptrs.data();
+    return v;
+  }
+};
+
+/// One hash-join stage: the built side plus the probe-side machinery.
+struct JoinLevel {
+  int base = 0;   ///< first slot of the build table
+  int ncols = 0;  ///< columns of the build table
+  HashJoinTable ht;
+  /// Level 0 keys are lowered against the stream table (evaluated on the
+  /// raw scan chunk, so non-matching rows are never materialized); deeper
+  /// levels are lowered in slot layout and evaluated on joined batches.
+  std::vector<VExpr> probe_keys;
+  std::vector<VExpr> residuals;  ///< slot layout, checked after this join
+  /// Needed build-table columns copied on emit (local indices).
+  std::vector<int> copy_cols;
+  /// Needed slots filled before this level, copied through on emit.
+  std::vector<int> prev_slots;
+};
+
+/// Looks up one probe row in the level's hash table; nullptr = no match
+/// (including NULL keys, which never join).
+const std::vector<uint32_t>* ProbeOne(const JoinLevel& level,
+                                      const std::vector<Vec>& kvecs,
+                                      bool int_probe, size_t i, Row* key) {
+  if (int_probe) {
+    if (kvecs[0].null_at(i)) return nullptr;
+    return level.ht.ProbeInt(kvecs[0].int_at(i));
+  }
+  key->clear();
+  for (const Vec& kv : kvecs) {
+    if (kv.null_at(i)) return nullptr;
+    key->push_back(kv.value_at(i));
+  }
+  return level.ht.ProbeRow(*key);
+}
+
+bool WantIntProbe(const JoinLevel& level, const std::vector<Vec>& kvecs) {
+  return level.ht.int_keyed() && kvecs.size() == 1 &&
+         (kvecs[0].type == ValueType::kInt ||
+          kvecs[0].type == ValueType::kTimestamp);
+}
+
+class JoinPipeline {
+ public:
+  JoinPipeline(std::vector<JoinLevel> levels, size_t total_slots,
+               VecSink& sink, VecExecStats* stats)
+      : levels_(std::move(levels)), sink_(sink), stats_(stats) {
+    out_.reserve(levels_.size());
+    for (size_t i = 0; i < levels_.size(); ++i) out_.emplace_back(total_slots);
+  }
+
+  JoinLevel& level(size_t i) { return levels_[i]; }
+
+  /// Probes the selected rows of `src` through level `lv` and cascades
+  /// onward; past the last level the joined batch feeds the sink. `in_cols`
+  /// are source-view column indices and `out_slots` the plan slots they
+  /// land in — the raw stream chunk passes (local columns, global slots),
+  /// deeper levels pass their identical already-filled slot list for both.
+  /// Returns false when the sink's LIMIT is satisfied.
+  StatusOr<bool> Probe(size_t lv, const storage::ColumnChunkView& src,
+                       const Sel& sel, const std::vector<int>& in_cols,
+                       const std::vector<int>& out_slots) {
+    if (sel.empty()) return true;
+    JoinLevel& level = levels_[lv];
+
+    std::vector<Vec> kvecs;
+    kvecs.reserve(level.probe_keys.size());
+    for (const VExpr& k : level.probe_keys) {
+      auto v = EvalVec(k, src, sel);
+      if (!v.ok()) return v.status();
+      kvecs.push_back(std::move(v).value());
+    }
+    const bool int_probe = WantIntProbe(level, kvecs);
+
+    // Pass 1: match lists (so output columns reserve exactly once).
+    std::vector<const std::vector<uint32_t>*> matches(sel.size(), nullptr);
+    size_t total = 0;
+    Row key;
+    for (size_t i = 0; i < sel.size(); ++i) {
+      matches[i] = ProbeOne(level, kvecs, int_probe, i, &key);
+      if (matches[i] != nullptr) total += matches[i]->size();
+    }
+    if (stats_ != nullptr) stats_->rows_joined += static_cast<int64_t>(total);
+    if (total == 0) return true;
+
+    Batch& next = out_[lv];  // reused across chunks (capacity persists)
+    next.Clear();
+    for (int s : out_slots) next.cols[s].reserve(total);
+    for (int c : level.copy_cols) next.cols[level.base + c].reserve(total);
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (matches[i] == nullptr) continue;
+      for (uint32_t r : *matches[i]) {
+        for (size_t j = 0; j < in_cols.size(); ++j) {
+          next.cols[out_slots[j]].push_back(src.at(in_cols[j], sel[i]));
+        }
+        for (int c : level.copy_cols) {
+          next.cols[level.base + c].push_back(level.ht.at(c, r));
+        }
+        ++next.rows;
+      }
+    }
+
+    Sel next_sel(next.rows);
+    std::iota(next_sel.begin(), next_sel.end(), 0u);
+    storage::ColumnChunkView view = next.View();
+    OLXP_RETURN_NOT_OK(ApplyConjuncts(level.residuals, view, &next_sel));
+    if (lv + 1 == levels_.size()) return sink_.Consume(view, next_sel);
+    const std::vector<int>& filled = levels_[lv + 1].prev_slots;
+    return Probe(lv + 1, view, next_sel, filled, filled);
+  }
+
+ private:
+  std::vector<JoinLevel> levels_;
+  std::vector<Batch> out_;  ///< per-level output batches, reused
+  VecSink& sink_;
+  VecExecStats* stats_;
+};
+
+/// Marks every slot referenced by the subtree in `mask`.
+void MarkSlots(const BoundExpr& e, std::vector<uint8_t>* mask) {
+  if (e.kind == sql::BKind::kSlot && e.slot >= 0 &&
+      static_cast<size_t>(e.slot) < mask->size()) {
+    (*mask)[e.slot] = 1;
+  }
+  for (const auto& c : e.children) MarkSlots(*c, mask);
+}
+
+/// Whether streaming the other side of a two-table join preserves the
+/// interpreter parity contract. Swapping changes the emission order, which
+/// is visible through (a) LIMIT without a full sort picking a different row
+/// subset and (b) grouped-aggregate representative tuples ("first row of
+/// the group"): a raw slot projected (or used in HAVING / ORDER BY) that is
+/// not itself a GROUP BY key takes its value from the representative, so
+/// its value depends on the driving order.
+bool SwapPreservesParity(const BoundSelect& plan) {
+  if (plan.limit >= 0 && !plan.aggregate_mode && plan.order_by.empty()) {
+    return false;
+  }
+  if (!plan.aggregate_mode) return true;
+  std::vector<uint8_t> refs(plan.total_slots, 0);
+  for (const auto& p : plan.projections) MarkSlots(*p, &refs);
+  if (plan.having) MarkSlots(*plan.having, &refs);
+  for (const BoundOrderItem& oi : plan.order_by) {
+    if (oi.expr) MarkSlots(*oi.expr, &refs);
+  }
+  std::vector<uint8_t> keyed(plan.total_slots, 0);
+  for (const auto& g : plan.group_by) {
+    if (g->kind == sql::BKind::kSlot && g->slot >= 0 &&
+        static_cast<size_t>(g->slot) < keyed.size()) {
+      keyed[g->slot] = 1;
+    }
+  }
+  for (int s = 0; s < plan.total_slots; ++s) {
+    if (refs[s] && !keyed[s]) return false;  // representative-dependent
+  }
+  return true;
+}
+
+StatusOr<sql::ResultSet> RunHashJoin(
+    const BoundSelect& plan, std::span<const Value> params,
+    const std::vector<const storage::ColumnTable*>& tables,
+    std::span<const ValueType> slot_types, VecSink& sink,
+    VecExecStats* stats) {
+  const size_t nsteps = plan.steps.size();
+  std::vector<JoinStepPlan> cls(nsteps);
+  for (size_t k = 1; k < nsteps; ++k) {
+    if (!ClassifyJoinStep(plan, k, &cls[k])) {
+      return Status::Unsupported("join step without an equi-join key");
+    }
+  }
+
+  // Stream the bigger side and build the hash table from the smaller one
+  // when the join is a plain two-table shape and the changed driving order
+  // cannot leak into results (SwapPreservesParity).
+  size_t stream = 0;
+  const bool swapped =
+      nsteps == 2 && SwapPreservesParity(plan) &&
+      tables[0]->LiveRowCount() < tables[1]->LiveRowCount();
+  if (swapped) stream = 1;
+
+  const TableStep& sstep = plan.steps[stream];
+  std::vector<ValueType> stream_types = SchemaTypes(*sstep.schema);
+
+  // Slots the plan reads after the join stages: sink expressions (also via
+  // EvalBound over group representatives), residual conjuncts, and probe
+  // keys of levels past the first (the first level probes the raw stream
+  // chunk directly). Everything else is never materialized.
+  const size_t total_slots = slot_types.size();
+  std::vector<uint8_t> needed(total_slots, 0);
+  for (const auto& p : plan.projections) MarkSlots(*p, &needed);
+  for (const auto& g : plan.group_by) MarkSlots(*g, &needed);
+  for (const auto& a : plan.aggs) {
+    if (a.arg) MarkSlots(*a.arg, &needed);
+  }
+  if (plan.having) MarkSlots(*plan.having, &needed);
+  for (const BoundOrderItem& oi : plan.order_by) {
+    if (oi.expr) MarkSlots(*oi.expr, &needed);
+  }
+  {
+    bool first_level = true;
+    for (size_t k = 1; k < nsteps; ++k) {
+      for (const BoundExpr* f : cls[k].residuals) MarkSlots(*f, &needed);
+      for (const JoinKey& jk : cls[k].keys) {
+        // In the two-table swapped case the sole level's probe side is the
+        // stream (step-1) child; either way the only level probes the raw
+        // chunk, so its keys need no materialization.
+        if (first_level) continue;
+        MarkSlots(*jk.probe, &needed);
+      }
+      first_level = false;
+    }
+  }
+  sink.set_needed_slots(&needed);
+
+  // Stream-side local filters (evaluated on the raw chunk).
+  std::vector<const BoundExpr*> stream_locals;
+  if (swapped) {
+    stream_locals = cls[1].locals;
+  } else {
+    for (const auto& f : plan.steps[0].filters) {
+      stream_locals.push_back(f.get());
+    }
+  }
+  std::vector<VExpr> stream_filters;
+  stream_filters.reserve(stream_locals.size());
+  for (const BoundExpr* f : stream_locals) {
+    auto lowered = LowerExprSlots(*f, stream_types, sstep.base, params);
+    if (!lowered.ok()) return lowered.status();
+    stream_filters.push_back(std::move(lowered).value());
+  }
+  std::vector<int> stream_copy;  // needed stream columns (local indices)
+  std::vector<int> stream_out;   // ... and the plan slots they land in
+  for (int c = 0; c < sstep.ncols; ++c) {
+    if (needed[sstep.base + c]) {
+      stream_copy.push_back(c);
+      stream_out.push_back(sstep.base + c);
+    }
+  }
+
+  // Build one hash table per non-stream step, in plan order.
+  std::vector<JoinLevel> levels;
+  std::vector<int> filled = stream_out;  // needed slots materialized so far
+  for (size_t k = 0; k < nsteps; ++k) {
+    if (k == stream) continue;
+    const TableStep& bstep = plan.steps[k];
+    std::vector<ValueType> btypes = SchemaTypes(*bstep.schema);
+    // When the two-table sides are swapped, the classified key roles flip:
+    // the step-0 children become the build exprs and the step-1 children
+    // the probe exprs. Locals follow their table.
+    const JoinStepPlan& c = swapped ? cls[1] : cls[k];
+    std::vector<const BoundExpr*> blocals;
+    if (swapped) {
+      for (const auto& f : plan.steps[0].filters) blocals.push_back(f.get());
+    } else {
+      blocals = c.locals;
+    }
+    const bool first_level = levels.empty();
+
+    JoinLevel level;
+    level.base = bstep.base;
+    level.ncols = bstep.ncols;
+    level.prev_slots = filled;
+    std::vector<uint8_t> bneeded(bstep.ncols, 0);
+    for (int bc = 0; bc < bstep.ncols; ++bc) {
+      if (needed[bstep.base + bc]) {
+        bneeded[bc] = 1;
+        level.copy_cols.push_back(bc);
+      }
+    }
+
+    std::vector<VExpr> build_filters;
+    build_filters.reserve(blocals.size());
+    for (const BoundExpr* f : blocals) {
+      auto lowered = LowerExprSlots(*f, btypes, bstep.base, params);
+      if (!lowered.ok()) return lowered.status();
+      build_filters.push_back(std::move(lowered).value());
+    }
+    std::vector<VExpr> build_keys;
+    build_keys.reserve(c.keys.size());
+    level.probe_keys.reserve(c.keys.size());
+    for (const JoinKey& jk : c.keys) {
+      const BoundExpr* build_side = swapped ? jk.probe : jk.build;
+      const BoundExpr* probe_side = swapped ? jk.build : jk.probe;
+      auto b = LowerExprSlots(*build_side, btypes, bstep.base, params);
+      if (!b.ok()) return b.status();
+      build_keys.push_back(std::move(b).value());
+      // The first level's probe keys run against the raw stream chunk (its
+      // keys reference only stream slots); deeper levels run in slot
+      // layout on the joined batch.
+      auto p = first_level
+                   ? LowerExprSlots(*probe_side, stream_types, sstep.base,
+                                    params)
+                   : LowerExprSlots(*probe_side, slot_types, 0, params);
+      if (!p.ok()) return p.status();
+      level.probe_keys.push_back(std::move(p).value());
+    }
+    level.residuals.reserve(c.residuals.size());
+    for (const BoundExpr* f : c.residuals) {
+      auto lowered = LowerExprSlots(*f, slot_types, 0, params);
+      if (!lowered.ok()) return lowered.status();
+      level.residuals.push_back(std::move(lowered).value());
+    }
+
+    int64_t scanned = 0;
+    OLXP_RETURN_NOT_OK(level.ht.Build(*tables[k], build_filters, build_keys,
+                                      bneeded, &scanned));
+    if (stats != nullptr) {
+      stats->rows_scanned += scanned;
+      stats->rows_built += static_cast<int64_t>(level.ht.rows());
+    }
+    for (int bc : level.copy_cols) filled.push_back(level.base + bc);
+    levels.push_back(std::move(level));
+  }
+
+  JoinPipeline pipeline(std::move(levels), total_slots, sink, stats);
+  Status inner = Status::OK();
+  int64_t scanned = tables[stream]->BatchScan(
+      kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
+        Sel sel = LiveRows(chunk);
+        Status st = ApplyConjuncts(stream_filters, chunk, &sel);
+        if (!st.ok()) {
+          inner = st;
+          return false;
+        }
+        // First-level probe runs straight off the raw chunk: its keys are
+        // lowered against the stream table, so non-matching rows are never
+        // materialized into slot layout.
+        auto more = pipeline.Probe(0, chunk, sel, stream_copy, stream_out);
+        if (!more.ok()) {
+          inner = more.status();
+          return false;
+        }
+        return *more;
+      });
+  if (!inner.ok()) return inner;
+  if (stats != nullptr) stats->rows_scanned += scanned;
+  return sink.Finish();
+}
+
 }  // namespace
 
 bool CanVectorize(const sql::CompiledStatement& stmt) {
   const auto& impl = stmt.impl();
   if (impl.kind != sql::StmtKind::kSelect || !impl.select) return false;
   const BoundSelect& p = *impl.select;
-  if (p.steps.size() != 1) return false;
-  for (const auto& f : p.steps[0].filters) {
-    if (sql::ContainsSubquery(*f)) return false;
+  if (p.steps.empty()) return false;
+  for (const auto& step : p.steps) {
+    for (const auto& f : step.filters) {
+      if (sql::ContainsSubquery(*f)) return false;
+    }
   }
   for (const auto& g : p.group_by) {
     if (sql::ContainsSubquery(*g)) return false;
@@ -189,6 +901,12 @@ bool CanVectorize(const sql::CompiledStatement& stmt) {
   if (p.having && sql::ContainsSubquery(*p.having)) return false;
   for (const BoundOrderItem& oi : p.order_by) {
     if (oi.expr && sql::ContainsSubquery(*oi.expr)) return false;
+  }
+  // Joins: every non-driver step must be reachable through at least one
+  // equi-join conjunct (hash-joinable); anything else stays interpreted.
+  for (size_t k = 1; k < p.steps.size(); ++k) {
+    JoinStepPlan tmp;
+    if (!ClassifyJoinStep(p, k, &tmp)) return false;
   }
   return true;
 }
@@ -204,320 +922,52 @@ PlanShape InspectPlan(const sql::CompiledStatement& stmt) {
     s.table_id = p.steps[0].table_id;
     s.indexed_path = p.steps[0].path != TableStep::Path::kFull;
   }
+  s.table_ids.reserve(p.steps.size());
+  for (const TableStep& step : p.steps) s.table_ids.push_back(step.table_id);
+  if (!p.steps.empty()) {
+    s.indexed_driver = p.steps[0].path != TableStep::Path::kFull;
+    s.inner_steps_indexed = p.steps.size() > 1;
+    for (size_t k = 1; k < p.steps.size(); ++k) {
+      if (p.steps[k].path == TableStep::Path::kFull) {
+        s.inner_steps_indexed = false;
+        break;
+      }
+    }
+  }
   s.vectorizable = CanVectorize(stmt);
   return s;
 }
 
 StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
                                            std::span<const Value> params,
-                                           const storage::ColumnTable& table,
+                                           const storage::ColumnStore& store,
                                            VecExecStats* stats) {
   const auto& impl = stmt.impl();
   if (impl.kind != sql::StmtKind::kSelect || !impl.select ||
-      impl.select->steps.size() != 1) {
+      impl.select->steps.empty()) {
     return Status::Unsupported("not a vectorizable statement");
   }
   const BoundSelect& plan = *impl.select;
-  const storage::TableSchema& schema = table.schema();
-  const int ncols = schema.num_columns();
-  const bool agg = plan.aggregate_mode;
 
-  // ----- lower the scan-side expressions (params folded) -----
-  std::vector<VExpr> filters;
-  filters.reserve(plan.steps[0].filters.size());
-  for (const auto& f : plan.steps[0].filters) {
-    auto lowered = LowerExpr(*f, schema, params);
-    if (!lowered.ok()) return lowered.status();
-    filters.push_back(std::move(lowered).value());
-  }
-  std::vector<VExpr> group_exprs;
-  struct LoweredAgg {
-    bool has_arg = false;
-    VExpr arg;
-  };
-  std::vector<LoweredAgg> agg_args;
-  std::vector<VExpr> proj_exprs;   // non-agg mode only
-  std::vector<VExpr> order_exprs;  // non-agg mode, one per expr order item
-  if (agg) {
-    group_exprs.reserve(plan.group_by.size());
-    for (const auto& g : plan.group_by) {
-      auto lowered = LowerExpr(*g, schema, params);
-      if (!lowered.ok()) return lowered.status();
-      group_exprs.push_back(std::move(lowered).value());
-    }
-    agg_args.reserve(plan.aggs.size());
-    for (const auto& spec : plan.aggs) {
-      LoweredAgg la;
-      if (spec.arg) {
-        auto lowered = LowerExpr(*spec.arg, schema, params);
-        if (!lowered.ok()) return lowered.status();
-        la.has_arg = true;
-        la.arg = std::move(lowered).value();
-      }
-      agg_args.push_back(std::move(la));
-    }
-  } else {
-    proj_exprs.reserve(plan.projections.size());
-    for (const auto& p : plan.projections) {
-      auto lowered = LowerExpr(*p, schema, params);
-      if (!lowered.ok()) return lowered.status();
-      proj_exprs.push_back(std::move(lowered).value());
-    }
-    for (const BoundOrderItem& oi : plan.order_by) {
-      if (oi.proj_index >= 0) continue;
-      auto lowered = LowerExpr(*oi.expr, schema, params);
-      if (!lowered.ok()) return lowered.status();
-      order_exprs.push_back(std::move(lowered).value());
-    }
+  std::vector<const storage::ColumnTable*> tables;
+  tables.reserve(plan.steps.size());
+  std::vector<ValueType> slot_types;
+  slot_types.reserve(plan.total_slots);
+  for (const TableStep& step : plan.steps) {
+    const storage::ColumnTable* t = store.table(step.table_id);
+    if (t == nullptr) return Status::NotFound("no columnar replica");
+    tables.push_back(t);
+    std::vector<ValueType> types = SchemaTypes(*step.schema);
+    slot_types.insert(slot_types.end(), types.begin(), types.end());
   }
 
-  // ----- pipeline state -----
-  std::vector<PendingRow> pending;
-  // DISTINCT dedup by value (same semantics as the interpreter's buckets).
-  std::unordered_set<Row, storage::KeyHash, storage::KeyEq> distinct_seen;
-  const bool can_stop_early = !agg && plan.order_by.empty() &&
-                              !plan.distinct && plan.limit >= 0;
+  VecSink sink(plan, params);
+  OLXP_RETURN_NOT_OK(sink.Init(slot_types));
 
-  std::vector<VGroup> groups;
-  std::unordered_map<Row, uint32_t, storage::KeyHash, storage::KeyEq>
-      group_index;
-  // Fast path for the dominant shape "GROUP BY <integer column>": probe an
-  // int-keyed map instead of boxing a key Row per input row. Static plan
-  // typing keeps the choice consistent across chunks.
-  const bool single_int_key =
-      agg && group_exprs.size() == 1 &&
-      group_exprs[0].kind == sql::BKind::kSlot &&
-      (group_exprs[0].col_type == ValueType::kInt ||
-       group_exprs[0].col_type == ValueType::kTimestamp);
-  std::unordered_map<int64_t, uint32_t> int_groups;
-  uint32_t null_group = UINT32_MAX;
-
-  Status inner = Status::OK();
-
-  int64_t scanned = table.BatchScan(
-      kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
-        Sel sel;
-        sel.reserve(chunk.rows);
-        for (size_t i = 0; i < chunk.rows; ++i) {
-          if (chunk.live[i]) sel.push_back(static_cast<uint32_t>(i));
-        }
-        if (sel.empty()) return true;
-
-        // Vectorized predicate evaluation, one conjunct at a time; each
-        // pass narrows the selection the next conjunct touches.
-        for (const VExpr& f : filters) {
-          auto cond = EvalVec(f, chunk, sel);
-          if (!cond.ok()) {
-            inner = cond.status();
-            return false;
-          }
-          if (cond->type == ValueType::kString) {
-            // A string-typed conjunct has no vector truthiness; let the
-            // interpreter own the (degenerate) semantics.
-            inner = Status::Unsupported("non-boolean string predicate");
-            return false;
-          }
-          ApplyFilter(*cond, &sel);
-          if (sel.empty()) return true;
-        }
-
-        if (!agg) {
-          std::vector<Vec> pvecs;
-          pvecs.reserve(proj_exprs.size());
-          for (const VExpr& p : proj_exprs) {
-            auto v = EvalVec(p, chunk, sel);
-            if (!v.ok()) {
-              inner = v.status();
-              return false;
-            }
-            pvecs.push_back(std::move(v).value());
-          }
-          std::vector<Vec> ovecs;
-          ovecs.reserve(order_exprs.size());
-          for (const VExpr& o : order_exprs) {
-            auto v = EvalVec(o, chunk, sel);
-            if (!v.ok()) {
-              inner = v.status();
-              return false;
-            }
-            ovecs.push_back(std::move(v).value());
-          }
-          for (size_t i = 0; i < sel.size(); ++i) {
-            PendingRow pr;
-            pr.out.reserve(pvecs.size());
-            for (const Vec& pv : pvecs) pr.out.push_back(pv.value_at(i));
-            if (plan.distinct && !distinct_seen.insert(pr.out).second) {
-              continue;
-            }
-            size_t next_expr = 0;
-            for (const BoundOrderItem& oi : plan.order_by) {
-              if (oi.proj_index >= 0) {
-                pr.order_keys.push_back(pr.out[oi.proj_index]);
-              } else {
-                pr.order_keys.push_back(ovecs[next_expr++].value_at(i));
-              }
-            }
-            pending.push_back(std::move(pr));
-            if (can_stop_early &&
-                pending.size() >= static_cast<size_t>(plan.limit)) {
-              return false;  // enough rows; stop the scan
-            }
-          }
-          return true;
-        }
-
-        // ----- aggregation -----
-        if (group_exprs.empty()) {
-          // Global aggregate: one implicit group. The representative tuple
-          // is the first selected row (projections may reference raw slots).
-          if (groups.empty()) {
-            VGroup g;
-            g.repr.resize(ncols);
-            for (int c = 0; c < ncols; ++c) {
-              g.repr[c] = chunk.at(c, sel[0]);
-            }
-            g.accums.resize(plan.aggs.size());
-            groups.push_back(std::move(g));
-          }
-          groups[0].star_count += static_cast<int64_t>(sel.size());
-          for (size_t a = 0; a < agg_args.size(); ++a) {
-            if (!agg_args[a].has_arg) continue;  // COUNT(*): star_count only
-            auto v = EvalVec(agg_args[a].arg, chunk, sel);
-            if (!v.ok()) {
-              inner = v.status();
-              return false;
-            }
-            AccumulateVec(&groups[0].accums[a], *v);
-          }
-          return true;
-        }
-
-        std::vector<Vec> kvecs;
-        kvecs.reserve(group_exprs.size());
-        for (const VExpr& g : group_exprs) {
-          auto v = EvalVec(g, chunk, sel);
-          if (!v.ok()) {
-            inner = v.status();
-            return false;
-          }
-          kvecs.push_back(std::move(v).value());
-        }
-        auto new_group = [&](size_t row) -> uint32_t {
-          uint32_t g = static_cast<uint32_t>(groups.size());
-          VGroup grp;
-          grp.repr.resize(ncols);
-          for (int c = 0; c < ncols; ++c) grp.repr[c] = chunk.at(c, row);
-          grp.accums.resize(plan.aggs.size());
-          groups.push_back(std::move(grp));
-          return g;
-        };
-
-        std::vector<uint32_t> gidx(sel.size());
-        if (single_int_key) {
-          const Vec& kv = kvecs[0];
-          for (size_t i = 0; i < sel.size(); ++i) {
-            uint32_t g;
-            if (kv.null_at(i)) {
-              if (null_group == UINT32_MAX) null_group = new_group(sel[i]);
-              g = null_group;
-            } else {
-              int64_t x = kv.int_at(i);
-              auto [it, inserted] = int_groups.try_emplace(x, 0);
-              if (inserted) it->second = new_group(sel[i]);
-              g = it->second;
-            }
-            groups[g].star_count++;
-            gidx[i] = g;
-          }
-        } else {
-          Row key;
-          for (size_t i = 0; i < sel.size(); ++i) {
-            key.clear();
-            key.reserve(kvecs.size());
-            for (const Vec& kv : kvecs) key.push_back(kv.value_at(i));
-            auto [it, inserted] = group_index.try_emplace(key, 0);
-            if (inserted) it->second = new_group(sel[i]);
-            uint32_t g = it->second;
-            groups[g].star_count++;
-            gidx[i] = g;
-          }
-        }
-        for (size_t a = 0; a < agg_args.size(); ++a) {
-          if (!agg_args[a].has_arg) continue;
-          auto v = EvalVec(agg_args[a].arg, chunk, sel);
-          if (!v.ok()) {
-            inner = v.status();
-            return false;
-          }
-          AccumulateGrouped(groups, gidx, a, *v);
-        }
-        return true;
-      });
-
-  if (!inner.ok()) return inner;
-  if (stats != nullptr) stats->rows_scanned = scanned;
-
-  // ----- aggregate finalization: HAVING, projection, order keys -----
-  if (agg) {
-    if (groups.empty() && plan.group_by.empty()) {
-      // Global aggregate over empty input still yields one row.
-      VGroup g;
-      g.repr.assign(plan.total_slots, Value::Null());
-      g.accums.resize(plan.aggs.size());
-      groups.push_back(std::move(g));
-    }
-    for (const VGroup& g : groups) {
-      std::vector<Value> agg_values(plan.aggs.size());
-      for (size_t a = 0; a < plan.aggs.size(); ++a) {
-        agg_values[a] = g.accums[a].Result(plan.aggs[a].fn, g.star_count);
-      }
-      if (plan.having) {
-        auto v = sql::EvalBound(*plan.having, g.repr, params, &agg_values);
-        if (!v.ok()) return v.status();
-        if (!v->AsBool()) continue;
-      }
-      PendingRow pr;
-      pr.out.reserve(plan.projections.size());
-      for (const auto& p : plan.projections) {
-        auto v = sql::EvalBound(*p, g.repr, params, &agg_values);
-        if (!v.ok()) return v.status();
-        pr.out.push_back(std::move(v).value());
-      }
-      if (plan.distinct && !distinct_seen.insert(pr.out).second) continue;
-      for (const BoundOrderItem& oi : plan.order_by) {
-        if (oi.proj_index >= 0) {
-          pr.order_keys.push_back(pr.out[oi.proj_index]);
-        } else {
-          auto v = sql::EvalBound(*oi.expr, g.repr, params, &agg_values);
-          if (!v.ok()) return v.status();
-          pr.order_keys.push_back(std::move(v).value());
-        }
-      }
-      pending.push_back(std::move(pr));
-    }
+  if (plan.steps.size() == 1) {
+    return RunSingleTable(plan, params, *tables[0], sink, stats);
   }
-
-  // ----- sort / limit / emit (identical to the interpreter) -----
-  if (!plan.order_by.empty()) {
-    std::stable_sort(pending.begin(), pending.end(),
-                     [&](const PendingRow& a, const PendingRow& b) {
-                       for (size_t i = 0; i < plan.order_by.size(); ++i) {
-                         int c = a.order_keys[i].Compare(b.order_keys[i]);
-                         if (c != 0) {
-                           return plan.order_by[i].desc ? c > 0 : c < 0;
-                         }
-                       }
-                       return false;
-                     });
-  }
-  sql::ResultSet rs;
-  rs.column_names = plan.column_names;
-  size_t n = pending.size();
-  if (plan.limit >= 0) n = std::min(n, static_cast<size_t>(plan.limit));
-  rs.rows.reserve(n);
-  for (size_t i = 0; i < n; ++i) rs.rows.push_back(std::move(pending[i].out));
-  rs.affected_rows = 0;
-  return rs;
+  return RunHashJoin(plan, params, tables, slot_types, sink, stats);
 }
 
 }  // namespace olxp::exec

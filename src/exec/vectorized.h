@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
@@ -10,13 +11,15 @@
 #include "sql/storage_iface.h"
 #include "storage/column_store.h"
 
-/// Vectorized columnar execution engine. Single-table analytical SELECTs
-/// lowered from the bound plan run here column-at-a-time over the replica's
-/// raw column vectors (scan -> vectorized filter -> projection / hash
-/// aggregation -> order / limit), skipping the interpreter's per-row Row
+/// Vectorized columnar execution engine. Analytical SELECTs lowered from
+/// the bound plan run here column-at-a-time over the replica's raw column
+/// vectors: chunked scan -> vectorized filters -> hash joins (build from
+/// the smaller side, probe batch-at-a-time) -> projection / hash
+/// aggregation -> order / limit, skipping the interpreter's per-row Row
 /// materialization and expression walks. The engine::Session cost router
-/// decides when to use it; anything it cannot lower falls back to the
-/// interpreter, so no statement loses behavior.
+/// decides when to use it; anything it cannot lower (non-equi joins,
+/// subqueries) falls back to the interpreter, so no statement loses
+/// behavior.
 
 namespace olxp::exec {
 
@@ -33,27 +36,37 @@ struct PlanShape {
   /// instead of a full scan (the replica cannot: it has no ordered index).
   bool indexed_path = false;
   bool vectorizable = false;
+  /// Tables read by the plan, in join order (empty for non-SELECTs).
+  std::vector<int> table_ids;
+  /// The driving (first) step has an index-backed access path.
+  bool indexed_driver = false;
+  /// Every non-driver join step has an index-backed access path (the row
+  /// store joins by seeks instead of scans).
+  bool inner_steps_indexed = false;
 };
 
 PlanShape InspectPlan(const sql::CompiledStatement& stmt);
 
-/// True when the statement is a single-table SELECT whose expressions the
-/// vectorized engine can all lower (no subqueries; joins never qualify).
+/// True when the statement is a SELECT the vectorized engine can lower: no
+/// subqueries anywhere, and every non-driver table linked to the already
+/// joined tables by at least one equi-join conjunct (hash-joinable).
 bool CanVectorize(const sql::CompiledStatement& stmt);
 
 /// Access accounting for the latency model.
 struct VecExecStats {
-  int64_t rows_scanned = 0;  ///< live rows visited on the replica
+  int64_t rows_scanned = 0;  ///< live rows visited on the replica (all scans)
+  int64_t rows_built = 0;    ///< rows materialized into join hash tables
+  int64_t rows_joined = 0;   ///< joined tuples emitted by probe stages
 };
 
-/// Executes a vectorizable SELECT against one columnar replica table. The
-/// result is identical to the interpreter's (the parity suite in
-/// tests/exec_test.cc enforces this). Returns Unsupported for constructs
-/// detected only at lowering/evaluation time — callers fall back to the
-/// interpreter on any error.
+/// Executes a vectorizable SELECT against the columnar replica. The result
+/// is identical to the interpreter's (the parity suite in tests/exec_test.cc
+/// enforces this). Returns Unsupported for constructs detected only at
+/// lowering/evaluation time and NotFound when a table has no replica —
+/// callers fall back to the interpreter on any error.
 StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
                                            std::span<const Value> params,
-                                           const storage::ColumnTable& table,
+                                           const storage::ColumnStore& store,
                                            VecExecStats* stats);
 
 }  // namespace olxp::exec

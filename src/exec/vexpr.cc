@@ -231,9 +231,9 @@ Status RequireTruthyCapable(const Vec& v, const char* what) {
 
 }  // namespace
 
-StatusOr<VExpr> LowerExpr(const sql::BoundExpr& e,
-                          const storage::TableSchema& schema,
-                          std::span<const Value> params) {
+StatusOr<VExpr> LowerExprSlots(const sql::BoundExpr& e,
+                               std::span<const ValueType> slot_types,
+                               int slot_base, std::span<const Value> params) {
   VExpr out;
   out.kind = e.kind;
   switch (e.kind) {
@@ -248,13 +248,15 @@ StatusOr<VExpr> LowerExpr(const sql::BoundExpr& e,
       out.kind = BKind::kLiteral;
       out.literal = params[e.param_index];
       return out;
-    case BKind::kSlot:
-      if (e.slot < 0 || e.slot >= schema.num_columns()) {
-        return Status::Internal("slot out of range for single-table plan");
+    case BKind::kSlot: {
+      const int col = e.slot - slot_base;
+      if (col < 0 || static_cast<size_t>(col) >= slot_types.size()) {
+        return Status::Internal("slot out of range for lowering window");
       }
-      out.col = e.slot;
-      out.col_type = schema.columns()[e.slot].type;
+      out.col = col;
+      out.col_type = slot_types[col];
       return out;
+    }
     case BKind::kUnary:
       out.uop = e.uop;
       break;
@@ -274,11 +276,43 @@ StatusOr<VExpr> LowerExpr(const sql::BoundExpr& e,
   out.negated_in = e.negated_in;
   out.children.reserve(e.children.size());
   for (const auto& c : e.children) {
-    auto lowered = LowerExpr(*c, schema, params);
+    auto lowered = LowerExprSlots(*c, slot_types, slot_base, params);
     if (!lowered.ok()) return lowered.status();
     out.children.push_back(std::move(lowered).value());
   }
   return out;
+}
+
+StatusOr<VExpr> LowerExpr(const sql::BoundExpr& e,
+                          const storage::TableSchema& schema,
+                          std::span<const Value> params) {
+  std::vector<ValueType> types;
+  types.reserve(schema.num_columns());
+  for (const auto& c : schema.columns()) types.push_back(c.type);
+  return LowerExprSlots(e, types, /*slot_base=*/0, params);
+}
+
+Sel LiveRows(const storage::ColumnChunkView& chunk) {
+  Sel sel;
+  sel.reserve(chunk.rows);
+  for (size_t i = 0; i < chunk.rows; ++i) {
+    if (chunk.live[i]) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+Status ApplyConjuncts(std::span<const VExpr> filters,
+                      const storage::ColumnChunkView& chunk, Sel* sel) {
+  for (const VExpr& f : filters) {
+    if (sel->empty()) return Status::OK();
+    auto cond = EvalVec(f, chunk, *sel);
+    if (!cond.ok()) return cond.status();
+    if (cond->type == ValueType::kString) {
+      return Status::Unsupported("non-boolean string predicate");
+    }
+    ApplyFilter(*cond, sel);
+  }
+  return Status::OK();
 }
 
 StatusOr<Vec> EvalVec(const VExpr& e, const storage::ColumnChunkView& chunk,

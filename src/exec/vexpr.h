@@ -35,12 +35,32 @@ StatusOr<VExpr> LowerExpr(const sql::BoundExpr& e,
                           const storage::TableSchema& schema,
                           std::span<const Value> params);
 
+/// General lowering: slot `s` maps to column `s - slot_base` of a chunk
+/// whose columns have the declared types `slot_types[s - slot_base]`. The
+/// join pipeline uses this twice: with the full joined slot-type vector and
+/// slot_base 0 for probe/residual/sink expressions, and with one table's
+/// column types and that step's slot base for build-side expressions.
+StatusOr<VExpr> LowerExprSlots(const sql::BoundExpr& e,
+                               std::span<const ValueType> slot_types,
+                               int slot_base, std::span<const Value> params);
+
 /// Evaluates `e` over the selected rows of one chunk, producing one logical
 /// row per selection entry. Mirrors the interpreter's Eval semantics
 /// (NULL-rejecting comparisons, int/double promotion, NULL on division by
 /// zero) evaluated column-at-a-time.
 StatusOr<Vec> EvalVec(const VExpr& e, const storage::ColumnChunkView& chunk,
                       const Sel& sel);
+
+/// Selection of the chunk's live rows.
+Sel LiveRows(const storage::ColumnChunkView& chunk);
+
+/// Evaluates lowered conjuncts against (chunk, sel), narrowing sel. A
+/// string-typed conjunct has no vector truthiness; the interpreter owns the
+/// (degenerate) semantics, so it surfaces as Unsupported. Shared by the
+/// scan, hash-build and join-probe stages so their fallback rules can never
+/// diverge.
+Status ApplyConjuncts(std::span<const VExpr> filters,
+                      const storage::ColumnChunkView& chunk, Sel* sel);
 
 }  // namespace olxp::exec
 

@@ -47,17 +47,13 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
       granted = true;
       break;
     }
-    if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
-      LockEntry& again = shard.locks[h];
-      if (again.owner == 0) {
-        again.owner = txn_id;
-        again.reentry = 1;
-        granted = true;
-      }
-      break;
-    }
+    // Deadline expiry is a hard timeout: a waiter that slept its whole
+    // budget fails deterministically instead of racing the releaser for a
+    // last-instant grant (the caller retries the transaction anyway).
+    if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) break;
   }
-  shard.locks[h].waiters--;
+  LockEntry& fin = shard.locks[h];
+  fin.waiters--;
   stats_.wait_nanos.fetch_add(static_cast<uint64_t>(NowNanos() - t0),
                               std::memory_order_relaxed);
   if (granted) {
@@ -65,9 +61,16 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
     return Status::OK();
   }
   stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+  uint64_t owner_now = fin.owner;
+  // Last-waiter exit without a grant: Release keeps an unowned entry alive
+  // whenever waiters are registered (handoff), so when the handoff is
+  // declined by a timeout nobody else is left to erase it — the last
+  // timed-out waiter must reap it or shard.locks grows without bound under
+  // contention churn.
+  if (fin.owner == 0 && fin.waiters == 0) shard.locks.erase(h);
   return Status::LockTimeout("row lock wait exceeded deadline; owner txn " +
-                             std::to_string(shard.locks[h].owner) +
-                             " me " + std::to_string(txn_id));
+                             std::to_string(owner_now) + " me " +
+                             std::to_string(txn_id));
 }
 
 void LockManager::Release(uint64_t txn_id, int table_id, const Row& key) {
@@ -84,6 +87,15 @@ void LockManager::Release(uint64_t txn_id, int table_id, const Row& key) {
   }
   lk.unlock();
   if (has_waiters) shard.cv.notify_all();
+}
+
+size_t LockManager::EntryCount() {
+  size_t n = 0;
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lk(shard.mu);
+    n += shard.locks.size();
+  }
+  return n;
 }
 
 bool LockManager::Holds(uint64_t txn_id, int table_id, const Row& key) {

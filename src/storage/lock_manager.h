@@ -56,6 +56,11 @@ class LockManager {
   /// True if `txn_id` currently owns the lock (test helper).
   bool Holds(uint64_t txn_id, int table_id, const Row& key);
 
+  /// Total lock-table entries across all shards. With no lock held and no
+  /// waiter blocked this must be zero — stale entries would grow resident
+  /// memory for the life of the database (regression guard).
+  size_t EntryCount();
+
   LockStats& stats() { return stats_; }
   const LockStats& stats() const { return stats_; }
 

@@ -25,6 +25,11 @@ void Replicator::Stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) return;
   if (thread_.joinable()) thread_.join();
+  // Final bounded drain: the thread may have been sleeping between polls
+  // when the flag flipped, leaving records that were already due (older
+  // than the lag) unapplied. Without this, a commit immediately before
+  // Stop() is silently missing from the replica that tests then read.
+  ApplyUpTo(NowMicros() - lag_micros_.load(std::memory_order_relaxed));
 }
 
 void Replicator::Run() {

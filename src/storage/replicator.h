@@ -30,7 +30,11 @@ class Replicator {
   /// Starts the shipping thread (idempotent).
   void Start();
 
-  /// Stops the thread after draining nothing further (idempotent).
+  /// Stops the shipping thread (idempotent), then performs one final
+  /// bounded apply of every record already older than the lag, so a replica
+  /// read after Stop() observes all commits that were due at stop time.
+  /// Records still inside the lag window stay unapplied (use CatchUp() to
+  /// force them).
   void Stop();
 
   /// Blocks until every record committed before this call is applied,

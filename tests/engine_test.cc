@@ -64,6 +64,51 @@ TEST(Session, RoutingRules) {
   EXPECT_EQ(s->last_route(), RoutedStore::kRowStore);
 }
 
+TEST(Session, PreparedCacheEvictsLeastRecentlyUsed) {
+  EngineProfile p = EngineProfile::MemSqlLike();
+  p.prepared_statement_cache_capacity = 8;
+  Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (1, 2)").ok());
+
+  // Ad-hoc SQL with inlined literals: without the LRU bound the cache
+  // grows by one entry per distinct text for the session's lifetime.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        s->Execute("SELECT b FROM t WHERE a = " + std::to_string(i)).ok());
+  }
+  EXPECT_LE(s->prepared_cache_size(), 8u);
+
+  // A hot statement re-executed between fillers stays cached (MRU) and the
+  // cache stays bounded.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(s->Execute("SELECT COUNT(*) FROM t").ok());
+    ASSERT_TRUE(
+        s->Execute("SELECT b FROM t WHERE a = " + std::to_string(1000 + i))
+            .ok());
+  }
+  EXPECT_LE(s->prepared_cache_size(), 8u);
+  auto rs = s->Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 1);
+}
+
+TEST(Session, PreparedCacheUnboundedWhenCapacityZero) {
+  EngineProfile p = EngineProfile::MemSqlLike();
+  p.prepared_statement_cache_capacity = 0;
+  Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        s->Execute("SELECT a FROM t WHERE a = " + std::to_string(i)).ok());
+  }
+  EXPECT_GE(s->prepared_cache_size(), 40u);
+}
+
 TEST(Session, UnifiedArchitectureNeverRoutesToReplica) {
   Database db(EngineProfile::MemSqlLike());
   auto s = db.CreateSession();

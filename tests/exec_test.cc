@@ -173,9 +173,13 @@ TEST_F(ExecParityTest, UnsupportedShapesFallBackToInterpreter) {
   db_->WaitReplicaCaughtUp();
   db_->set_vectorized_execution(true);
 
-  // Join: multi-table plans never vectorize but still run on the replica.
-  auto join = s_->Execute("SELECT COUNT(*) FROM t, u WHERE t.e = u.k");
-  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  // Equi-joins vectorize (the hash-join path); parity is checked in the
+  // join suite below. Non-equi joins have no hash key: interpreter.
+  auto equi = s_->Execute("SELECT COUNT(*) FROM t, u WHERE t.e = u.k");
+  ASSERT_TRUE(equi.ok()) << equi.status().ToString();
+  EXPECT_TRUE(s_->last_vectorized());
+  auto nonequi = s_->Execute("SELECT COUNT(*) FROM t, u WHERE t.e < u.k");
+  ASSERT_TRUE(nonequi.ok()) << nonequi.status().ToString();
   EXPECT_FALSE(s_->last_vectorized());
   EXPECT_EQ(s_->last_route(), engine::RoutedStore::kColumnStore);
 
@@ -277,6 +281,270 @@ TEST_F(ExecParityTest, SnapshotWatermarkIsReported) {
   // current replication watermark.
   EXPECT_EQ(s_->last_snapshot_ts(), db_->column_store().replicated_ts());
   EXPECT_GT(s_->last_snapshot_ts(), 0u);
+}
+
+// ------------------------- hash-join parity suite --------------------------
+
+/// Star-ish schema: `cust` (dimension), `ord` (fact, with NULL join keys
+/// sprinkled in), `item` (second dimension). Every query below must produce
+/// identical results through the vectorized hash join and the interpreter's
+/// nested-loop join.
+class JoinParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>(TestProfile());
+    s_ = db_->CreateSession();
+    s_->set_charging_enabled(false);
+    ASSERT_TRUE(s_->Execute("CREATE TABLE cust (id INT PRIMARY KEY, "
+                            "region INT, name VARCHAR, credit DOUBLE)")
+                    .ok());
+    ASSERT_TRUE(s_->Execute("CREATE TABLE ord (oid INT PRIMARY KEY, "
+                            "cust_id INT, item_id INT, qty INT, "
+                            "amount DOUBLE)")
+                    .ok());
+    ASSERT_TRUE(s_->Execute("CREATE TABLE item (iid INT PRIMARY KEY, "
+                            "grp INT, price DOUBLE)")
+                    .ok());
+    Rng rng(7);
+    const char* names[] = {"ada", "bo", "cy", "dee", "eli"};
+    for (int id = 1; id <= 211; ++id) {
+      ASSERT_TRUE(
+          s_->Execute("INSERT INTO cust VALUES (?, ?, ?, ?)",
+                      {Value::Int(id), Value::Int(id % 7),
+                       Value::String(names[id % 5]),
+                       Value::Double(rng.Uniform(0.0, 1.0))})
+              .ok());
+    }
+    for (int iid = 0; iid < 50; ++iid) {
+      ASSERT_TRUE(s_->Execute("INSERT INTO item VALUES (?, ?, ?)",
+                              {Value::Int(iid), Value::Int(iid % 4),
+                               Value::Double((iid % 5) + 1.0)})
+                      .ok());
+    }
+    for (int oid = 1; oid <= 853; ++oid) {
+      std::vector<Value> row;
+      row.push_back(Value::Int(oid));
+      // NULL join keys and dangling references (cust ids above 211) must
+      // drop the row from the join in both engines.
+      row.push_back(oid % 19 == 0
+                        ? Value::Null()
+                        : Value::Int(rng.Uniform(int64_t{1}, int64_t{260})));
+      row.push_back(Value::Int(rng.Uniform(int64_t{0}, int64_t{199})));
+      row.push_back(Value::Int(rng.Uniform(int64_t{1}, int64_t{5})));
+      row.push_back(Value::Double(rng.Uniform(1.0, 300.0)));
+      ASSERT_TRUE(
+          s_->Execute("INSERT INTO ord VALUES (?, ?, ?, ?, ?)", row).ok());
+    }
+    db_->WaitReplicaCaughtUp();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<engine::Session> s_;
+};
+
+TEST_F(JoinParityTest, TwoTableEquiJoins) {
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*), SUM(o.amount) FROM ord o, cust c "
+               "WHERE o.cust_id = c.id");
+  ExpectParity(*db_, *s_,
+               "SELECT o.oid, c.name FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id WHERE c.region = 2 AND o.qty > 2");
+  ExpectParity(*db_, *s_,
+               "SELECT o.oid, o.amount * c.credit FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id WHERE c.credit > 0.25");
+  // Join key flipped around the equality: same plan either way.
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*) FROM cust c JOIN ord o ON c.id = o.cust_id");
+}
+
+TEST_F(JoinParityTest, JoinAggregatesAndOrdering) {
+  ExpectParity(*db_, *s_,
+               "SELECT c.region, COUNT(*), SUM(o.amount), MAX(o.qty) "
+               "FROM ord o JOIN cust c ON o.cust_id = c.id "
+               "GROUP BY c.region ORDER BY c.region",
+               {}, /*ordered=*/true);
+  ExpectParity(*db_, *s_,
+               "SELECT c.name, AVG(o.amount) FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id GROUP BY c.name "
+               "HAVING COUNT(*) > 10 ORDER BY c.name",
+               {}, /*ordered=*/true);
+  ExpectParity(*db_, *s_,
+               "SELECT o.oid, c.name FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id WHERE c.credit > 0.5 "
+               "ORDER BY o.oid LIMIT 20",
+               {}, /*ordered=*/true);
+  ExpectParity(*db_, *s_,
+               "SELECT DISTINCT c.region FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id");
+}
+
+TEST_F(JoinParityTest, ThreeTableJoin) {
+  ExpectParity(*db_, *s_,
+               "SELECT i.grp, COUNT(*), SUM(o.qty * i.price) "
+               "FROM ord o JOIN cust c ON o.cust_id = c.id "
+               "JOIN item i ON i.iid = o.item_id % 50 "
+               "WHERE c.region <> 1 GROUP BY i.grp ORDER BY i.grp",
+               {}, /*ordered=*/true);
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*) FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id JOIN item i ON i.iid = o.item_id % 50 "
+               "AND i.grp = o.qty % 4");
+}
+
+TEST_F(JoinParityTest, CompositeAndCrossFamilyKeys) {
+  // Composite hash key (two equi conjuncts on one step).
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*), SUM(o.amount) FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id AND o.qty = c.region");
+  // DOUBLE build key probed with an INT expression: Value semantics equate
+  // integral doubles with ints, and so must the hash table.
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*), SUM(i.price) FROM ord o JOIN item i "
+               "ON i.price = o.qty");
+  // Equi key plus a non-equi residual re-checked after the join.
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*) FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id AND o.amount > c.credit * 100");
+}
+
+TEST_F(JoinParityTest, GroupRepresentativeSlotsMatchInterpreter) {
+  // c.credit is not a GROUP BY key: its per-group value comes from the
+  // group's first joined tuple, which depends on the driving order. cust is
+  // the smaller side here, so a bare smaller-side build swap would stream
+  // ord and pick different representatives than the interpreter — the
+  // engine must keep the plan's driving order for such shapes.
+  ExpectParity(*db_, *s_,
+               "SELECT c.region, c.credit, COUNT(*) FROM cust c "
+               "JOIN ord o ON o.cust_id = c.id GROUP BY c.region "
+               "ORDER BY c.region",
+               {}, /*ordered=*/true);
+  ExpectParity(*db_, *s_,
+               "SELECT c.region, SUM(o.amount) FROM cust c "
+               "JOIN ord o ON o.cust_id = c.id GROUP BY c.region "
+               "HAVING MAX(o.qty) > 1 ORDER BY c.region",
+               {}, /*ordered=*/true);
+}
+
+TEST_F(JoinParityTest, NullKeysNeverJoin) {
+  // The NULL cust_ids must not match anything (NULL = NULL is false).
+  db_->set_vectorized_execution(true);
+  auto joined = s_->Execute(
+      "SELECT COUNT(*) FROM ord o JOIN cust c ON o.cust_id = c.id "
+      "AND c.id IS NULL");
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+  EXPECT_TRUE(s_->last_vectorized());
+  EXPECT_EQ(joined->rows[0][0].AsInt(), 0);
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*) FROM ord o JOIN cust c ON o.cust_id = c.id");
+}
+
+TEST_F(JoinParityTest, PostDeleteSlotReuseParity) {
+  // Free build-side slots and recycle them: the hash build must skip dead
+  // slots and see recycled ones exactly like the interpreter.
+  ASSERT_TRUE(s_->Execute("DELETE FROM cust WHERE id % 3 = 0").ok());
+  db_->WaitReplicaCaughtUp();
+  ExpectParity(*db_, *s_,
+               "SELECT COUNT(*), SUM(o.amount) FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id");
+  for (int id = 500; id < 560; ++id) {
+    ASSERT_TRUE(s_->Execute("INSERT INTO cust VALUES (?, ?, ?, ?)",
+                            {Value::Int(id), Value::Int(id % 7),
+                             Value::String("reborn"), Value::Double(0.5)})
+                    .ok());
+  }
+  db_->WaitReplicaCaughtUp();
+  ExpectParity(*db_, *s_,
+               "SELECT c.name, COUNT(*) FROM ord o JOIN cust c "
+               "ON o.cust_id = c.id GROUP BY c.name");
+}
+
+TEST_F(JoinParityTest, JoinInsideTransactionPinsToRowStore) {
+  ASSERT_TRUE(s_->Begin().ok());
+  auto rs = s_->Execute(
+      "SELECT COUNT(*) FROM ord o JOIN cust c ON o.cust_id = c.id");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(s_->last_route(), engine::RoutedStore::kRowStore);
+  EXPECT_FALSE(s_->last_vectorized());
+  ASSERT_TRUE(s_->Commit().ok());
+}
+
+/// The acceptance shape: a 2-table equi-join + aggregate over a >=100k-row
+/// build side routes to the replica, runs vectorized, and matches the
+/// interpreter exactly.
+TEST(JoinAtScale, LargeBuildSideVectorizesWithParity) {
+  engine::Database db(TestProfile());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE dim (id INT PRIMARY KEY, bucket INT)")
+                  .ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE fact (fid INT PRIMARY KEY, "
+                         "dim_id INT, v INT)")
+                  .ok());
+  constexpr int kDim = 100000;
+  constexpr int kFact = 120000;
+  Rng rng(11);
+  for (int i = 0; i < kDim; ++i) {
+    ASSERT_TRUE(s->Execute("INSERT INTO dim VALUES (?, ?)",
+                           {Value::Int(i), Value::Int(i % 97)})
+                    .ok());
+  }
+  for (int i = 0; i < kFact; ++i) {
+    ASSERT_TRUE(
+        s->Execute("INSERT INTO fact VALUES (?, ?, ?)",
+                   {Value::Int(i),
+                    Value::Int(rng.Uniform(int64_t{0}, int64_t{kDim - 1})),
+                    Value::Int(i % 1000)})
+            .ok());
+  }
+  db.WaitReplicaCaughtUp();
+
+  const std::string q =
+      "SELECT d.bucket, COUNT(*), SUM(f.v) FROM fact f JOIN dim d "
+      "ON f.dim_id = d.id GROUP BY d.bucket ORDER BY d.bucket";
+  db.set_vectorized_execution(true);
+  auto vec = s->Execute(q);
+  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kColumnStore);
+  EXPECT_TRUE(s->last_vectorized());
+  ASSERT_EQ(vec->rows.size(), 97u);
+
+  db.set_vectorized_execution(false);
+  auto interp = s->Execute(q);
+  ASSERT_TRUE(interp.ok()) << interp.status().ToString();
+  EXPECT_FALSE(s->last_vectorized());
+  EXPECT_EQ(Stringify(*vec), Stringify(*interp));
+}
+
+TEST(ExecRouting, IndexedJoinDriverRoutesToRowStore) {
+  auto profile = TestProfile();
+  profile.cost_based_routing = true;
+  engine::Database db(profile);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE a (k INT PRIMARY KEY, r INT)").ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE b (k INT PRIMARY KEY, v INT)").ok());
+  for (int k = 0; k < 400; ++k) {
+    ASSERT_TRUE(s->Execute("INSERT INTO a VALUES (?, ?)",
+                           {Value::Int(k), Value::Int(k % 50)})
+                    .ok());
+    ASSERT_TRUE(s->Execute("INSERT INTO b VALUES (?, ?)",
+                           {Value::Int(k), Value::Int(k * 3)})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+
+  // Full-scan join: the replica (vectorized hash join) wins.
+  ASSERT_TRUE(
+      s->Execute("SELECT SUM(b.v) FROM a, b WHERE a.r = b.k").ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kColumnStore);
+  EXPECT_TRUE(s->last_vectorized());
+
+  // Point-driven join (pk point on the driver, pk seek per inner row):
+  // seek-dominated on the row store, far below two full replica sweeps.
+  ASSERT_TRUE(s->Execute("SELECT SUM(b.v) FROM a, b WHERE a.k = 7 "
+                         "AND b.k = a.r")
+                  .ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kRowStore);
 }
 
 TEST(ExecRouting, CostBasedRouterPrefersRowStoreForIndexedShapes) {

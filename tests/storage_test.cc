@@ -312,6 +312,53 @@ TEST(LockManager, HighContentionStress) {
   EXPECT_EQ(violations.load(), 0);
 }
 
+TEST(LockManager, TimedOutWaitersLeaveNoEntriesBehind) {
+  // Regression: a timed-out waiter must never strand a lock-table entry.
+  // Release hands an entry with waiters off un-erased; the waiter-exit path
+  // in Acquire has to reap it when nobody acquired and nobody else waits,
+  // or shard.locks grows for the life of the database under contention.
+  LockManager lm(4);
+  Row key = {Value::Int(77)};
+  ASSERT_TRUE(lm.Acquire(1, 0, key, 1000).ok());
+  // Waiter times out while the owner still holds the lock.
+  EXPECT_FALSE(lm.Acquire(2, 0, key, 2000).ok());
+  EXPECT_EQ(lm.EntryCount(), 1u);  // only the held lock remains
+  lm.Release(1, 0, key);
+  EXPECT_EQ(lm.EntryCount(), 0u);
+
+  // Waiter blocked when the owner releases: the entry is handed over, then
+  // erased by the waiter's own release.
+  ASSERT_TRUE(lm.Acquire(3, 0, key, 1000).ok());
+  std::thread waiter([&] {
+    if (lm.Acquire(4, 0, key, 500000).ok()) lm.Release(4, 0, key);
+  });
+  SleepMicros(20000);
+  lm.Release(3, 0, key);
+  waiter.join();
+  EXPECT_EQ(lm.EntryCount(), 0u);
+}
+
+TEST(LockManager, EntryCountShrinksAfterContentionChurn) {
+  // Stress with tiny deadlines so grants, handoffs and timeouts interleave;
+  // after every thread quiesces and releases, the lock table must be empty.
+  LockManager lm(8);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        Row key = {Value::Int((t + i) % 13)};
+        uint64_t txn = 1000 + t;
+        if (lm.Acquire(txn, 0, key, (i % 3) * 300).ok()) {
+          lm.Release(txn, 0, key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(lm.EntryCount(), 0u);
+}
+
 // ------------------------------ CommitLog/WAL ------------------------------
 
 TEST(CommitLog, FetchRespectsWallClock) {
@@ -438,6 +485,58 @@ TEST(Replicator, EventualVisibilityWithoutCatchUp) {
   }
   EXPECT_EQ(cols.replicated_ts(), 7u);
   rep.Stop();
+}
+
+TEST(Replicator, StopDrainsRecordsAlreadyDue) {
+  // Regression: a record appended while the shipping thread sleeps between
+  // polls must not be lost when Stop() flips the flag before the next poll
+  // — the stop path performs one final bounded apply of everything already
+  // older than the lag.
+  ColumnStore cols;
+  CommitLog log;
+  cols.AddTable(0, KvSchema());
+  // Poll far apart so the thread is (almost surely) asleep when we append.
+  Replicator rep(&log, &cols, /*lag_micros=*/0, /*poll_micros=*/500000);
+  rep.Start();
+  SleepMicros(10000);  // let the thread finish its initial apply and sleep
+
+  CommitRecord rec;
+  rec.commit_ts = 5;
+  rec.commit_wall_us = NowMicros();
+  LogOp op;
+  op.kind = LogOp::Kind::kUpsert;
+  op.table_id = 0;
+  op.pk = {Value::Int(9)};
+  op.data = KvRow(9, "tail", 1);
+  rec.ops.push_back(op);
+  log.Append(rec);
+
+  rep.Stop();
+  EXPECT_EQ(cols.replicated_ts(), 5u);
+  EXPECT_TRUE(cols.table(0)->Get({Value::Int(9)}).has_value());
+}
+
+TEST(Replicator, StopKeepsRecordsStillInsideLagWindow) {
+  // The stop drain is bounded by the lag: a commit younger than the lag
+  // stays invisible (CatchUp is the explicit override).
+  ColumnStore cols;
+  CommitLog log;
+  cols.AddTable(0, KvSchema());
+  Replicator rep(&log, &cols, /*lag_micros=*/60000000, /*poll_micros=*/200);
+  rep.Start();
+  CommitRecord rec;
+  rec.commit_ts = 3;
+  rec.commit_wall_us = NowMicros();
+  LogOp op;
+  op.kind = LogOp::Kind::kUpsert;
+  op.table_id = 0;
+  op.pk = {Value::Int(1)};
+  op.data = KvRow(1, "young", 0);
+  rec.ops.push_back(op);
+  log.Append(rec);
+  rep.Stop();
+  EXPECT_EQ(cols.replicated_ts(), 0u);
+  EXPECT_FALSE(cols.table(0)->Get({Value::Int(1)}).has_value());
 }
 
 // --------------------------------- RowStore --------------------------------
