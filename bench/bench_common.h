@@ -2,6 +2,7 @@
 #define OLXP_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -83,12 +84,20 @@ inline void PrintHeader(const char* title, const char* paper_claim) {
 
 /// One measurement cell with automatic version-chain pruning before it
 /// (keeps MVCC chains short between cells, like fresh paper runs).
+/// A misconfigured cell (bad weight override) aborts the figure binary:
+/// partial figures are worse than no figures.
 inline benchfw::RunResult Cell(engine::Database& db,
                                const benchfw::BenchmarkSuite& suite,
                                const std::vector<benchfw::AgentConfig>& agents,
                                const benchfw::RunConfig& cfg) {
   db.PruneAllVersions(4);
-  return benchfw::RunCell(db, suite, agents, cfg);
+  auto result = benchfw::RunCell(db, suite, agents, cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench cell misconfigured: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
 }
 
 }  // namespace olxp::bench

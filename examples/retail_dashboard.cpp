@@ -43,7 +43,12 @@ int main(int argc, char** argv) {
   cfg.warmup_seconds = 0.3;
   cfg.measure_seconds = quick ? 1.0 : 4.0;
   auto result = benchfw::RunCell(db, suite, {oltp, olap}, cfg);
-  std::printf("%s", benchfw::FormatRunResult(result).c_str());
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", benchfw::FormatRunResult(*result).c_str());
 
   // A fresh-data dashboard straight from the public API.
   auto session = db.CreateSession();

@@ -121,7 +121,12 @@ int Run(const std::string& path) {
   std::printf("running %.1fs warmup + %.1fs measurement...\n",
               run.warmup_seconds, run.measure_seconds);
   auto result = benchfw::RunCell(db, suite, agents, run);
-  std::printf("%s", benchfw::FormatRunResult(result).c_str());
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", benchfw::FormatRunResult(*result).c_str());
   return 0;
 }
 

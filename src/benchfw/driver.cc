@@ -1,10 +1,12 @@
 #include "benchfw/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/strings.h"
 
 namespace olxp::benchfw {
 
@@ -62,20 +64,30 @@ void WorkerLoop(engine::Database* db, GroupState* group, const RunConfig& cfg,
     int idx = pick();
     const TxnProfile& profile = profiles[idx];
 
+    // All per-kind counters are bounded to the measure window
+    // [measure_start_us, end_us): retries used to count with no upper
+    // bound and busy time could include retry work past end_us, inflating
+    // the Fig. 4 lock-overhead denominator.
+    const bool in_window =
+        arrival_us >= measure_start_us && arrival_us < end_us;
+
     int64_t exec_start = NowMicros();
     Status st = profile.body(*session, rng);
     int attempts = 1;
     while (!st.ok() && st.IsRetryable() && attempts <= cfg.max_retries &&
            NowMicros() < end_us + 200000) {
-      if (arrival_us >= measure_start_us) local.stats.retries++;
+      if (in_window && NowMicros() < end_us) local.stats.retries++;
       ++attempts;
       st = profile.body(*session, rng);
     }
     int64_t done = NowMicros();
 
-    if (arrival_us >= measure_start_us && arrival_us < end_us) {
+    if (in_window) {
       local.stats.issued++;
-      local.stats.busy_nanos += (done - exec_start) * 1000;
+      int64_t busy_end = std::min(done, end_us);
+      if (busy_end > exec_start) {
+        local.stats.busy_nanos += (busy_end - exec_start) * 1000;
+      }
       if (st.ok()) {
         local.stats.committed++;
         local.stats.latency.Record(done - arrival_us);
@@ -96,9 +108,9 @@ void WorkerLoop(engine::Database* db, GroupState* group, const RunConfig& cfg,
 
 }  // namespace
 
-RunResult RunCell(engine::Database& db, const BenchmarkSuite& suite,
-                  const std::vector<AgentConfig>& agents,
-                  const RunConfig& cfg) {
+StatusOr<RunResult> RunCell(engine::Database& db, const BenchmarkSuite& suite,
+                            const std::vector<AgentConfig>& agents,
+                            const RunConfig& cfg) {
   RunResult result;
   result.measure_seconds = cfg.measure_seconds;
 
@@ -106,12 +118,35 @@ RunResult RunCell(engine::Database& db, const BenchmarkSuite& suite,
   for (size_t g = 0; g < agents.size(); ++g) {
     groups[g].cfg = &agents[g];
     groups[g].profiles = &suite.ProfilesFor(agents[g].kind);
+    const size_t n_profiles = groups[g].profiles->size();
     if (!agents[g].weight_override.empty()) {
+      if (agents[g].weight_override.size() != n_profiles) {
+        return Status::InvalidArgument(StrFormat(
+            "agent %zu (%s): weight_override has %zu entries but the suite "
+            "has %zu %s profiles",
+            g, AgentKindName(agents[g].kind), agents[g].weight_override.size(),
+            n_profiles, AgentKindName(agents[g].kind)));
+      }
       groups[g].weights = agents[g].weight_override;
     } else {
       for (const TxnProfile& p : *groups[g].profiles) {
         groups[g].weights.push_back(p.weight);
       }
+    }
+    double total = 0;
+    for (double w : groups[g].weights) {
+      if (w < 0) {
+        return Status::InvalidArgument(
+            StrFormat("agent %zu (%s): negative profile weight %g", g,
+                      AgentKindName(agents[g].kind), w));
+      }
+      total += w;
+    }
+    if (total <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("agent %zu (%s): profile weights sum to %g (nothing to "
+                    "pick)",
+                    g, AgentKindName(agents[g].kind), total));
     }
     result.kinds[agents[g].kind];  // ensure entry exists
   }

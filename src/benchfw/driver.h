@@ -71,10 +71,14 @@ struct RunResult {
 };
 
 /// Runs one measurement cell: spawns all agent groups against `db`,
-/// warms up, measures, merges statistics.
-RunResult RunCell(engine::Database& db, const BenchmarkSuite& suite,
-                  const std::vector<AgentConfig>& agents,
-                  const RunConfig& cfg);
+/// warms up, measures, merges statistics. Fails with InvalidArgument —
+/// before any thread spawns — when an agent's weight_override length does
+/// not match its profile list, any weight is negative, or the effective
+/// weights sum to zero (a silent mispick would read past the profile list
+/// or drop profiles from the mix).
+StatusOr<RunResult> RunCell(engine::Database& db, const BenchmarkSuite& suite,
+                            const std::vector<AgentConfig>& agents,
+                            const RunConfig& cfg);
 
 /// Creates schema and loads data for `suite` on a fresh database using the
 /// suite's own load_params, then blocks until the columnar replica caught

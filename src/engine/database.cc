@@ -1,10 +1,18 @@
 #include "engine/database.h"
 
 #include <cassert>
+#include <utility>
 
 #include "engine/session.h"
 
 namespace olxp::engine {
+
+namespace {
+/// Replica-rebuild feed granularity: recovered rows re-enter the Replicator
+/// pipeline in records of this many ops (one giant record per table would
+/// hold the commit-log lock across the whole table).
+constexpr size_t kRecoveryOpsPerRecord = 4096;
+}  // namespace
 
 Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
   replicator_ = std::make_unique<storage::Replicator>(
@@ -12,8 +20,21 @@ Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
   txn_manager_ = std::make_unique<txn::TransactionManager>(
       &row_store_, &lock_manager_, &oracle_, &commit_log_,
       profile_.lock_timeout_micros);
+  if (profile_.architecture == StoreArchitecture::kUnified) {
+    // No replica tails the log: dropping records (while still feeding the
+    // WAL) keeps a long-running unified engine's memory bounded.
+    commit_log_.set_retain_records(false);
+  }
+  const bool durable = profile_.durability != storage::DurabilityMode::kOff &&
+                       !profile_.wal_dir.empty();
+  if (durable) {
+    recovery_status_ = RecoverFromWal();
+  }
   if (profile_.architecture == StoreArchitecture::kSeparated) {
     replicator_->Start();
+    // Make recovered commits visible on the replica before the first query
+    // (they are already past any replication lag — they predate the crash).
+    if (durable && recovery_status_.ok()) replicator_->CatchUp();
   }
 }
 
@@ -51,6 +72,11 @@ Status Database::CreateTableEverywhere(storage::TableSchema schema) {
   if (profile_.architecture == StoreArchitecture::kSeparated) {
     column_store_.AddTable(*tid, schema);
   }
+  // wal_ is null while recovery replays DDL frames, so replay never re-logs.
+  if (wal_ != nullptr) {
+    wal_->AppendCreateTable(*tid, schema);
+    OLXP_RETURN_NOT_OK(wal_->last_error());
+  }
   return Status::OK();
 }
 
@@ -58,7 +84,13 @@ Status Database::CreateIndexOn(std::string_view table_name,
                                storage::IndexDef def) {
   auto tid = row_store_.TableId(table_name);
   if (!tid.ok()) return tid.status();
-  return row_store_.table(*tid)->AddIndex(std::move(def));
+  storage::IndexDef logged = def;
+  OLXP_RETURN_NOT_OK(row_store_.table(*tid)->AddIndex(std::move(def)));
+  if (wal_ != nullptr) {
+    wal_->AppendCreateIndex(std::string(table_name), logged);
+    OLXP_RETURN_NOT_OK(wal_->last_error());
+  }
+  return Status::OK();
 }
 
 void Database::WaitReplicaCaughtUp() {
@@ -71,6 +103,148 @@ void Database::PruneAllVersions(size_t keep) {
   for (int id : row_store_.TableIds()) {
     row_store_.table(id)->PruneVersions(keep);
   }
+}
+
+Status Database::RecoverFromWal() {
+  const std::string& dir = profile_.wal_dir;
+  const bool separated = profile_.architecture == StoreArchitecture::kSeparated;
+  uint64_t replay_from = 1;  // first segment frame the checkpoint misses
+  uint64_t max_ts = 0;
+  uint64_t max_seq = 0;
+
+  auto ckpt = storage::ReadCheckpoint(dir);
+  if (ckpt.ok()) {
+    replay_from = ckpt->wal_next_seq;
+    max_ts = ckpt->oracle_ts;
+    for (storage::CheckpointTable& t : ckpt->tables) {
+      OLXP_RETURN_NOT_OK(CreateTableEverywhere(t.schema));
+      auto tid = row_store_.TableId(t.schema.name());
+      if (!tid.ok() || *tid != t.table_id) {
+        return Status::Internal("checkpoint table id mismatch for " +
+                                t.schema.name());
+      }
+      storage::MvccTable* table = row_store_.table(*tid);
+      storage::CommitRecord feed;
+      feed.commit_ts = ckpt->oracle_ts;
+      feed.commit_wall_us = 0;  // long past any replication lag
+      for (auto& [ts, row] : t.rows) {
+        Row pk = table->schema().ExtractPrimaryKey(row);
+        if (ts > max_ts) max_ts = ts;
+        if (separated) {
+          storage::LogOp op;
+          op.kind = storage::LogOp::Kind::kUpsert;
+          op.table_id = *tid;
+          op.pk = pk;
+          op.data = row;
+          feed.ops.push_back(std::move(op));
+          if (feed.ops.size() >= kRecoveryOpsPerRecord) {
+            commit_log_.Append(std::move(feed));
+            feed = storage::CommitRecord();
+            feed.commit_ts = ckpt->oracle_ts;
+            feed.commit_wall_us = 0;
+          }
+        }
+        table->InstallVersion(pk, ts, /*deleted=*/false, std::move(row));
+      }
+      if (!feed.ops.empty()) commit_log_.Append(std::move(feed));
+    }
+  } else if (ckpt.status().code() != StatusCode::kNotFound) {
+    return ckpt.status();
+  }
+
+  Status replay = storage::ReplayWal(
+      dir, replay_from,
+      [&](storage::WalFrame&& frame) -> Status {
+        switch (frame.type) {
+          case storage::WalFrame::Type::kCreateTable: {
+            Status st = CreateTableEverywhere(std::move(frame.schema));
+            // Tolerate a DDL frame that raced an in-flight checkpoint and
+            // landed in both the image and the surviving segments.
+            if (st.code() == StatusCode::kAlreadyExists) return Status::OK();
+            return st;
+          }
+          case storage::WalFrame::Type::kCreateIndex: {
+            Status st = CreateIndexOn(frame.table_name, std::move(frame.index));
+            if (st.code() == StatusCode::kAlreadyExists) return Status::OK();
+            return st;
+          }
+          case storage::WalFrame::Type::kCommit: {
+            for (storage::LogOp& op : frame.commit.ops) {
+              storage::MvccTable* t = row_store_.table(op.table_id);
+              if (t == nullptr) {
+                return Status::Internal("WAL commit references unknown table " +
+                                        std::to_string(op.table_id));
+              }
+              t->InstallVersion(op.pk, frame.commit.commit_ts,
+                                op.kind == storage::LogOp::Kind::kDelete,
+                                op.data);
+            }
+            if (frame.commit.commit_ts > max_ts) {
+              max_ts = frame.commit.commit_ts;
+            }
+            // The recorded wall time came from a previous process's steady
+            // clock; zero it so the replicator sees the record as due now.
+            frame.commit.commit_wall_us = 0;
+            commit_log_.Append(std::move(frame.commit));
+            return Status::OK();
+          }
+        }
+        return Status::Internal("unknown WAL frame type");
+      },
+      &max_seq);
+  OLXP_RETURN_NOT_OK(replay);
+
+  oracle_.SeedTo(max_ts);
+
+  storage::WalOptions wopts;
+  wopts.dir = dir;
+  wopts.mode = profile_.durability;
+  wopts.group_commit_window_us = profile_.group_commit_window_us;
+  wopts.segment_bytes = profile_.wal_segment_bytes;
+  OLXP_ASSIGN_OR_RETURN(
+      wal_, storage::WalWriter::Open(
+                wopts, std::max(max_seq + 1, replay_from)));
+  commit_log_.AttachWal(wal_.get());
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint requires durability on and a wal_dir");
+  }
+  // One checkpoint at a time: two racing writers would interleave into the
+  // same checkpoint.tmp and then delete the segments backing the good
+  // image. Commits are not meaningfully blocked by a running checkpoint:
+  // they only cross the short CommitScope below and the per-chunk reader
+  // locks of ForEachCommitted.
+  std::lock_guard<std::mutex> ckpt_lk(checkpoint_mu_);
+  storage::CheckpointImage image;
+  {
+    // Holding the commit mutex pins (snapshot ts, WAL seq) to the same
+    // point in commit order: every commit at or below oracle_ts has both
+    // installed its versions and appended its WAL frame below wal_next_seq.
+    storage::TimestampOracle::CommitScope scope(&oracle_);
+    image.oracle_ts = scope.commit_ts();
+    image.wal_next_seq = wal_->next_seq();
+  }
+  for (int id : row_store_.TableIds()) {
+    const storage::MvccTable* t = row_store_.table(id);
+    storage::CheckpointTable ct;
+    ct.table_id = id;
+    ct.schema = t->schema();
+    t->ForEachCommitted(image.oracle_ts,
+                        [&](const Row& pk, uint64_t ts, const Row& data) {
+                          (void)pk;
+                          ct.rows.emplace_back(ts, data);
+                          return true;
+                        });
+    image.tables.push_back(std::move(ct));
+  }
+  OLXP_RETURN_NOT_OK(storage::WriteCheckpoint(profile_.wal_dir, image));
+  OLXP_RETURN_NOT_OK(wal_->Flush());
+  wal_->DeleteSegmentsBefore(image.wal_next_seq);
+  return Status::OK();
 }
 
 }  // namespace olxp::engine

@@ -2,6 +2,7 @@
 #define OLXP_ENGINE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -21,8 +22,15 @@ class Session;
 
 /// An embedded HTAP database instance configured by an EngineProfile.
 /// Owns the full substrate: row store, lock manager, timestamp oracle,
-/// commit log, columnar replica, replication pipeline, transaction manager.
+/// commit log, columnar replica, replication pipeline, transaction manager,
+/// and (when the profile enables durability) the disk-backed WAL.
 /// Thread-safe: many Sessions execute concurrently against one Database.
+///
+/// Opening a Database whose profile points `wal_dir` at a directory with
+/// WAL state recovers it: the newest checkpoint loads first, remaining
+/// segments replay on top (original commit timestamps preserved, oracle
+/// re-seeded), and the columnar replica rebuilds through the Replicator
+/// pipeline. Check recovery_status() after construction.
 class Database : public sql::Catalog {
  public:
   explicit Database(EngineProfile profile);
@@ -54,6 +62,17 @@ class Database : public sql::Catalog {
   /// Prunes MVCC version chains in every table (between bench cells).
   void PruneAllVersions(size_t keep = 4);
 
+  /// Snapshots every table (schemas + committed rows with their commit
+  /// timestamps) into the WAL directory and deletes segments the snapshot
+  /// fully covers, bounding disk during long runs. Safe under concurrent
+  /// commits. Fails when the profile has durability off.
+  Status Checkpoint();
+
+  /// Outcome of WAL recovery at construction (OK when durability is off or
+  /// the directory was empty). A Database whose recovery failed is empty
+  /// but usable; callers that need the data must check this.
+  const Status& recovery_status() const { return recovery_status_; }
+
   // --- substrate accessors (benchmarks, tests, stats) ---
   storage::RowStore& row_store() { return row_store_; }
   storage::ColumnStore& column_store() { return column_store_; }
@@ -61,6 +80,8 @@ class Database : public sql::Catalog {
   storage::TimestampOracle& oracle() { return oracle_; }
   storage::Replicator& replicator() { return *replicator_; }
   txn::TransactionManager& txn_manager() { return *txn_manager_; }
+  /// Durable segment writer; nullptr when durability is off.
+  storage::WalWriter* wal() { return wal_.get(); }
 
   /// Adjusts the simulated cluster size (Fig. 10 scaling bench).
   void set_cluster_nodes(int nodes) { profile_.cluster.num_nodes = nodes; }
@@ -72,6 +93,10 @@ class Database : public sql::Catalog {
   }
 
  private:
+  /// Loads the checkpoint and replays WAL segments from profile_.wal_dir,
+  /// then opens the segment writer for new commits.
+  Status RecoverFromWal();
+
   EngineProfile profile_;
   storage::RowStore row_store_;
   storage::ColumnStore column_store_;
@@ -80,6 +105,11 @@ class Database : public sql::Catalog {
   storage::CommitLog commit_log_;
   std::unique_ptr<storage::Replicator> replicator_;
   std::unique_ptr<txn::TransactionManager> txn_manager_;
+  /// Declared last: destroyed first, flushing its tail while the rest of
+  /// the substrate is still alive. No transaction runs during destruction.
+  std::unique_ptr<storage::WalWriter> wal_;
+  std::mutex checkpoint_mu_;  ///< serializes Checkpoint() callers
+  Status recovery_status_;
 };
 
 }  // namespace olxp::engine

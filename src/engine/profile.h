@@ -109,6 +109,24 @@ struct EngineProfile {
   size_t prepared_statement_cache_capacity = 256;
   /// Row-lock wait deadline before a retryable LockTimeout abort.
   int64_t lock_timeout_micros = 100000;
+  /// Commit durability: kOff keeps the redo log in memory only (the seed
+  /// behaviour — a restart loses the database); the other modes persist
+  /// every commit to WAL segments under `wal_dir` and recover from them
+  /// when a Database opens on that directory. kGroup batches concurrent
+  /// commits under one fsync (the paper's SUTs all group-commit their
+  /// raft/redo logs); kSync is the naive fsync-per-commit baseline; kAsync
+  /// writes behind without waiting. Requires a non-empty wal_dir.
+  storage::DurabilityMode durability = storage::DurabilityMode::kOff;
+  /// Group-commit batching window: how long the log flusher holds a batch
+  /// open for stragglers before the covering fsync.
+  int64_t group_commit_window_us = 100;
+  /// WAL segment + checkpoint directory. Opening a Database with a
+  /// durability mode on and this set to a directory containing WAL state
+  /// recovers it (crash recovery); empty disables the durable log.
+  std::string wal_dir;
+  /// Segment rotation threshold; Checkpoint() deletes fully-covered
+  /// segments so disk stays bounded during long runs.
+  uint64_t wal_segment_bytes = 16ull << 20;
 
   /// In-memory unified store, read-committed, no FK support — MemSQL-style.
   static EngineProfile MemSqlLike();

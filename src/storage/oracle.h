@@ -51,6 +51,16 @@ class TimestampOracle {
     return ts;
   }
 
+  /// Fast-forwards the counter to at least `ts` (crash recovery: new
+  /// commits must land after every replayed commit timestamp). Called
+  /// before any transaction starts; never moves the counter backwards.
+  void SeedTo(uint64_t ts) {
+    std::lock_guard<std::mutex> lk(commit_mu_);
+    if (counter_.load(std::memory_order_relaxed) < ts) {
+      counter_.store(ts, std::memory_order_release);
+    }
+  }
+
  private:
   friend class CommitScope;
   std::atomic<uint64_t> counter_{0};

@@ -141,6 +141,33 @@ Status MvccTable::AddIndex(IndexDef def) {
   return Status::OK();
 }
 
+void MvccTable::ForEachCommitted(
+    uint64_t snapshot_ts,
+    const std::function<bool(const Row& pk, uint64_t commit_ts,
+                             const Row& data)>& cb) const {
+  // Chunked: the checkpoint writer deep-copies every row it visits, and
+  // holding the reader lock across a whole large table would stall every
+  // committer's InstallVersion for the duration. Dropping the lock between
+  // chunks is safe because visibility is by snapshot_ts — rows installed
+  // in between carry newer timestamps and stay invisible to this pass.
+  constexpr size_t kChunkRows = 1024;
+  Row resume;
+  bool has_resume = false;
+  for (;;) {
+    std::shared_lock lk(mu_);
+    auto it = has_resume ? rows_.lower_bound(resume) : rows_.begin();
+    size_t n = 0;
+    for (; it != rows_.end() && n < kChunkRows; ++it, ++n) {
+      const Version* v = VisibleVersion(it->second, snapshot_ts);
+      if (v == nullptr || v->deleted) continue;
+      if (!cb(it->first, v->commit_ts, v->data)) return;
+    }
+    if (it == rows_.end()) return;
+    resume = it->first;  // first key of the next chunk
+    has_resume = true;
+  }
+}
+
 size_t MvccTable::ApproxRowCount() const {
   std::shared_lock lk(mu_);
   return rows_.size();

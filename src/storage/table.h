@@ -81,6 +81,14 @@ class MvccTable {
   /// the newest committed version of every row.
   Status AddIndex(IndexDef def);
 
+  /// Visits the version of every row visible at `snapshot_ts` together with
+  /// its commit timestamp, in primary-key order (checkpoint writer). Rows
+  /// deleted as of the snapshot are skipped. Return false to stop.
+  void ForEachCommitted(
+      uint64_t snapshot_ts,
+      const std::function<bool(const Row& pk, uint64_t commit_ts,
+                               const Row& data)>& cb) const;
+
   /// Number of distinct primary keys currently in the tree (incl. rows
   /// whose newest version is a tombstone).
   size_t ApproxRowCount() const;

@@ -60,35 +60,80 @@ StatusOr<std::optional<Row>> Transaction::Get(int table_id, const Row& pk) {
   return t->Get(pk, StatementSnapshot());
 }
 
+Status Transaction::MergedScan(
+    storage::MvccTable* t,
+    const std::function<bool(const Row&)>& key_filter,
+    const std::function<int64_t(const storage::RowCallback&)>& scan,
+    const storage::RowCallback& cb, int64_t* rows_visited) {
+  const WriteMap* ws = nullptr;
+  auto wit = write_sets_.find(t->table_id());
+  if (wit != write_sets_.end()) ws = &wit->second;
+
+  // Merge the write set (a KeyLess-ordered map) into the storage scan so
+  // the caller sees one primary-key-ordered stream: buffered inserts used
+  // to be appended after the scan, breaking the PK-order contract.
+  storage::KeyLess less;
+  auto pending = ws != nullptr ? ws->begin() : WriteMap::const_iterator();
+  bool keep_going = true;
+  int64_t ws_visited = 0;
+  // Emits pending writes strictly before `bound` (all of them when null).
+  auto emit_pending_before = [&](const Row* bound) {
+    while (ws != nullptr && pending != ws->end() &&
+           (bound == nullptr || less(pending->first, *bound))) {
+      const PendingWrite& w = pending->second;
+      if (key_filter != nullptr && !key_filter(pending->first)) {
+        ++pending;
+        continue;
+      }
+      ++ws_visited;
+      ++pending;
+      if (w.deleted) continue;
+      if (!cb(w.data)) {
+        keep_going = false;
+        return;
+      }
+    }
+  };
+
+  int64_t visited = scan([&](const Row& row) {
+    if (ws == nullptr) {
+      keep_going = cb(row);
+      return keep_going;
+    }
+    Row pk = t->schema().ExtractPrimaryKey(row);
+    emit_pending_before(&pk);
+    if (!keep_going) return false;
+    if (pending != ws->end() && !less(pk, pending->first)) {
+      // Equal key: our buffered write supersedes the stored image. (The
+      // storage row already passed the scan's own bounds, so the equal
+      // write-set key needs no key_filter check.)
+      ++ws_visited;
+      const PendingWrite& w = pending->second;
+      ++pending;
+      if (w.deleted) return true;
+      keep_going = cb(w.data);
+      return keep_going;
+    }
+    keep_going = cb(row);
+    return keep_going;
+  });
+  if (keep_going) emit_pending_before(nullptr);
+  rows_visited_ += visited + ws_visited;
+  if (rows_visited != nullptr) *rows_visited = visited + ws_visited;
+  return Status::OK();
+}
+
 Status Transaction::Scan(int table_id, const storage::RowCallback& cb,
                          int64_t* rows_visited) {
   if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
   storage::MvccTable* t = store_->table(table_id);
   if (t == nullptr) return Status::NotFound("bad table id");
-  const WriteMap* ws = nullptr;
-  auto wit = write_sets_.find(table_id);
-  if (wit != write_sets_.end()) ws = &wit->second;
-
-  bool keep_going = true;
-  int64_t visited = t->Scan(
-      StatementSnapshot(), [&](const Row& row) {
-        if (ws != nullptr) {
-          Row pk = t->schema().ExtractPrimaryKey(row);
-          if (ws->count(pk)) return true;  // superseded by our write
-        }
-        keep_going = cb(row);
-        return keep_going;
-      });
-  if (keep_going && ws != nullptr) {
-    for (const auto& [pk, w] : *ws) {
-      ++visited;
-      if (w.deleted) continue;
-      if (!cb(w.data)) break;
-    }
-  }
-  rows_visited_ += visited;
-  if (rows_visited != nullptr) *rows_visited = visited;
-  return Status::OK();
+  return MergedScan(
+      t, nullptr,
+      [&](const storage::RowCallback& merged) {
+        return t->Scan(StatementSnapshot(), merged);
+      },
+      cb, rows_visited);
 }
 
 Status Transaction::ScanPkRange(int table_id, const Row& lo, const Row& hi,
@@ -97,36 +142,22 @@ Status Transaction::ScanPkRange(int table_id, const Row& lo, const Row& hi,
   if (state_ != TxnState::kActive) return Status::Aborted("txn not active");
   storage::MvccTable* t = store_->table(table_id);
   if (t == nullptr) return Status::NotFound("bad table id");
-  const WriteMap* ws = nullptr;
-  auto wit = write_sets_.find(table_id);
-  if (wit != write_sets_.end()) ws = &wit->second;
-
   ++seeks_;
-  bool keep_going = true;
-  int64_t visited = t->ScanPkRange(
-      lo, hi, StatementSnapshot(), [&](const Row& row) {
-        if (ws != nullptr) {
-          Row pk = t->schema().ExtractPrimaryKey(row);
-          if (ws->count(pk)) return true;
-        }
-        keep_going = cb(row);
-        return keep_going;
-      });
-  if (keep_going && ws != nullptr) {
-    storage::KeyLess less;
-    for (const auto& [pk, w] : *ws) {
-      // In-range test with prefix semantics matching ScanPkRange.
-      Row lo_prefix(pk.begin(), pk.begin() + std::min(pk.size(), lo.size()));
-      Row hi_prefix(pk.begin(), pk.begin() + std::min(pk.size(), hi.size()));
-      if (less(lo_prefix, lo) || less(hi, hi_prefix)) continue;
-      ++visited;
-      if (w.deleted) continue;
-      if (!cb(w.data)) break;
-    }
-  }
-  rows_visited_ += visited;
-  if (rows_visited != nullptr) *rows_visited = visited;
-  return Status::OK();
+  storage::KeyLess less;
+  // In-range test with prefix semantics matching ScanPkRange, applied to
+  // write-set keys (storage rows are bounded by the scan itself) so a
+  // range read inside the transaction sees its own inserts in PK position.
+  auto in_range = [&](const Row& pk) {
+    Row lo_prefix(pk.begin(), pk.begin() + std::min(pk.size(), lo.size()));
+    Row hi_prefix(pk.begin(), pk.begin() + std::min(pk.size(), hi.size()));
+    return !less(lo_prefix, lo) && !less(hi, hi_prefix);
+  };
+  return MergedScan(
+      t, in_range,
+      [&](const storage::RowCallback& merged) {
+        return t->ScanPkRange(lo, hi, StatementSnapshot(), merged);
+      },
+      cb, rows_visited);
 }
 
 Status Transaction::IndexLookup(int table_id, int index_id, const Row& key,
@@ -282,6 +313,7 @@ Status Transaction::Commit() {
     ReleaseAllLocks();
     return Status::OK();
   }
+  uint64_t durable_ticket = 0;
   {
     // Two-phase commit publish: versions install with a reserved timestamp
     // that no open snapshot can observe until the scope ends (see
@@ -308,11 +340,25 @@ Status Transaction::Commit() {
         rec.ops.push_back(std::move(op));
       }
     }
-    if (log_ != nullptr) log_->Append(std::move(rec));
+    if (log_ != nullptr) durable_ticket = log_->Append(std::move(rec));
   }  // timestamp published here
   write_sets_.clear();
   state_ = TxnState::kCommitted;
   ReleaseAllLocks();
+  // Group commit: block for the covering fsync only after the publish and
+  // the lock release, so concurrent committers pile into the same batch
+  // instead of serializing behind our wait. The transaction does not report
+  // success until its record is durable; a crash before the fsync loses a
+  // commit that nobody was told succeeded. Caveat (shared with every
+  // early-lock-release group-commit design): between the publish and the
+  // fsync the versions are already visible, so a concurrent reader can
+  // observe a commit that a crash then erases — readers needing
+  // durable-only data must externally await the writer's acknowledgment.
+  // A WAL I/O failure surfaces here as a non-OK status: the versions stay
+  // visible in memory, but the caller must not treat the commit as durable.
+  if (log_ != nullptr) {
+    return log_->WaitDurable(durable_ticket);
+  }
   return Status::OK();
 }
 

@@ -61,13 +61,14 @@ class Transaction {
   /// foundation of atomic read-modify-write UPDATEs.
   StatusOr<std::optional<Row>> LockAndGet(int table_id, const Row& pk);
 
-  /// Scans visible rows of a table, write set merged (updated rows replace
-  /// stored images; buffered inserts appended; buffered deletes skipped).
+  /// Scans visible rows of a table in primary-key order, write set merged
+  /// in key position (updated rows replace stored images; buffered inserts
+  /// interleave at their PK slot; buffered deletes are skipped).
   Status Scan(int table_id, const storage::RowCallback& cb,
               int64_t* rows_visited = nullptr);
 
-  /// Primary-key range scan with write-set merge, [lo, hi] inclusive
-  /// (prefixes allowed).
+  /// Primary-key range scan with write-set merge in key order, [lo, hi]
+  /// inclusive (prefixes allowed).
   Status ScanPkRange(int table_id, const Row& lo, const Row& hi,
                      const storage::RowCallback& cb,
                      int64_t* rows_visited = nullptr);
@@ -111,6 +112,18 @@ class Transaction {
     Row data;
   };
   using WriteMap = std::map<Row, PendingWrite, storage::KeyLess>;
+
+  /// Shared ordered-merge core of Scan/ScanPkRange: runs `scan` (which
+  /// must deliver storage rows in primary-key order) and interleaves this
+  /// transaction's write set at its key positions — equal keys supersede
+  /// the stored image, buffered deletes drop it. `key_filter` (nullable)
+  /// restricts which write-set keys participate (range scans pass their
+  /// bounds check; storage rows are pre-filtered by the scan itself).
+  Status MergedScan(
+      storage::MvccTable* t,
+      const std::function<bool(const Row&)>& key_filter,
+      const std::function<int64_t(const storage::RowCallback&)>& scan,
+      const storage::RowCallback& cb, int64_t* rows_visited);
 
   /// Acquires the row lock and performs SI first-committer-wins validation.
   Status LockAndValidate(int table_id, const Row& pk);

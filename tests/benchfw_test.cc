@@ -67,7 +67,7 @@ TEST(Driver, OpenLoopHitsRequestedRate) {
   RunConfig cfg;
   cfg.warmup_seconds = 0.1;
   cfg.measure_seconds = 1.0;
-  RunResult result = RunCell(db, suite, {agent}, cfg);
+  RunResult result = *RunCell(db, suite, {agent}, cfg);
 
   const KindStats& k = result.Of(AgentKind::kOltp);
   EXPECT_NEAR(k.Throughput(result.measure_seconds), 200, 30);
@@ -87,7 +87,7 @@ TEST(Driver, ClosedLoopSaturates) {
   RunConfig cfg;
   cfg.warmup_seconds = 0.05;
   cfg.measure_seconds = 0.5;
-  RunResult result = RunCell(db, suite, {agent}, cfg);
+  RunResult result = *RunCell(db, suite, {agent}, cfg);
   // 4 threads x ~200us per op => ~20k/s; allow a broad band.
   EXPECT_GT(result.Of(AgentKind::kOltp).Throughput(result.measure_seconds),
             4000);
@@ -109,7 +109,7 @@ TEST(Driver, MixedAgentClassesReportSeparately) {
   RunConfig cfg;
   cfg.warmup_seconds = 0.05;
   cfg.measure_seconds = 0.6;
-  RunResult result = RunCell(db, suite, {a1, a2}, cfg);
+  RunResult result = *RunCell(db, suite, {a1, a2}, cfg);
   EXPECT_NEAR(result.Of(AgentKind::kOltp).Throughput(result.measure_seconds),
               100, 25);
   EXPECT_NEAR(result.Of(AgentKind::kOlap).Throughput(result.measure_seconds),
@@ -138,7 +138,7 @@ TEST(Driver, RetryableFailuresAreRetried) {
   RunConfig cfg;
   cfg.warmup_seconds = 0.05;
   cfg.measure_seconds = 0.5;
-  RunResult result = RunCell(db, suite, {agent}, cfg);
+  RunResult result = *RunCell(db, suite, {agent}, cfg);
   const KindStats& k = result.Of(AgentKind::kOltp);
   EXPECT_GT(k.retries, 0u);
   EXPECT_EQ(k.errors, 0u);
@@ -163,7 +163,7 @@ TEST(Driver, NonRetryableFailuresCountAsErrors) {
   RunConfig cfg;
   cfg.warmup_seconds = 0.05;
   cfg.measure_seconds = 0.4;
-  RunResult result = RunCell(db, suite, {agent}, cfg);
+  RunResult result = *RunCell(db, suite, {agent}, cfg);
   const KindStats& k = result.Of(AgentKind::kOltp);
   EXPECT_GT(k.errors, 0u);
   EXPECT_EQ(k.committed, 0u);
@@ -196,10 +196,78 @@ TEST(Driver, WeightOverrideRestrictsMix) {
   RunConfig cfg;
   cfg.warmup_seconds = 0.05;
   cfg.measure_seconds = 0.4;
-  RunResult result = RunCell(db, suite, {agent}, cfg);
+  RunResult result = *RunCell(db, suite, {agent}, cfg);
   EXPECT_GT(first.load(), 0);
   EXPECT_EQ(second.load(), 0);
   EXPECT_GT(result.Of(AgentKind::kOltp).committed, 0u);
+}
+
+/// Two-profile suite whose bodies must never run (validation-rejection
+/// cells). The counters prove no thread was spawned before the error.
+BenchmarkSuite TwoProfileSuite(std::atomic<int64_t>* calls) {
+  BenchmarkSuite suite;
+  suite.create_schema = [](engine::Session&) { return Status::OK(); };
+  suite.load = [](engine::Database&, const LoadParams&) {
+    return Status::OK();
+  };
+  for (const char* name : {"p0", "p1"}) {
+    suite.transactions.push_back({name, 1, false,
+                                  [calls](engine::Session&, Rng&) {
+                                    calls->fetch_add(1);
+                                    return Status::OK();
+                                  }});
+  }
+  return suite;
+}
+
+TEST(Driver, WeightOverrideLengthMismatchRejected) {
+  std::atomic<int64_t> calls{0};
+  BenchmarkSuite suite = TwoProfileSuite(&calls);
+  engine::Database db(engine::EngineProfile::MemSqlLike());
+  AgentConfig agent;
+  agent.kind = AgentKind::kOltp;
+  agent.request_rate = -1;
+  agent.threads = 2;
+  RunConfig cfg;
+  cfg.warmup_seconds = 0.01;
+  cfg.measure_seconds = 0.05;
+
+  agent.weight_override = {1.0};  // short: pick() would mis-sample
+  auto short_result = RunCell(db, suite, {agent}, cfg);
+  ASSERT_FALSE(short_result.ok());
+  EXPECT_EQ(short_result.status().code(), StatusCode::kInvalidArgument);
+
+  agent.weight_override = {1.0, 1.0, 1.0};  // long: reads out of bounds
+  auto long_result = RunCell(db, suite, {agent}, cfg);
+  ASSERT_FALSE(long_result.ok());
+  EXPECT_EQ(long_result.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(calls.load(), 0);  // rejected before any worker spawned
+}
+
+TEST(Driver, WeightOverrideNonPositiveTotalRejected) {
+  std::atomic<int64_t> calls{0};
+  BenchmarkSuite suite = TwoProfileSuite(&calls);
+  engine::Database db(engine::EngineProfile::MemSqlLike());
+  AgentConfig agent;
+  agent.kind = AgentKind::kOltp;
+  agent.request_rate = -1;
+  agent.threads = 1;
+  RunConfig cfg;
+  cfg.warmup_seconds = 0.01;
+  cfg.measure_seconds = 0.05;
+
+  agent.weight_override = {0.0, 0.0};
+  auto zero_result = RunCell(db, suite, {agent}, cfg);
+  ASSERT_FALSE(zero_result.ok());
+  EXPECT_EQ(zero_result.status().code(), StatusCode::kInvalidArgument);
+
+  agent.weight_override = {1.0, -1.0};
+  auto negative_result = RunCell(db, suite, {agent}, cfg);
+  ASSERT_FALSE(negative_result.ok());
+  EXPECT_EQ(negative_result.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(Report, FormattingSmoke) {

@@ -45,7 +45,8 @@ std::unique_ptr<engine::Session> RunMixedLoad(engine::Database& db,
   olap.kind = AgentKind::kOlap;
   olap.request_rate = 4;
   olap.threads = 2;
-  benchfw::RunCell(db, suite, {oltp, hybrid, olap}, ShortRun());
+  EXPECT_TRUE(benchfw::RunCell(db, suite, {oltp, hybrid, olap}, ShortRun())
+                  .ok());
   db.WaitReplicaCaughtUp();
   auto session = db.CreateSession();
   session->set_charging_enabled(false);
@@ -147,7 +148,7 @@ TEST(FibenchInvariants, TransfersConserveTotalUnderConcurrency) {
   oltp.threads = 8;
   // Amalgamate + Balance + SendPayment only (pure moves/reads).
   oltp.weight_override = {1, 1, 0, 1, 0, 0};
-  benchfw::RunCell(db, suite, {oltp}, ShortRun());
+  ASSERT_TRUE(benchfw::RunCell(db, suite, {oltp}, ShortRun()).ok());
 
   db.WaitReplicaCaughtUp();
   auto s = db.CreateSession();

@@ -182,6 +182,54 @@ TEST_F(TxnTest, ScanMergesWriteSet) {
   ASSERT_TRUE(t->Abort().ok());
 }
 
+TEST_F(TxnTest, ScanSeesOwnWritesInPkOrder) {
+  // Regression: buffered inserts used to be appended AFTER the storage
+  // scan, so a scan inside the inserting transaction returned rows out of
+  // primary-key order. The write set must merge at its key position.
+  ASSERT_TRUE(Seed(2, 20).ok());
+  ASSERT_TRUE(Seed(4, 40).ok());
+  ASSERT_TRUE(Seed(6, 60).ok());
+  auto t = mgr_.Begin(IsolationLevel::kSnapshotIsolation);
+  ASSERT_TRUE(t->Insert(table_id_, Acct(1, 11)).ok());
+  ASSERT_TRUE(t->Insert(table_id_, Acct(3, 33)).ok());
+  ASSERT_TRUE(t->Insert(table_id_, Acct(5, 55)).ok());
+  ASSERT_TRUE(t->Insert(table_id_, Acct(7, 77)).ok());
+  ASSERT_TRUE(t->Update(table_id_, Acct(4, 444)).ok());
+
+  std::vector<int64_t> full_ids;
+  ASSERT_TRUE(t->Scan(table_id_,
+                      [&](const Row& r) {
+                        full_ids.push_back(r[0].AsInt());
+                        return true;
+                      })
+                  .ok());
+  EXPECT_EQ(full_ids, (std::vector<int64_t>{1, 2, 3, 4, 5, 6, 7}));
+
+  std::vector<int64_t> range_ids;
+  std::vector<int64_t> range_bals;
+  ASSERT_TRUE(t->ScanPkRange(table_id_, {Value::Int(2)}, {Value::Int(6)},
+                             [&](const Row& r) {
+                               range_ids.push_back(r[0].AsInt());
+                               range_bals.push_back(r[1].AsInt());
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(range_ids, (std::vector<int64_t>{2, 3, 4, 5, 6}));
+  // The updated image (not the stored one) appears at its key slot.
+  EXPECT_EQ(range_bals, (std::vector<int64_t>{20, 33, 444, 55, 60}));
+
+  // Early termination mid-merge stays consistent.
+  std::vector<int64_t> first_three;
+  ASSERT_TRUE(t->Scan(table_id_,
+                      [&](const Row& r) {
+                        first_three.push_back(r[0].AsInt());
+                        return first_three.size() < 3;
+                      })
+                  .ok());
+  EXPECT_EQ(first_three, (std::vector<int64_t>{1, 2, 3}));
+  ASSERT_TRUE(t->Abort().ok());
+}
+
 TEST_F(TxnTest, EmptyCommitIsCheap) {
   auto t = mgr_.Begin(IsolationLevel::kSnapshotIsolation);
   uint64_t before = log_.size();
