@@ -82,15 +82,17 @@ inline void PrintHeader(const char* title, const char* paper_claim) {
   std::printf("==================================================\n");
 }
 
-/// One measurement cell with automatic version-chain pruning before it
-/// (keeps MVCC chains short between cells, like fresh paper runs).
+/// One measurement cell with a synchronous vacuum pass before it (starts
+/// every cell from reclaimed MVCC chains and fresh index entries, like
+/// fresh paper runs; no open snapshots exist between cells, so the pass
+/// truncates every chain to its newest version).
 /// A misconfigured cell (bad weight override) aborts the figure binary:
 /// partial figures are worse than no figures.
 inline benchfw::RunResult Cell(engine::Database& db,
                                const benchfw::BenchmarkSuite& suite,
                                const std::vector<benchfw::AgentConfig>& agents,
                                const benchfw::RunConfig& cfg) {
-  db.PruneAllVersions(4);
+  db.RunVacuum();
   auto result = benchfw::RunCell(db, suite, agents, cfg);
   if (!result.ok()) {
     std::fprintf(stderr, "bench cell misconfigured: %s\n",

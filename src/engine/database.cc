@@ -19,7 +19,7 @@ Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
       &commit_log_, &column_store_, profile_.replication_lag_micros);
   txn_manager_ = std::make_unique<txn::TransactionManager>(
       &row_store_, &lock_manager_, &oracle_, &commit_log_,
-      profile_.lock_timeout_micros);
+      profile_.lock_timeout_micros, &snapshots_);
   if (profile_.architecture == StoreArchitecture::kUnified) {
     // No replica tails the log: dropping records (while still feeding the
     // WAL) keeps a long-running unified engine's memory bounded.
@@ -31,14 +31,27 @@ Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
     recovery_status_ = RecoverFromWal();
   }
   if (profile_.architecture == StoreArchitecture::kSeparated) {
+    // Pin the vacuum watermark at the replication apply frontier before
+    // shipping starts, so the registry never reports "caught up" while
+    // recovered records still sit in the log.
+    replicator_->set_snapshot_registry(&snapshots_);
     replicator_->Start();
     // Make recovered commits visible on the replica before the first query
     // (they are already past any replication lag — they predate the crash).
     if (durable && recovery_status_.ok()) replicator_->CatchUp();
   }
+  storage::VacuumConfig vcfg;
+  vcfg.interval_us = profile_.vacuum_interval_us;
+  vcfg.batch_rows = profile_.vacuum_batch_rows;
+  vcfg.gc_history_us = profile_.gc_history_us;
+  vacuum_ = std::make_unique<storage::Vacuum>(&row_store_, &snapshots_,
+                                              &oracle_, vcfg);
+  vacuum_->Start();
 }
 
 Database::~Database() {
+  // Stop the sweepers before any substrate they walk is torn down.
+  if (vacuum_) vacuum_->Stop();
   if (replicator_) replicator_->Stop();
 }
 
@@ -56,6 +69,13 @@ const storage::TableSchema& Database::GetSchema(int table_id) const {
   return t->schema();
 }
 
+void Database::set_scan_chunk_rows(size_t rows) {
+  profile_.scan_chunk_rows = rows;
+  for (int id : row_store_.TableIds()) {
+    row_store_.table(id)->set_scan_chunk_rows(rows);
+  }
+}
+
 Status Database::CreateTableEverywhere(storage::TableSchema schema) {
   // Resolve FK referenced-column positions against live tables.
   for (auto& fk : *schema.mutable_foreign_keys()) {
@@ -69,6 +89,7 @@ Status Database::CreateTableEverywhere(storage::TableSchema schema) {
   }
   auto tid = row_store_.CreateTable(schema);
   if (!tid.ok()) return tid.status();
+  row_store_.table(*tid)->set_scan_chunk_rows(profile_.scan_chunk_rows);
   if (profile_.architecture == StoreArchitecture::kSeparated) {
     column_store_.AddTable(*tid, schema);
   }
@@ -98,6 +119,8 @@ void Database::WaitReplicaCaughtUp() {
     replicator_->CatchUp();
   }
 }
+
+storage::VacuumStats Database::RunVacuum() { return vacuum_->RunOnce(); }
 
 void Database::PruneAllVersions(size_t keep) {
   for (int id : row_store_.TableIds()) {
@@ -144,7 +167,8 @@ Status Database::RecoverFromWal() {
             feed.commit_wall_us = 0;
           }
         }
-        table->InstallVersion(pk, ts, /*deleted=*/false, std::move(row));
+        OLXP_RETURN_NOT_OK(
+            table->InstallVersion(pk, ts, /*deleted=*/false, std::move(row)));
       }
       if (!feed.ops.empty()) commit_log_.Append(std::move(feed));
     }
@@ -175,9 +199,9 @@ Status Database::RecoverFromWal() {
                 return Status::Internal("WAL commit references unknown table " +
                                         std::to_string(op.table_id));
               }
-              t->InstallVersion(op.pk, frame.commit.commit_ts,
-                                op.kind == storage::LogOp::Kind::kDelete,
-                                op.data);
+              OLXP_RETURN_NOT_OK(t->InstallVersion(
+                  op.pk, frame.commit.commit_ts,
+                  op.kind == storage::LogOp::Kind::kDelete, op.data));
             }
             if (frame.commit.commit_ts > max_ts) {
               max_ts = frame.commit.commit_ts;
@@ -220,6 +244,7 @@ Status Database::Checkpoint() {
   // locks of ForEachCommitted.
   std::lock_guard<std::mutex> ckpt_lk(checkpoint_mu_);
   storage::CheckpointImage image;
+  storage::SnapshotRegistry::Handle snapshot_handle = 0;
   {
     // Holding the commit mutex pins (snapshot ts, WAL seq) to the same
     // point in commit order: every commit at or below oracle_ts has both
@@ -227,6 +252,18 @@ Status Database::Checkpoint() {
     storage::TimestampOracle::CommitScope scope(&oracle_);
     image.oracle_ts = scope.commit_ts();
     image.wal_next_seq = wal_->next_seq();
+    // Register the image timestamp as a live snapshot BEFORE it publishes:
+    // the vacuum must not reclaim versions the ForEachCommitted sweep below
+    // still needs. (Registering inside the scope is race-free — every
+    // watermark computable before the publish is < oracle_ts.)
+    snapshot_handle = snapshots_.Register(image.oracle_ts);
+  }
+  // Watermark awareness both ways: the registration above holds the vacuum
+  // horizon at or below the image ts, and a checkpoint must never snapshot
+  // below history the vacuum already reclaimed.
+  if (image.oracle_ts < vacuum_->last_watermark()) {
+    snapshots_.Release(snapshot_handle);
+    return Status::Internal("checkpoint ts below the vacuum watermark");
   }
   for (int id : row_store_.TableIds()) {
     const storage::MvccTable* t = row_store_.table(id);
@@ -241,6 +278,7 @@ Status Database::Checkpoint() {
                         });
     image.tables.push_back(std::move(ct));
   }
+  snapshots_.Release(snapshot_handle);  // chains copied; vacuum may proceed
   OLXP_RETURN_NOT_OK(storage::WriteCheckpoint(profile_.wal_dir, image));
   OLXP_RETURN_NOT_OK(wal_->Flush());
   wal_->DeleteSegmentsBefore(image.wal_next_seq);

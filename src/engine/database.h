@@ -13,6 +13,7 @@
 #include "storage/oracle.h"
 #include "storage/replicator.h"
 #include "storage/row_store.h"
+#include "storage/vacuum.h"
 #include "storage/wal.h"
 #include "txn/transaction.h"
 
@@ -59,7 +60,15 @@ class Database : public sql::Catalog {
   /// far (loader barrier before measurements).
   void WaitReplicaCaughtUp();
 
-  /// Prunes MVCC version chains in every table (between bench cells).
+  /// Runs one synchronous MVCC vacuum pass (watermark-safe: respects every
+  /// open snapshot) and returns what it reclaimed. The background vacuum
+  /// thread runs the same pass every profile().vacuum_interval_us.
+  storage::VacuumStats RunVacuum();
+
+  /// DEPRECATED: blindly prunes version chains in every table to the
+  /// newest `keep` versions with no snapshot safety and no index-entry
+  /// maintenance. Kept as a shim for legacy tests; use RunVacuum() (or the
+  /// background vacuum) everywhere else.
   void PruneAllVersions(size_t keep = 4);
 
   /// Snapshots every table (schemas + committed rows with their commit
@@ -80,6 +89,8 @@ class Database : public sql::Catalog {
   storage::TimestampOracle& oracle() { return oracle_; }
   storage::Replicator& replicator() { return *replicator_; }
   txn::TransactionManager& txn_manager() { return *txn_manager_; }
+  storage::SnapshotRegistry& snapshots() { return snapshots_; }
+  storage::Vacuum& vacuum() { return *vacuum_; }
   /// Durable segment writer; nullptr when durability is off.
   storage::WalWriter* wal() { return wal_.get(); }
 
@@ -92,6 +103,11 @@ class Database : public sql::Catalog {
     profile_.vectorized_execution = on;
   }
 
+  /// Sets the chunked-scan latch-drop granularity on every table (0 = hold
+  /// the latch for the whole sweep). The fig1/fig4 ablations flip this
+  /// between cells to measure the §V-B interference path before/after.
+  void set_scan_chunk_rows(size_t rows);
+
  private:
   /// Loads the checkpoint and replays WAL segments from profile_.wal_dir,
   /// then opens the segment writer for new commits.
@@ -103,8 +119,13 @@ class Database : public sql::Catalog {
   storage::LockManager lock_manager_;
   storage::TimestampOracle oracle_;
   storage::CommitLog commit_log_;
+  /// Live-snapshot registry feeding the vacuum watermark; must outlive the
+  /// replicator, transaction manager, and vacuum, all of which hold it.
+  storage::SnapshotRegistry snapshots_;
   std::unique_ptr<storage::Replicator> replicator_;
   std::unique_ptr<txn::TransactionManager> txn_manager_;
+  /// Stopped in ~Database before the stores it sweeps are torn down.
+  std::unique_ptr<storage::Vacuum> vacuum_;
   /// Declared last: destroyed first, flushing its tail while the rest of
   /// the substrate is still alive. No transaction runs during destruction.
   std::unique_ptr<storage::WalWriter> wal_;

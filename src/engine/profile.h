@@ -109,6 +109,26 @@ struct EngineProfile {
   size_t prepared_statement_cache_capacity = 256;
   /// Row-lock wait deadline before a retryable LockTimeout abort.
   int64_t lock_timeout_micros = 100000;
+  /// Background MVCC vacuum pass period. The vacuum thread computes the
+  /// active-snapshot watermark (open transactions, checkpoint writer,
+  /// replicator apply frontier) and reclaims version chains, dead
+  /// tombstone rows, and stale secondary-index entries below it — the
+  /// continuous garbage collection a sustained hybrid run needs to keep
+  /// memory bounded. <= 0 disables the thread (Database::RunVacuum() still
+  /// runs synchronous passes).
+  int64_t vacuum_interval_us = 50000;
+  /// Rows each vacuum chunk examines under one exclusive table latch
+  /// before dropping it (bounds committer stalls behind the vacuum).
+  size_t vacuum_batch_rows = 512;
+  /// Minimum wall-clock age of MVCC history before the vacuum may reclaim
+  /// it, independent of live snapshots (0 = reclaim as soon as unneeded).
+  int64_t gc_history_us = 0;
+  /// Rows a table scan visits per shared-latch chunk before dropping the
+  /// latch so committers can interleave (the §V-B interference path:
+  /// a whole-sweep latch hold stalls every InstallVersion behind an
+  /// analytical scan). 0 = hold the latch for the whole sweep (the
+  /// pre-chunking behaviour, kept for before/after ablations).
+  size_t scan_chunk_rows = 1024;
   /// Commit durability: kOff keeps the redo log in memory only (the seed
   /// behaviour — a restart loses the database); the other modes persist
   /// every commit to WAL segments under `wal_dir` and recover from them

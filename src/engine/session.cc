@@ -267,12 +267,12 @@ class ColumnSnapshotStorage : public sql::StorageIface {
   Status ScanPkRange(int table_id, const Row& lo, const Row& hi,
                      const RowCallback& cb) override {
     const storage::TableSchema& schema = GetSchema(table_id);
-    storage::KeyLess less;
     return ScanTable(table_id, [&](const Row& row) {
       Row pk = schema.ExtractPrimaryKey(row);
-      Row lo_prefix(pk.begin(), pk.begin() + std::min(pk.size(), lo.size()));
-      Row hi_prefix(pk.begin(), pk.begin() + std::min(pk.size(), hi.size()));
-      if (less(lo_prefix, lo) || less(hi, hi_prefix)) return true;
+      if (storage::ComparePrefix(pk, lo.size(), lo) < 0 ||
+          storage::ComparePrefix(pk, hi.size(), hi) > 0) {
+        return true;
+      }
       return cb(row);
     });
   }
@@ -281,12 +281,9 @@ class ColumnSnapshotStorage : public sql::StorageIface {
                      std::vector<Row>* out) override {
     const storage::TableSchema& schema = GetSchema(table_id);
     const storage::IndexDef& def = schema.indexes()[index_id];
-    storage::KeyEq eq;
     return ScanTable(table_id, [&](const Row& row) {
       Row ikey = schema.ExtractIndexKey(def, row);
-      Row prefix(ikey.begin(), ikey.begin() + std::min(ikey.size(),
-                                                       key.size()));
-      if (eq(prefix, key)) out->push_back(row);
+      if (storage::PrefixEq(ikey, key.size(), key)) out->push_back(row);
       return true;
     });
   }

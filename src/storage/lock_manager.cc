@@ -6,7 +6,8 @@
 
 namespace olxp::storage {
 
-LockManager::LockManager(int num_shards) : shards_(num_shards) {}
+LockManager::LockManager(int num_shards, ShardHashFn hash)
+    : shards_(num_shards), hash_(hash) {}
 
 size_t LockManager::LockHash(int table_id, const Row& key) {
   size_t h = HashRow(key);
@@ -16,18 +17,27 @@ size_t LockManager::LockHash(int table_id, const Row& key) {
 
 Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
                             int64_t timeout_micros) {
-  size_t h = LockHash(table_id, key);
-  Shard& shard = ShardFor(h);
+  Shard& shard = ShardFor(hash_(table_id, key));
+  const TableKeyView view{table_id, &key};
   std::unique_lock<std::mutex> lk(shard.mu);
-  LockEntry& e = shard.locks[h];
-  if (e.owner == txn_id) {
-    e.reentry++;
+  auto it = shard.locks.find(view);
+  if (it == shard.locks.end()) {
+    // Free: the Row is copied into the table only on this entry-creating
+    // grant; reentries and waiters hit the heterogeneous find above.
+    it = shard.locks.emplace(TableKey{table_id, key}, LockEntry{}).first;
+    it->second.owner = txn_id;
+    it->second.reentry = 1;
     stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
-  if (e.owner == 0) {
-    e.owner = txn_id;
-    e.reentry = 1;
+  if (it->second.owner == txn_id) {
+    it->second.reentry++;
+    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (it->second.owner == 0) {
+    it->second.owner = txn_id;
+    it->second.reentry = 1;
     stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
@@ -36,11 +46,12 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
   const int64_t t0 = NowNanos();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_micros);
-  e.waiters++;
+  it->second.waiters++;
   bool granted = false;
   while (true) {
-    // Re-fetch: the map may rehash while unlocked during wait.
-    LockEntry& cur = shard.locks[h];
+    // Re-find every iteration: the map may rehash while unlocked during
+    // the wait, invalidating references.
+    LockEntry& cur = shard.locks.find(view)->second;
     if (cur.owner == 0) {
       cur.owner = txn_id;
       cur.reentry = 1;
@@ -52,8 +63,8 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
     // last-instant grant (the caller retries the transaction anyway).
     if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) break;
   }
-  LockEntry& fin = shard.locks[h];
-  fin.waiters--;
+  auto fit = shard.locks.find(view);
+  fit->second.waiters--;
   stats_.wait_nanos.fetch_add(static_cast<uint64_t>(NowNanos() - t0),
                               std::memory_order_relaxed);
   if (granted) {
@@ -61,23 +72,25 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
     return Status::OK();
   }
   stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
-  uint64_t owner_now = fin.owner;
+  uint64_t owner_now = fit->second.owner;
   // Last-waiter exit without a grant: Release keeps an unowned entry alive
   // whenever waiters are registered (handoff), so when the handoff is
   // declined by a timeout nobody else is left to erase it — the last
   // timed-out waiter must reap it or shard.locks grows without bound under
   // contention churn.
-  if (fin.owner == 0 && fin.waiters == 0) shard.locks.erase(h);
+  if (fit->second.owner == 0 && fit->second.waiters == 0) {
+    shard.locks.erase(fit);
+  }
   return Status::LockTimeout("row lock wait exceeded deadline; owner txn " +
                              std::to_string(owner_now) + " me " +
                              std::to_string(txn_id));
 }
 
 void LockManager::Release(uint64_t txn_id, int table_id, const Row& key) {
-  size_t h = LockHash(table_id, key);
-  Shard& shard = ShardFor(h);
+  Shard& shard = ShardFor(hash_(table_id, key));
+  const TableKeyView view{table_id, &key};
   std::unique_lock<std::mutex> lk(shard.mu);
-  auto it = shard.locks.find(h);
+  auto it = shard.locks.find(view);
   if (it == shard.locks.end() || it->second.owner != txn_id) return;
   if (--it->second.reentry > 0) return;
   it->second.owner = 0;
@@ -99,10 +112,10 @@ size_t LockManager::EntryCount() {
 }
 
 bool LockManager::Holds(uint64_t txn_id, int table_id, const Row& key) {
-  size_t h = LockHash(table_id, key);
-  Shard& shard = ShardFor(h);
+  Shard& shard = ShardFor(hash_(table_id, key));
+  const TableKeyView view{table_id, &key};
   std::unique_lock<std::mutex> lk(shard.mu);
-  auto it = shard.locks.find(h);
+  auto it = shard.locks.find(view);
   return it != shard.locks.end() && it->second.owner == txn_id;
 }
 

@@ -38,9 +38,21 @@ struct LockStats {
 /// Grants are reentrant per transaction. Waiting is bounded by a deadline;
 /// expiry returns LockTimeout (the engine's deadlock breaker, surfaced to
 /// the harness as a retryable abort).
+///
+/// Entries are keyed by the FULL (table_id, key) identity, hash-bucketed
+/// into shards. Keying by the raw hash (the original design) let two
+/// distinct keys that collide share one entry — and a transaction holding
+/// one of them got a *false reentrant grant* on the other, silently
+/// breaking mutual exclusion. A hash now only picks the shard, where a
+/// collision costs contention on the shard mutex, never exclusion.
 class LockManager {
  public:
-  explicit LockManager(int num_shards = 64);
+  /// Maps (table_id, key) to a shard-selection hash. Injectable so tests
+  /// can force all keys into one value and prove that colliding hashes
+  /// still get distinct, correctly-exclusive lock entries.
+  using ShardHashFn = size_t (*)(int table_id, const Row& key);
+
+  explicit LockManager(int num_shards = 64, ShardHashFn hash = &LockHash);
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -61,6 +73,9 @@ class LockManager {
   /// memory for the life of the database (regression guard).
   size_t EntryCount();
 
+  /// Default shard hash.
+  static size_t LockHash(int table_id, const Row& key);
+
   LockStats& stats() { return stats_; }
   const LockStats& stats() const { return stats_; }
 
@@ -70,20 +85,50 @@ class LockManager {
     int reentry = 0;
     int waiters = 0;
   };
+  /// Full lock identity. The Row is copied in once per live entry (entries
+  /// are erased as soon as they have no owner and no waiters).
+  struct TableKey {
+    int table_id;
+    Row key;
+  };
+  /// Heterogeneous lookup view: lets find() run without copying the Row.
+  struct TableKeyView {
+    int table_id;
+    const Row* key;
+  };
+  struct TableKeyHash {
+    using is_transparent = void;
+    size_t operator()(const TableKey& k) const {
+      return HashRow(k.key) ^
+             static_cast<size_t>(k.table_id) * 0x9e3779b97f4a7c15ULL;
+    }
+    size_t operator()(const TableKeyView& k) const {
+      return HashRow(*k.key) ^
+             static_cast<size_t>(k.table_id) * 0x9e3779b97f4a7c15ULL;
+    }
+  };
+  struct TableKeyEq {
+    using is_transparent = void;
+    bool operator()(const TableKey& a, const TableKey& b) const {
+      return a.table_id == b.table_id && KeyEq()(a.key, b.key);
+    }
+    bool operator()(const TableKey& a, const TableKeyView& b) const {
+      return a.table_id == b.table_id && KeyEq()(a.key, *b.key);
+    }
+    bool operator()(const TableKeyView& a, const TableKey& b) const {
+      return b.table_id == a.table_id && KeyEq()(b.key, *a.key);
+    }
+  };
   struct Shard {
     std::mutex mu;
     std::condition_variable cv;
-    std::unordered_map<size_t, LockEntry> locks;  // hash -> entry
+    std::unordered_map<TableKey, LockEntry, TableKeyHash, TableKeyEq> locks;
   };
-
-  /// Collapses (table_id, key) to the lock hash. Collisions between
-  /// distinct keys are acceptable: they only add (rare) false contention,
-  /// never lost exclusion.
-  static size_t LockHash(int table_id, const Row& key);
 
   Shard& ShardFor(size_t hash) { return shards_[hash % shards_.size()]; }
 
   std::vector<Shard> shards_;
+  ShardHashFn hash_;
   LockStats stats_;
 };
 

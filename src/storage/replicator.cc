@@ -13,7 +13,24 @@ Replicator::Replicator(CommitLog* log, ColumnStore* store, int64_t lag_micros,
       lag_micros_(lag_micros),
       poll_micros_(poll_micros) {}
 
-Replicator::~Replicator() { Stop(); }
+Replicator::~Replicator() {
+  Stop();
+  if (registry_ != nullptr && frontier_handle_ != 0) {
+    registry_->Release(frontier_handle_);
+  }
+}
+
+void Replicator::set_snapshot_registry(SnapshotRegistry* registry) {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  if (registry_ != nullptr && frontier_handle_ != 0) {
+    registry_->Release(frontier_handle_);
+    frontier_handle_ = 0;
+  }
+  registry_ = registry;
+  if (registry_ != nullptr) {
+    frontier_handle_ = registry_->Register(SnapshotRegistry::kUnpinned);
+  }
+}
 
 void Replicator::Start() {
   bool expected = false;
@@ -52,6 +69,13 @@ void Replicator::ApplyUpTo(int64_t max_wall_us) {
   }
   next_seq_.store(next, std::memory_order_release);
   log_->Trim(next);
+  if (registry_ != nullptr && frontier_handle_ != 0) {
+    // Pin the vacuum watermark at the oldest commit still awaiting apply
+    // (records inside the lag window); unpin when fully caught up.
+    uint64_t pending = log_->OldestPendingCommitTs(next);
+    registry_->Update(frontier_handle_,
+                      pending == 0 ? SnapshotRegistry::kUnpinned : pending);
+  }
 }
 
 void Replicator::CatchUp() {

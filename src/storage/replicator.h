@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "storage/column_store.h"
+#include "storage/vacuum.h"
 #include "storage/wal.h"
 
 namespace olxp::storage {
@@ -41,6 +42,12 @@ class Replicator {
   /// ignoring the lag (loader/test barrier).
   void CatchUp();
 
+  /// Registers this pipeline's apply frontier as a live snapshot: while
+  /// commits sit in the log unapplied, the vacuum watermark stays at or
+  /// below the oldest pending commit ts (unpinned when fully caught up).
+  /// Call before Start(); pass nullptr to detach.
+  void set_snapshot_registry(SnapshotRegistry* registry);
+
   /// Dynamically adjusts the propagation delay.
   void set_lag_micros(int64_t lag) {
     lag_micros_.store(lag, std::memory_order_relaxed);
@@ -61,6 +68,8 @@ class Replicator {
 
   CommitLog* log_;
   ColumnStore* store_;
+  SnapshotRegistry* registry_ = nullptr;
+  SnapshotRegistry::Handle frontier_handle_ = 0;
   std::atomic<int64_t> lag_micros_;
   const int64_t poll_micros_;
 

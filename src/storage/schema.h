@@ -1,6 +1,7 @@
 #ifndef OLXP_STORAGE_SCHEMA_H_
 #define OLXP_STORAGE_SCHEMA_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -81,6 +82,33 @@ class TableSchema {
   std::vector<IndexDef> indexes_;
   std::vector<ForeignKeyDef> foreign_keys_;
 };
+
+/// Three-way lexicographic comparison of the first min(key.size(), n)
+/// values of `key` against `bound` (shorter compares less on a tie), i.e.
+/// the comparison KeyLess would make against the materialized prefix
+/// Row(key.begin(), key.begin() + min(key.size(), n)) — without building
+/// that Row. Range scans and index lookups test every visited entry
+/// against a prefix bound; the per-entry copy dominated their cost.
+inline int ComparePrefix(const Row& key, size_t n, const Row& bound) {
+  const size_t klen = std::min(key.size(), n);
+  const size_t m = std::min(klen, bound.size());
+  for (size_t i = 0; i < m; ++i) {
+    int c = key[i].Compare(bound[i]);
+    if (c != 0) return c;
+  }
+  if (klen < bound.size()) return -1;
+  return klen > bound.size() ? 1 : 0;
+}
+
+/// prefix(key, n) < bound, allocation-free.
+inline bool PrefixLess(const Row& key, size_t n, const Row& bound) {
+  return ComparePrefix(key, n, bound) < 0;
+}
+
+/// prefix(key, n) == bound, allocation-free.
+inline bool PrefixEq(const Row& key, size_t n, const Row& bound) {
+  return ComparePrefix(key, n, bound) == 0;
+}
 
 /// Lexicographic comparator over composite keys (Row used as key).
 struct KeyLess {

@@ -1,6 +1,5 @@
 #include "storage/table.h"
 
-#include <cassert>
 #include <mutex>
 #include <shared_mutex>
 
@@ -29,15 +28,25 @@ std::optional<Row> MvccTable::Get(const Row& pk, uint64_t snapshot_ts) const {
   return v->data;
 }
 
-void MvccTable::InstallVersion(const Row& pk, uint64_t commit_ts,
-                               bool deleted, Row data) {
+Status MvccTable::InstallVersion(const Row& pk, uint64_t commit_ts,
+                                 bool deleted, Row data) {
   std::unique_lock lk(mu_);
   if (index_entries_.size() != schema_.indexes().size()) {
     index_entries_.resize(schema_.indexes().size());
   }
   Chain& chain = rows_[pk];
-  assert(chain.versions.empty() ||
-         chain.versions.back().commit_ts <= commit_ts);
+  if (!chain.versions.empty() &&
+      chain.versions.back().commit_ts > commit_ts) {
+    // Refuse rather than corrupt: VisibleVersion walks chains newest-first
+    // assuming ascending commit_ts, so an out-of-order install would make
+    // every later read of this row wrong. (If the install created the
+    // chain just now, leaving the empty shell behind is harmless — it
+    // reads as absent and the vacuum reclaims it.)
+    return Status::Internal(
+        "non-monotone commit ts on " + schema_.name() + ": chain at " +
+        std::to_string(chain.versions.back().commit_ts) + ", installing " +
+        std::to_string(commit_ts));
+  }
   if (!deleted) {
     for (size_t i = 0; i < schema_.indexes().size(); ++i) {
       Row ikey = schema_.ExtractIndexKey(schema_.indexes()[i], data);
@@ -54,16 +63,35 @@ void MvccTable::InstallVersion(const Row& pk, uint64_t commit_ts,
     }
   }
   chain.versions.push_back(Version{commit_ts, deleted, std::move(data)});
+  return Status::OK();
 }
 
 int64_t MvccTable::Scan(uint64_t snapshot_ts, const RowCallback& cb) const {
-  std::shared_lock lk(mu_);
+  const size_t chunk = scan_chunk_rows_.load(std::memory_order_relaxed);
   int64_t visited = 0;
-  for (const auto& [pk, chain] : rows_) {
-    ++visited;
-    const Version* v = VisibleVersion(chain, snapshot_ts);
-    if (v == nullptr || v->deleted) continue;
-    if (!cb(v->data)) break;
+  bool stopped = false;
+  Row resume;
+  bool has_resume = false;
+  // Chunked latch-dropping sweep (same pattern as ForEachCommitted): the
+  // shared lock covers at most `chunk` rows at a time, so InstallVersion
+  // never waits behind a whole-table analytical scan. Per-key snapshot
+  // visibility keeps the merged result consistent across the gaps.
+  while (!stopped) {
+    std::shared_lock lk(mu_);
+    auto it = has_resume ? rows_.lower_bound(resume) : rows_.begin();
+    size_t n = 0;
+    for (; it != rows_.end() && (chunk == 0 || n < chunk); ++it, ++n) {
+      ++visited;
+      const Version* v = VisibleVersion(it->second, snapshot_ts);
+      if (v == nullptr || v->deleted) continue;
+      if (!cb(v->data)) {
+        stopped = true;
+        break;
+      }
+    }
+    if (it == rows_.end()) break;
+    resume = it->first;  // first key of the next chunk
+    has_resume = true;
   }
   rows_scanned_.fetch_add(static_cast<uint64_t>(visited),
                           std::memory_order_relaxed);
@@ -73,20 +101,34 @@ int64_t MvccTable::Scan(uint64_t snapshot_ts, const RowCallback& cb) const {
 int64_t MvccTable::ScanPkRange(const Row& lo, const Row& hi,
                                uint64_t snapshot_ts,
                                const RowCallback& cb) const {
-  std::shared_lock lk(mu_);
+  const size_t chunk = scan_chunk_rows_.load(std::memory_order_relaxed);
   int64_t visited = 0;
-  auto it = rows_.lower_bound(lo);
-  for (; it != rows_.end(); ++it) {
-    // Stop once past `hi`; prefix keys compare less than any extension, so
-    // test "hi < pk-prefix(hi.size())" by comparing against the prefix.
-    const Row& pk = it->first;
-    Row prefix(pk.begin(),
-               pk.begin() + std::min(pk.size(), hi.size()));
-    if (KeyLess()(hi, prefix)) break;
-    ++visited;
-    const Version* v = VisibleVersion(it->second, snapshot_ts);
-    if (v == nullptr || v->deleted) continue;
-    if (!cb(v->data)) break;
+  bool stopped = false;
+  Row resume;
+  bool has_resume = false;
+  while (!stopped) {
+    std::shared_lock lk(mu_);
+    auto it = has_resume ? rows_.lower_bound(resume) : rows_.lower_bound(lo);
+    size_t n = 0;
+    for (; it != rows_.end() && (chunk == 0 || n < chunk); ++it, ++n) {
+      // Stop once past `hi`; prefix keys compare less than any extension,
+      // so test hi < prefix(pk, hi.size()) — in place, no per-row copy.
+      const Row& pk = it->first;
+      if (ComparePrefix(pk, hi.size(), hi) > 0) {
+        stopped = true;
+        break;
+      }
+      ++visited;
+      const Version* v = VisibleVersion(it->second, snapshot_ts);
+      if (v == nullptr || v->deleted) continue;
+      if (!cb(v->data)) {
+        stopped = true;
+        break;
+      }
+    }
+    if (it == rows_.end()) break;
+    resume = it->first;
+    has_resume = true;
   }
   rows_scanned_.fetch_add(static_cast<uint64_t>(visited),
                           std::memory_order_relaxed);
@@ -108,8 +150,7 @@ int64_t MvccTable::IndexLookup(int index_id, const Row& key,
   auto it = idx.lower_bound(key);
   for (; it != idx.end(); ++it) {
     const Row& ikey = it->first;
-    Row prefix(ikey.begin(), ikey.begin() + std::min(ikey.size(), key.size()));
-    if (KeyLess()(key, prefix)) break;
+    if (ComparePrefix(ikey, key.size(), key) > 0) break;
     ++visited;
     auto rit = rows_.find(it->second);
     if (rit == rows_.end()) continue;
@@ -117,9 +158,7 @@ int64_t MvccTable::IndexLookup(int index_id, const Row& key,
     if (v == nullptr || v->deleted) continue;
     // Verify the row still carries this index key (stale-entry filter).
     Row live_key = schema_.ExtractIndexKey(def, v->data);
-    Row live_prefix(live_key.begin(),
-                    live_key.begin() + std::min(live_key.size(), key.size()));
-    if (!KeyEq()(live_prefix, key)) continue;
+    if (!PrefixEq(live_key, key.size(), key)) continue;
     out->push_back(v->data);
   }
   rows_scanned_.fetch_add(static_cast<uint64_t>(visited),
@@ -171,6 +210,117 @@ void MvccTable::ForEachCommitted(
 size_t MvccTable::ApproxRowCount() const {
   std::shared_lock lk(mu_);
   return rows_.size();
+}
+
+size_t MvccTable::TotalVersionCount() const {
+  std::shared_lock lk(mu_);
+  size_t n = 0;
+  for (const auto& [pk, chain] : rows_) n += chain.versions.size();
+  return n;
+}
+
+size_t MvccTable::IndexEntryCount() const {
+  std::shared_lock lk(mu_);
+  size_t n = 0;
+  for (const auto& idx : index_entries_) n += idx.size();
+  return n;
+}
+
+size_t MvccTable::EraseIndexEntry(size_t idx, const Row& ikey,
+                                  const Row& pk) {
+  auto [b, e] = index_entries_[idx].equal_range(ikey);
+  for (auto it = b; it != e; ++it) {
+    if (KeyEq()(it->second, pk)) {
+      index_entries_[idx].erase(it);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+VacuumStats MvccTable::VacuumBelow(uint64_t watermark, size_t batch_rows) {
+  VacuumStats stats;
+  if (watermark == 0) return stats;
+  if (batch_rows == 0) batch_rows = 1;
+  Row resume;
+  bool has_resume = false;
+  // Scratch buffers hoisted out of the loop (reused across chains).
+  std::vector<Row> erased_keys;
+  std::vector<Row> survivor_keys;
+  for (;;) {
+    std::unique_lock lk(mu_);
+    auto it = has_resume ? rows_.lower_bound(resume) : rows_.begin();
+    size_t n = 0;
+    while (it != rows_.end() && n < batch_rows) {
+      ++n;
+      Chain& chain = it->second;
+      // Newest version with commit_ts <= watermark: everything strictly
+      // older is unreachable from any snapshot >= watermark, and the
+      // registry guarantees no live snapshot is below the watermark.
+      size_t wm_idx = chain.versions.size();
+      for (size_t i = chain.versions.size(); i-- > 0;) {
+        if (chain.versions[i].commit_ts <= watermark) {
+          wm_idx = i;
+          break;
+        }
+      }
+      if (wm_idx == chain.versions.size()) {
+        ++it;  // nothing at or below the watermark (or empty chain)
+        continue;
+      }
+      const bool dead_chain = chain.versions[wm_idx].deleted &&
+                              wm_idx + 1 == chain.versions.size();
+      const size_t erase_end = dead_chain ? chain.versions.size() : wm_idx;
+      if (erase_end == 0) {
+        ++it;
+        continue;
+      }
+      // Purge index entries backed only by erased versions: an (ikey, pk)
+      // pair must survive iff some surviving version still carries ikey
+      // (readers above the watermark can see exactly those versions).
+      for (size_t i = 0; i < index_entries_.size(); ++i) {
+        const IndexDef& def = schema_.indexes()[i];
+        erased_keys.clear();
+        survivor_keys.clear();
+        for (size_t v = 0; v < erase_end; ++v) {
+          if (chain.versions[v].deleted) continue;
+          erased_keys.push_back(
+              schema_.ExtractIndexKey(def, chain.versions[v].data));
+        }
+        if (erased_keys.empty()) continue;
+        for (size_t v = erase_end; v < chain.versions.size(); ++v) {
+          if (chain.versions[v].deleted) continue;
+          survivor_keys.push_back(
+              schema_.ExtractIndexKey(def, chain.versions[v].data));
+        }
+        for (const Row& ikey : erased_keys) {
+          bool still_carried = false;
+          for (const Row& skey : survivor_keys) {
+            if (KeyEq()(skey, ikey)) {
+              still_carried = true;
+              break;
+            }
+          }
+          if (!still_carried) {
+            stats.index_entries_removed += EraseIndexEntry(i, ikey, it->first);
+          }
+        }
+      }
+      stats.versions_removed += erase_end;
+      if (dead_chain) {
+        ++stats.chains_removed;
+        it = rows_.erase(it);
+      } else {
+        chain.versions.erase(chain.versions.begin(),
+                             chain.versions.begin() +
+                                 static_cast<std::ptrdiff_t>(erase_end));
+        ++it;
+      }
+    }
+    if (it == rows_.end()) return stats;
+    resume = it->first;  // latch drops here; committers interleave
+    has_resume = true;
+  }
 }
 
 void MvccTable::PruneVersions(size_t keep) {

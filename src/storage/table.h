@@ -23,6 +23,21 @@ struct Version {
   Row data;
 };
 
+/// Reclamation counts of one vacuum sweep over a table (accumulated into
+/// pass/total stats by storage::Vacuum).
+struct VacuumStats {
+  uint64_t versions_removed = 0;       ///< version-chain entries erased
+  uint64_t chains_removed = 0;         ///< whole rows erased (dead tombstones)
+  uint64_t index_entries_removed = 0;  ///< stale (index_key, pk) pairs erased
+
+  VacuumStats& operator+=(const VacuumStats& o) {
+    versions_removed += o.versions_removed;
+    chains_removed += o.chains_removed;
+    index_entries_removed += o.index_entries_removed;
+    return *this;
+  }
+};
+
 /// Callback receiving a visible row during a scan. Return false to stop.
 using RowCallback = std::function<bool(const Row&)>;
 
@@ -35,7 +50,12 @@ using RowCallback = std::function<bool(const Row&)>;
 /// Concurrency: a table-level shared_mutex protects the tree structure;
 /// version installs take it exclusively (short critical section), reads and
 /// scans take it shared. Version chains are only appended under the
-/// exclusive lock, so shared-lock readers can safely walk them.
+/// exclusive lock, so shared-lock readers can safely walk them. Scans are
+/// chunked (see scan_chunk_rows): the shared lock drops every chunk so a
+/// multi-second analytical sweep never blocks committers for its whole
+/// duration — per-key MVCC visibility keeps the result a consistent
+/// snapshot anyway (rows installed between chunks carry newer timestamps;
+/// rows vacuumed between chunks were invisible at any registered snapshot).
 class MvccTable {
  public:
   MvccTable(int table_id, TableSchema schema)
@@ -56,9 +76,12 @@ class MvccTable {
   std::optional<Row> Get(const Row& pk, uint64_t snapshot_ts) const;
 
   /// Installs a new committed version. Caller (the committing transaction)
-  /// must hold the row lock; commit timestamps must be monotone per row.
-  void InstallVersion(const Row& pk, uint64_t commit_ts, bool deleted,
-                      Row data);
+  /// must hold the row lock. Fails with Internal when `commit_ts` is below
+  /// the chain's newest version — installing it would corrupt the ascending
+  /// order VisibleVersion depends on (a real check, not a debug assert:
+  /// release builds must refuse the commit rather than corrupt the chain).
+  Status InstallVersion(const Row& pk, uint64_t commit_ts, bool deleted,
+                        Row data);
 
   /// Full scan of rows visible at `snapshot_ts` in primary-key order.
   /// Returns the number of rows *visited* (versions inspected), which the
@@ -72,7 +95,8 @@ class MvccTable {
 
   /// Point lookups through secondary index `index_id` (position in
   /// schema().indexes()). Appends visible matching rows to `out`; stale
-  /// index entries are verified against the row and skipped.
+  /// index entries are verified against the row and skipped (and physically
+  /// purged by VacuumBelow once no snapshot can need them).
   /// Returns number of index entries visited.
   int64_t IndexLookup(int index_id, const Row& key, uint64_t snapshot_ts,
                       std::vector<Row>* out) const;
@@ -93,10 +117,38 @@ class MvccTable {
   /// whose newest version is a tombstone).
   size_t ApproxRowCount() const;
 
-  /// Prunes version chains down to the newest `keep` versions. Benchmarks
-  /// call this between measurement cells; safe only when no transaction
-  /// holds a snapshot older than the pruned versions.
+  /// Garbage-collects history no live snapshot can observe, in exclusive-
+  /// lock chunks of `batch_rows` rows (the latch drops between chunks so
+  /// committers interleave). For every chain: versions strictly older than
+  /// the newest version with commit_ts <= `watermark` are erased; when that
+  /// watermark version is a tombstone with nothing newer above it, the
+  /// whole chain (the row) is erased. Secondary-index entries backed only
+  /// by erased versions are purged. Safe while scans/reads at snapshots
+  /// >= `watermark` run concurrently; the caller (storage::Vacuum) derives
+  /// `watermark` from the live-snapshot registry.
+  VacuumStats VacuumBelow(uint64_t watermark, size_t batch_rows);
+
+  /// DEPRECATED: prunes version chains down to the newest `keep` versions
+  /// with no snapshot safety and no index-entry maintenance. Kept as a shim
+  /// for legacy tests; new code (and the bench harness) uses the
+  /// watermark-driven vacuum instead.
   void PruneVersions(size_t keep);
+
+  /// Total version-chain entries across all rows (vacuum diagnostics).
+  size_t TotalVersionCount() const;
+
+  /// Total secondary-index entries across all indexes (stale included).
+  size_t IndexEntryCount() const;
+
+  /// Rows each shared-lock scan chunk visits before dropping the table
+  /// latch (0 = hold the latch for the whole sweep — the pre-chunking
+  /// behaviour, kept for the fig1/fig4 before/after ablation).
+  void set_scan_chunk_rows(size_t rows) {
+    scan_chunk_rows_.store(rows, std::memory_order_relaxed);
+  }
+  size_t scan_chunk_rows() const {
+    return scan_chunk_rows_.load(std::memory_order_relaxed);
+  }
 
   /// Cumulative count of rows visited by scans (interference metric).
   uint64_t rows_scanned() const {
@@ -121,15 +173,21 @@ class MvccTable {
   /// Newest version with commit_ts <= ts, or nullptr.
   static const Version* VisibleVersion(const Chain& chain, uint64_t ts);
 
+  /// Erases one (ikey, pk) pair from index `idx` if present. Requires mu_
+  /// held exclusively. Returns 1 when an entry was erased.
+  size_t EraseIndexEntry(size_t idx, const Row& ikey, const Row& pk);
+
   const int table_id_;
   TableSchema schema_;
 
   mutable std::shared_mutex mu_;
   std::map<Row, Chain, KeyLess> rows_;
   /// One multimap per IndexDef: index key -> primary key. Entries are
-  /// inserted on install and verified (lazily invalidated) on lookup.
+  /// inserted on install, verified (lazily invalidated) on lookup, and
+  /// physically erased by VacuumBelow when the versions backing them go.
   std::vector<std::multimap<Row, Row, KeyLess>> index_entries_;
 
+  std::atomic<size_t> scan_chunk_rows_{1024};
   mutable std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<int> active_scans_{0};
 };

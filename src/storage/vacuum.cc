@@ -1,0 +1,97 @@
+#include "storage/vacuum.h"
+
+#include "common/clock.h"
+
+namespace olxp::storage {
+
+Vacuum::Vacuum(RowStore* store, SnapshotRegistry* registry,
+               const TimestampOracle* oracle, VacuumConfig config)
+    : store_(store), registry_(registry), oracle_(oracle), config_(config) {}
+
+Vacuum::~Vacuum() { Stop(); }
+
+void Vacuum::Start() {
+  if (config_.interval_us <= 0) return;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Vacuum::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  {
+    // Flag-flip and notify under wake_mu_: notifying outside the mutex can
+    // land between the waiter's predicate check and its block, losing the
+    // wakeup and stalling Stop() for a whole interval.
+    std::lock_guard<std::mutex> lk(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Vacuum::Run() {
+  while (running_.load(std::memory_order_relaxed)) {
+    RunOnce();
+    // Real OS sleep (scheduling slack, not simulated latency), interruptible
+    // so Stop() never waits out a long interval.
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    wake_cv_.wait_for(lk, std::chrono::microseconds(config_.interval_us),
+                      [this] {
+                        return !running_.load(std::memory_order_relaxed);
+                      });
+  }
+}
+
+uint64_t Vacuum::HistoryCap() {
+  std::lock_guard<std::mutex> lk(history_mu_);
+  const int64_t now = NowMicros();
+  history_.emplace_back(now, oracle_->Current());
+  if (config_.gc_history_us <= 0) {
+    // No time-based retention: only live snapshots constrain reclamation.
+    if (history_.size() > 2) history_.pop_front();
+    return ~0ull;
+  }
+  // Newest sample old enough that everything at or below its timestamp has
+  // been history for at least gc_history_us.
+  uint64_t cap = 0;
+  while (history_.size() > 1 &&
+         history_[1].first <= now - config_.gc_history_us) {
+    history_.pop_front();
+  }
+  if (history_.front().first <= now - config_.gc_history_us) {
+    cap = history_.front().second;
+  }
+  return cap;
+}
+
+VacuumStats Vacuum::RunOnce() {
+  std::lock_guard<std::mutex> pass_lk(pass_mu_);
+  const uint64_t cap = HistoryCap();
+  VacuumStats pass;
+  for (int id : store_->TableIds()) {
+    MvccTable* t = store_->table(id);
+    if (t == nullptr) continue;
+    // Recompute per table: a long pass over many tables would otherwise
+    // hold reclamation back to a watermark that has since advanced. Using a
+    // smaller (older) watermark is always safe; a fresher one reclaims more.
+    uint64_t watermark = registry_->Watermark(*oracle_);
+    if (watermark > cap) watermark = cap;
+    last_watermark_.store(watermark, std::memory_order_release);
+    if (watermark == 0) continue;
+    pass += t->VacuumBelow(watermark, config_.batch_rows);
+  }
+  {
+    std::lock_guard<std::mutex> lk(totals_mu_);
+    totals_ += pass;
+  }
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  return pass;
+}
+
+VacuumStats Vacuum::Totals() const {
+  std::lock_guard<std::mutex> lk(totals_mu_);
+  return totals_;
+}
+
+}  // namespace olxp::storage

@@ -1,0 +1,173 @@
+#ifndef OLXP_STORAGE_VACUUM_H_
+#define OLXP_STORAGE_VACUUM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "storage/oracle.h"
+#include "storage/row_store.h"
+
+namespace olxp::storage {
+
+/// Registry of every live snapshot in the engine: open transactions,
+/// the checkpoint writer's image timestamp, and the replicator's apply
+/// frontier. The vacuum computes its reclamation watermark as the minimum
+/// over all registered snapshots (and the oracle's published counter), so a
+/// version visible to ANY live reader is never reclaimed.
+///
+/// The acquire-vs-watermark race matters: a transaction that reads the
+/// oracle and only then registers could observe the counter at c while a
+/// concurrent watermark computation (not yet seeing the registration) uses
+/// a newer counter value > c. Acquire() therefore reads the oracle UNDER
+/// the registry mutex — the same mutex Watermark() holds — so every
+/// watermark is <= every snapshot registered after it was computed.
+class SnapshotRegistry {
+ public:
+  using Handle = uint64_t;            ///< 0 = invalid / never registered
+  static constexpr uint64_t kUnpinned = ~0ull;  ///< entry holds no snapshot
+
+  /// Atomically reads the oracle's current timestamp and registers it as a
+  /// live snapshot. Returns the handle; the snapshot ts lands in `*ts`.
+  Handle Acquire(const TimestampOracle& oracle, uint64_t* ts) {
+    std::lock_guard<std::mutex> lk(mu_);
+    *ts = oracle.Current();
+    Handle h = next_handle_++;
+    active_.emplace(h, *ts);
+    return h;
+  }
+
+  /// Registers an externally chosen snapshot (checkpoint writer: its image
+  /// timestamp is a reserved commit ts that is not yet published, which is
+  /// safe because it is above every watermark computable before publish).
+  Handle Register(uint64_t ts) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Handle h = next_handle_++;
+    active_.emplace(h, ts);
+    return h;
+  }
+
+  /// Moves an entry to a new snapshot (replicator frontier). kUnpinned
+  /// makes the entry stop constraining the watermark without releasing it.
+  void Update(Handle h, uint64_t ts) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = active_.find(h);
+    if (it != active_.end()) it->second = ts;
+  }
+
+  void Release(Handle h) {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_.erase(h);
+  }
+
+  /// The reclamation watermark: min over live snapshots, bounded by the
+  /// oracle's published counter (with no snapshots open, everything
+  /// committed so far is safe to truncate down to its newest version).
+  uint64_t Watermark(const TimestampOracle& oracle) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t w = oracle.Current();
+    for (const auto& [h, ts] : active_) {
+      if (ts != kUnpinned && ts < w) w = ts;
+    }
+    return w;
+  }
+
+  /// Live registered snapshots (diagnostics).
+  size_t ActiveCount() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t n = 0;
+    for (const auto& [h, ts] : active_) {
+      if (ts != kUnpinned) ++n;
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Handle, uint64_t> active_;
+  Handle next_handle_ = 1;
+};
+
+/// Vacuum knobs (EngineProfile mirrors these as vacuum_interval_us /
+/// vacuum_batch_rows / gc_history_us).
+struct VacuumConfig {
+  /// Background pass period. <= 0 disables the thread; RunOnce() still
+  /// works for synchronous callers (bench cells, tests).
+  int64_t interval_us = 50000;
+  /// Rows examined per exclusive-lock chunk. Bounds how long one vacuum
+  /// chunk holds a table's latch against committers.
+  size_t batch_rows = 512;
+  /// Minimum wall-clock age of history before it may be reclaimed, mapped
+  /// onto logical timestamps via (wall time, oracle ts) samples taken each
+  /// pass. 0 = reclaim as soon as no live snapshot needs a version.
+  int64_t gc_history_us = 0;
+};
+
+/// Background MVCC garbage collector. Each pass computes the active-
+/// snapshot watermark and walks every table in lock-bounded chunks,
+/// truncating version chains below the watermark, erasing chains whose
+/// newest sub-watermark version is a tombstone (with nothing newer), and
+/// purging the secondary-index entries those versions backed. Replaces the
+/// manual, snapshot-unsafe MvccTable::PruneVersions between-cells hack with
+/// the continuous collection real HTAP engines run.
+class Vacuum {
+ public:
+  Vacuum(RowStore* store, SnapshotRegistry* registry,
+         const TimestampOracle* oracle, VacuumConfig config);
+  ~Vacuum();
+
+  Vacuum(const Vacuum&) = delete;
+  Vacuum& operator=(const Vacuum&) = delete;
+
+  /// Starts the background thread (no-op when interval_us <= 0; idempotent).
+  void Start();
+  /// Stops and joins the background thread (idempotent).
+  void Stop();
+
+  /// Runs one synchronous full pass over every table and returns what it
+  /// reclaimed. Safe concurrently with the background thread (serialized).
+  VacuumStats RunOnce();
+
+  /// Watermark used by the most recent pass (0 before the first pass).
+  uint64_t last_watermark() const {
+    return last_watermark_.load(std::memory_order_acquire);
+  }
+  /// Completed passes.
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+  /// Cumulative reclamation counters.
+  VacuumStats Totals() const;
+
+ private:
+  void Run();
+  /// gc_history_us mapping: caps the watermark at the newest oracle sample
+  /// at least gc_history_us old (0 when no sample is old enough yet).
+  uint64_t HistoryCap();
+
+  RowStore* store_;
+  SnapshotRegistry* registry_;
+  const TimestampOracle* oracle_;
+  const VacuumConfig config_;
+
+  std::mutex pass_mu_;  ///< serializes RunOnce between thread and callers
+  mutable std::mutex totals_mu_;
+  VacuumStats totals_;
+
+  std::mutex history_mu_;
+  std::deque<std::pair<int64_t, uint64_t>> history_;  // (wall_us, oracle ts)
+
+  std::atomic<uint64_t> last_watermark_{0};
+  std::atomic<uint64_t> passes_{0};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;  ///< interruptible inter-pass sleep
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace olxp::storage
+
+#endif  // OLXP_STORAGE_VACUUM_H_

@@ -931,4 +931,11 @@ uint64_t CommitLog::size() const {
   return base_seq_ + records_.size();
 }
 
+uint64_t CommitLog::OldestPendingCommitTs(uint64_t from_seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t idx = from_seq > base_seq_ ? from_seq - base_seq_ : 0;
+  if (idx >= records_.size()) return 0;
+  return records_[idx].commit_ts;
+}
+
 }  // namespace olxp::storage

@@ -294,6 +294,13 @@ class CommitLog {
   /// Total records ever appended.
   uint64_t size() const;
 
+  /// Commit timestamp of the oldest record at or after sequence `from_seq`
+  /// still retained in memory, or 0 when none is pending. The replicator
+  /// pins the MVCC vacuum's watermark here while its apply frontier lags,
+  /// so a future replica rebuild from the row store can always reread what
+  /// the pipeline has not shipped yet.
+  uint64_t OldestPendingCommitTs(uint64_t from_seq) const;
+
  private:
   mutable std::mutex mu_;
   std::deque<CommitRecord> records_;

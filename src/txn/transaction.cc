@@ -22,7 +22,9 @@ Transaction::Transaction(uint64_t id, IsolationLevel isolation,
                          storage::LockManager* locks,
                          storage::TimestampOracle* oracle,
                          storage::CommitLog* log,
-                         int64_t lock_timeout_micros)
+                         int64_t lock_timeout_micros,
+                         storage::SnapshotRegistry* snapshots,
+                         storage::SnapshotRegistry::Handle snapshot_handle)
     : id_(id),
       isolation_(isolation),
       start_ts_(start_ts),
@@ -30,11 +32,21 @@ Transaction::Transaction(uint64_t id, IsolationLevel isolation,
       locks_(locks),
       oracle_(oracle),
       log_(log),
-      lock_timeout_micros_(lock_timeout_micros) {}
+      lock_timeout_micros_(lock_timeout_micros),
+      snapshots_(snapshots),
+      snapshot_handle_(snapshot_handle) {}
 
 Transaction::~Transaction() {
   if (state_ == TxnState::kActive) {
     Abort();
+  }
+  ReleaseSnapshot();  // Abort/Commit already did; idempotent backstop
+}
+
+void Transaction::ReleaseSnapshot() {
+  if (snapshots_ != nullptr && snapshot_handle_ != 0) {
+    snapshots_->Release(snapshot_handle_);
+    snapshot_handle_ = 0;
   }
 }
 
@@ -143,14 +155,12 @@ Status Transaction::ScanPkRange(int table_id, const Row& lo, const Row& hi,
   storage::MvccTable* t = store_->table(table_id);
   if (t == nullptr) return Status::NotFound("bad table id");
   ++seeks_;
-  storage::KeyLess less;
   // In-range test with prefix semantics matching ScanPkRange, applied to
   // write-set keys (storage rows are bounded by the scan itself) so a
   // range read inside the transaction sees its own inserts in PK position.
   auto in_range = [&](const Row& pk) {
-    Row lo_prefix(pk.begin(), pk.begin() + std::min(pk.size(), lo.size()));
-    Row hi_prefix(pk.begin(), pk.begin() + std::min(pk.size(), hi.size()));
-    return !less(lo_prefix, lo) && !less(hi, hi_prefix);
+    return storage::ComparePrefix(pk, lo.size(), lo) >= 0 &&
+           storage::ComparePrefix(pk, hi.size(), hi) <= 0;
   };
   return MergedScan(
       t, in_range,
@@ -184,14 +194,11 @@ Status Transaction::IndexLookup(int table_id, int index_id, const Row& key,
     out->push_back(std::move(row));
   }
   if (ws != nullptr) {
-    storage::KeyEq eq;
     for (const auto& [pk, w] : *ws) {
       if (w.deleted) continue;
       Row ikey = t->schema().ExtractIndexKey(def, w.data);
-      Row prefix(ikey.begin(),
-                 ikey.begin() + std::min(ikey.size(), key.size()));
       ++visited;
-      if (eq(prefix, key)) out->push_back(w.data);
+      if (storage::PrefixEq(ikey, key.size(), key)) out->push_back(w.data);
     }
   }
   rows_visited_ += visited;
@@ -311,6 +318,7 @@ Status Transaction::Commit() {
   if (write_sets_.empty()) {
     state_ = TxnState::kCommitted;
     ReleaseAllLocks();
+    ReleaseSnapshot();
     return Status::OK();
   }
   uint64_t durable_ticket = 0;
@@ -323,14 +331,37 @@ Status Transaction::Commit() {
     // read-committed writer read the pre-publish value and lose our update.
     storage::TimestampOracle::CommitScope scope(oracle_);
     const uint64_t commit_ts = scope.commit_ts();
+    // Validate EVERY chain head against commit_ts before installing
+    // ANYTHING: failing mid-loop would leave a torn commit (rows already
+    // installed and visible, nothing logged or replicated). We hold all
+    // row locks and chains only grow under those locks, so a head that
+    // passes here cannot move before its install below.
+    for (auto& [table_id, ws] : write_sets_) {
+      storage::MvccTable* t = store_->table(table_id);
+      assert(t != nullptr);
+      for (auto& [pk, w] : ws) {
+        if (t->LatestCommitTs(pk) > commit_ts) {
+          write_sets_.clear();
+          state_ = TxnState::kAborted;
+          ReleaseAllLocks();
+          ReleaseSnapshot();
+          return Status::Internal("non-monotone commit ts on " +
+                                  t->schema().name());
+        }
+      }
+    }
     storage::CommitRecord rec;
     rec.commit_ts = commit_ts;
     rec.commit_wall_us = NowMicros();
     for (auto& [table_id, ws] : write_sets_) {
       storage::MvccTable* t = store_->table(table_id);
-      assert(t != nullptr);
       for (auto& [pk, w] : ws) {
-        t->InstallVersion(pk, commit_ts, w.deleted, w.data);
+        // Cannot fail: the chain heads were validated above and are pinned
+        // by our row locks. The check stays for non-commit callers
+        // (recovery, loaders); a failure here would be a locking bug.
+        Status install = t->InstallVersion(pk, commit_ts, w.deleted, w.data);
+        assert(install.ok());
+        (void)install;
         storage::LogOp op;
         op.kind = w.deleted ? storage::LogOp::Kind::kDelete
                             : storage::LogOp::Kind::kUpsert;
@@ -345,6 +376,7 @@ Status Transaction::Commit() {
   write_sets_.clear();
   state_ = TxnState::kCommitted;
   ReleaseAllLocks();
+  ReleaseSnapshot();
   // Group commit: block for the covering fsync only after the publish and
   // the lock release, so concurrent committers pile into the same batch
   // instead of serializing behind our wait. The transaction does not report
@@ -367,6 +399,7 @@ Status Transaction::Abort() {
   write_sets_.clear();
   state_ = TxnState::kAborted;
   ReleaseAllLocks();
+  ReleaseSnapshot();
   return Status::OK();
 }
 
@@ -388,19 +421,33 @@ TransactionManager::TransactionManager(storage::RowStore* store,
                                        storage::LockManager* locks,
                                        storage::TimestampOracle* oracle,
                                        storage::CommitLog* log,
-                                       int64_t lock_timeout_micros)
+                                       int64_t lock_timeout_micros,
+                                       storage::SnapshotRegistry* snapshots)
     : store_(store),
       locks_(locks),
       oracle_(oracle),
       log_(log),
-      lock_timeout_micros_(lock_timeout_micros) {}
+      lock_timeout_micros_(lock_timeout_micros),
+      snapshots_(snapshots) {}
 
 std::unique_ptr<Transaction> TransactionManager::Begin(
     IsolationLevel isolation) {
   uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  return std::make_unique<Transaction>(id, isolation, oracle_->Current(),
-                                       store_, locks_, oracle_, log_,
-                                       lock_timeout_micros_);
+  // The registry assigns the start timestamp when present: reading the
+  // oracle and registering under one mutex closes the race where a vacuum
+  // watermark computed between the two steps advances past a snapshot that
+  // is about to become live.
+  uint64_t start_ts;
+  storage::SnapshotRegistry::Handle handle = 0;
+  if (snapshots_ != nullptr) {
+    handle = snapshots_->Acquire(*oracle_, &start_ts);
+  } else {
+    start_ts = oracle_->Current();
+  }
+  return std::make_unique<Transaction>(id, isolation, start_ts, store_,
+                                       locks_, oracle_, log_,
+                                       lock_timeout_micros_, snapshots_,
+                                       handle);
 }
 
 }  // namespace olxp::txn

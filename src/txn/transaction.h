@@ -13,6 +13,7 @@
 #include "storage/lock_manager.h"
 #include "storage/oracle.h"
 #include "storage/row_store.h"
+#include "storage/vacuum.h"
 #include "storage/wal.h"
 
 namespace olxp::txn {
@@ -34,10 +35,16 @@ enum class TxnState { kActive, kCommitted, kAborted };
 /// Created via TransactionManager::Begin().
 class Transaction {
  public:
+  /// `snapshots`/`snapshot_handle`: registration of `start_ts` as a live
+  /// snapshot in the engine's registry (nullable/0 when the engine runs no
+  /// vacuum). The transaction releases it when it leaves the active state,
+  /// letting the vacuum watermark advance past its snapshot.
   Transaction(uint64_t id, IsolationLevel isolation, uint64_t start_ts,
               storage::RowStore* store, storage::LockManager* locks,
               storage::TimestampOracle* oracle, storage::CommitLog* log,
-              int64_t lock_timeout_micros);
+              int64_t lock_timeout_micros,
+              storage::SnapshotRegistry* snapshots = nullptr,
+              storage::SnapshotRegistry::Handle snapshot_handle = 0);
   ~Transaction();
 
   Transaction(const Transaction&) = delete;
@@ -130,6 +137,10 @@ class Transaction {
 
   void ReleaseAllLocks();
 
+  /// Unregisters start_ts from the snapshot registry (idempotent). Called
+  /// on every transition out of the active state.
+  void ReleaseSnapshot();
+
   const uint64_t id_;
   const IsolationLevel isolation_;
   const uint64_t start_ts_;
@@ -138,6 +149,8 @@ class Transaction {
   storage::TimestampOracle* oracle_;
   storage::CommitLog* log_;
   const int64_t lock_timeout_micros_;
+  storage::SnapshotRegistry* snapshots_;
+  storage::SnapshotRegistry::Handle snapshot_handle_;
 
   TxnState state_ = TxnState::kActive;
   std::unordered_map<int, WriteMap> write_sets_;  // table_id -> writes
@@ -152,10 +165,15 @@ class Transaction {
 /// (store, locks, oracle, log) into each transaction.
 class TransactionManager {
  public:
+  /// `snapshots` (nullable): live-snapshot registry; when present, Begin
+  /// atomically acquires-and-registers each transaction's start timestamp
+  /// so the MVCC vacuum never reclaims a version an open transaction can
+  /// still read.
   TransactionManager(storage::RowStore* store, storage::LockManager* locks,
                      storage::TimestampOracle* oracle,
                      storage::CommitLog* log,
-                     int64_t lock_timeout_micros = 100000);
+                     int64_t lock_timeout_micros = 100000,
+                     storage::SnapshotRegistry* snapshots = nullptr);
 
   std::unique_ptr<Transaction> Begin(IsolationLevel isolation);
 
@@ -173,6 +191,7 @@ class TransactionManager {
   storage::TimestampOracle* oracle_;
   storage::CommitLog* log_;
   const int64_t lock_timeout_micros_;
+  storage::SnapshotRegistry* snapshots_;
   std::atomic<uint64_t> next_txn_id_{1};
 };
 

@@ -200,6 +200,98 @@ TEST(MvccTable, AddIndexBackfills) {
   EXPECT_EQ(out.size(), 2u);  // keys 1, 3 (5 deleted)
 }
 
+TEST(MvccTable, InstallVersionRejectsNonMonotoneCommitTs) {
+  MvccTable t(0, KvSchema());
+  Row pk = {Value::Int(1)};
+  ASSERT_TRUE(t.InstallVersion(pk, 5, false, KvRow(1, "v5", 0)).ok());
+  // Installing below the chain head must be refused (a release-build
+  // Status, not a compiled-out assert): VisibleVersion depends on the
+  // ascending order and would serve wrong versions afterwards.
+  Status bad = t.InstallVersion(pk, 3, false, KvRow(1, "v3", 0));
+  EXPECT_EQ(bad.code(), StatusCode::kInternal);
+  EXPECT_EQ(t.TotalVersionCount(), 1u);
+  EXPECT_EQ(t.Get(pk, 10)->at(1).AsString(), "v5");
+  // Equal timestamps remain allowed (recovery replays at original ts).
+  EXPECT_TRUE(t.InstallVersion(pk, 5, false, KvRow(1, "v5b", 0)).ok());
+}
+
+TEST(MvccTable, VacuumBelowTruncatesErasesAndPurges) {
+  TableSchema schema = KvSchema();
+  MvccTable t(0, schema);
+  ASSERT_TRUE(t.AddIndex({"by_n", {2}, false}).ok());
+  Row pk1 = {Value::Int(1)};
+  Row pk2 = {Value::Int(2)};
+  // pk1: five updates moving the indexed column each time.
+  for (uint64_t ts = 1; ts <= 5; ++ts) {
+    ASSERT_TRUE(
+        t.InstallVersion(pk1, ts, false, KvRow(1, "v", 100 + ts)).ok());
+  }
+  // pk2: insert then tombstone.
+  ASSERT_TRUE(t.InstallVersion(pk2, 6, false, KvRow(2, "w", 7)).ok());
+  ASSERT_TRUE(t.InstallVersion(pk2, 7, true, {}).ok());
+  EXPECT_EQ(t.IndexEntryCount(), 6u);  // 5 stale-ish for pk1 + 1 for pk2
+
+  // Watermark 4: pk1 keeps ts=4 (visible at 4) and ts=5; pk2's tombstone
+  // at 7 is above the watermark, so the chain survives.
+  VacuumStats s1 = t.VacuumBelow(4, 1);  // batch_rows=1: many latch drops
+  EXPECT_EQ(s1.versions_removed, 3u);
+  EXPECT_EQ(s1.chains_removed, 0u);
+  EXPECT_EQ(s1.index_entries_removed, 3u);
+  EXPECT_TRUE(t.Get(pk1, 4).has_value());
+  EXPECT_EQ(t.Get(pk1, 4)->at(2).AsInt(), 104);
+  EXPECT_FALSE(t.Get(pk1, 3).has_value());  // reclaimed history
+
+  // Watermark 10: pk1 truncates to ts=5 only; pk2 is a dead tombstone and
+  // disappears entirely, index entry included.
+  VacuumStats s2 = t.VacuumBelow(10, 64);
+  EXPECT_EQ(s2.chains_removed, 1u);
+  EXPECT_EQ(t.ApproxRowCount(), 1u);
+  EXPECT_EQ(t.TotalVersionCount(), 1u);
+  EXPECT_EQ(t.IndexEntryCount(), 1u);
+  std::vector<Row> out;
+  t.IndexLookup(0, {Value::Int(105)}, 100, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][0].AsInt(), 1);
+}
+
+TEST(MvccTable, ChunkedScanStaysConsistentAcrossLatchDrops) {
+  MvccTable t(0, KvSchema());
+  t.set_scan_chunk_rows(8);  // many drops across 100 rows
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.InstallVersion({Value::Int(i)}, 10, false,
+                                 KvRow(i, "v", i))
+                    .ok());
+  }
+  // Concurrent installer bumping versions at newer timestamps while a
+  // snapshot scan at ts=10 walks the table in chunks.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t ts = 11;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 100 && !stop.load(std::memory_order_relaxed);
+           ++i) {
+        ASSERT_TRUE(t.InstallVersion({Value::Int(i)}, ts, false,
+                                     KvRow(i, "new", 1000 + i))
+                        .ok());
+      }
+      ++ts;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    int n = 0;
+    bool all_snapshot = true;
+    t.Scan(10, [&](const Row& row) {
+      ++n;
+      if (row[2].AsInt() >= 1000) all_snapshot = false;
+      return true;
+    });
+    EXPECT_EQ(n, 100);
+    EXPECT_TRUE(all_snapshot);  // never sees post-snapshot installs
+  }
+  stop.store(true);
+  writer.join();
+}
+
 TEST(MvccTable, PruneVersionsKeepsNewest) {
   MvccTable t(0, KvSchema());
   for (uint64_t ts = 1; ts <= 10; ++ts) {
@@ -261,6 +353,55 @@ TEST(LockManager, DifferentTablesDoNotConflict) {
   ASSERT_TRUE(lm.Acquire(2, 1, key, 1000).ok());
   lm.Release(1, 0, key);
   lm.Release(2, 1, key);
+}
+
+/// Forces every (table_id, key) into one shard-hash value. Before entries
+/// were keyed by full identity, colliding hashes shared a single LockEntry:
+/// a transaction holding one key got a false reentrant grant on any other
+/// key with the same hash, silently breaking mutual exclusion.
+size_t CollidingHash(int, const Row&) { return 42; }
+
+TEST(LockManager, CollidingHashesStillGetDistinctLocks) {
+  LockManager lm(1, &CollidingHash);
+  Row k1 = {Value::Int(1)};
+  Row k2 = {Value::Int(2)};
+  ASSERT_TRUE(lm.Acquire(1, 0, k1, 1000).ok());
+  // Same hash, different key: must be a fresh grant, not contention (and
+  // definitely not a shared entry).
+  ASSERT_TRUE(lm.Acquire(2, 0, k2, 1000).ok());
+  EXPECT_TRUE(lm.Holds(1, 0, k1));
+  EXPECT_TRUE(lm.Holds(2, 0, k2));
+  EXPECT_FALSE(lm.Holds(1, 0, k2));
+  EXPECT_FALSE(lm.Holds(2, 0, k1));
+  // Same key across tables collides too and must stay independent.
+  ASSERT_TRUE(lm.Acquire(3, 1, k1, 1000).ok());
+  EXPECT_EQ(lm.EntryCount(), 3u);
+  lm.Release(1, 0, k1);
+  lm.Release(2, 0, k2);
+  lm.Release(3, 1, k1);
+  EXPECT_EQ(lm.EntryCount(), 0u);
+}
+
+TEST(LockManager, NoFalseReentrantGrantAcrossCollidingKeys) {
+  LockManager lm(1, &CollidingHash);
+  Row k1 = {Value::Int(10)};
+  Row k2 = {Value::Int(20)};
+  // The historical failure: txn 1 held k1; acquiring the colliding k2 hit
+  // the shared entry, saw owner == 1, and "reentrantly" granted. Releasing
+  // k1 then only decremented the shared reentry count, leaving k1
+  // unavailable to others while txn 1 believed it was released.
+  ASSERT_TRUE(lm.Acquire(1, 0, k1, 1000).ok());
+  ASSERT_TRUE(lm.Acquire(1, 0, k2, 1000).ok());  // fresh entry, reentry=1
+  lm.Release(1, 0, k1);
+  EXPECT_FALSE(lm.Holds(1, 0, k1));
+  EXPECT_TRUE(lm.Holds(1, 0, k2));
+  // k1 is genuinely free for another transaction...
+  EXPECT_TRUE(lm.Acquire(2, 0, k1, 2000).ok());
+  // ...while k2 is still exclusively held.
+  EXPECT_EQ(lm.Acquire(2, 0, k2, 2000).code(), StatusCode::kLockTimeout);
+  lm.Release(2, 0, k1);
+  lm.Release(1, 0, k2);
+  EXPECT_EQ(lm.EntryCount(), 0u);
 }
 
 TEST(LockManager, WaiterGetsLockOnRelease) {
