@@ -12,8 +12,10 @@
 #include "benchmarks/fibench/fibench.h"
 #include "benchmarks/subench/subench.h"
 #include "benchmarks/tabench/tabench.h"
+#include "common/rng.h"
 #include "common/strings.h"
 #include "engine/database.h"
+#include "engine/session.h"
 
 namespace olxp::bench {
 
@@ -100,6 +102,41 @@ inline benchfw::RunResult Cell(engine::Database& db,
     std::exit(1);
   }
   return *std::move(result);
+}
+
+/// Loads the sale/product star schema the vectorized-execution figures
+/// share (fig5's interpreter-vs-vectorized comparison and fig10's
+/// intra-query scaling ablation): `rows` sales over `products` products,
+/// identical distributions, then waits for the replica. One definition so
+/// the two figures stay comparable. Returns false (with a message) on
+/// setup failure.
+inline bool LoadSaleProductReplica(engine::Database& db, engine::Session& s,
+                                   int rows, int products, uint64_t seed) {
+  auto st = s.Execute("CREATE TABLE sale (id INT PRIMARY KEY, region INT, "
+                      "qty INT, amount DOUBLE, pid INT)");
+  if (st.ok()) {
+    st = s.Execute("CREATE TABLE product (pid INT PRIMARY KEY, "
+                   "category INT, cost DOUBLE)");
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.status().ToString().c_str());
+    return false;
+  }
+  Rng rng(seed);
+  for (int i = 0; i < products; ++i) {
+    s.Execute("INSERT INTO product VALUES (?, ?, ?)",
+              {Value::Int(i), Value::Int(i % 12),
+               Value::Double(rng.Uniform(0.5, 20.0))});
+  }
+  for (int i = 0; i < rows; ++i) {
+    s.Execute("INSERT INTO sale VALUES (?, ?, ?, ?, ?)",
+              {Value::Int(i), Value::Int(rng.Uniform(int64_t{0}, int64_t{7})),
+               Value::Int(rng.Uniform(int64_t{1}, int64_t{20})),
+               Value::Double(rng.Uniform(1.0, 500.0)),
+               Value::Int(rng.Uniform(int64_t{0}, int64_t{products - 1}))});
+  }
+  db.WaitReplicaCaughtUp();
+  return true;
 }
 
 }  // namespace olxp::bench

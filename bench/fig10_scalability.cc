@@ -7,7 +7,11 @@
 // Paper: OceanBase OLTP latency +20%/+24% (avg/p95) from 4 to 16 nodes;
 // TiDB-like grows >1x; OLxP latency rises sharply for both; under OLAP
 // pressure TiDB's decoupled stores degrade less (~6% vs ~18%).
+#include <string>
+
 #include "bench/bench_common.h"
+#include "common/clock.h"
+#include "common/rng.h"
 
 namespace olxp::bench {
 namespace {
@@ -15,6 +19,73 @@ namespace {
 struct CellOut {
   double avg_ms = 0, p95_ms = 0;
 };
+
+/// Intra-query scaling ablation: where fig10 proper scales the CLUSTER and
+/// watches coordination costs grow, this section scales the exec_threads
+/// knob and watches one analytical statement's wall-clock shrink — the
+/// morsel-driven parallel layer is the single-node analog of "throw more
+/// hardware at OLAP". Reported per lane count for a scan-aggregate and a
+/// join-aggregate over the fig5-sized replica (wall-clock, charging off).
+void IntraQueryScaling(const BenchOptions& opts) {
+  std::printf("\n--- intra-query scaling: exec_threads ablation ---\n");
+  engine::EngineProfile p = engine::EngineProfile::TiDbLike();
+  p.olap_row_fraction = 0.0;
+  p.cost_based_routing = false;
+  engine::Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+
+  const int rows = opts.quick ? 20000 : 120000;
+  const int products = opts.quick ? 4000 : 20000;
+  if (!LoadSaleProductReplica(db, *s, rows, products, opts.seed)) return;
+  db.replicator().Stop();  // quiesce: wall-clock wants an idle box
+
+  const char* kScanAgg =
+      "SELECT region, COUNT(*), SUM(amount), MAX(amount) FROM sale "
+      "WHERE qty > 3 GROUP BY region";
+  const char* kJoinAgg =
+      "SELECT p.category, COUNT(*), SUM(s.amount) FROM sale s "
+      "JOIN product p ON s.pid = p.pid GROUP BY p.category";
+  const int reps = opts.quick ? 3 : 5;
+  auto best_us = [&](const char* sql) {
+    int64_t best = INT64_MAX;
+    for (int r = 0; r < reps; ++r) {
+      int64_t t0 = NowMicros();
+      auto rs = s->Execute(sql);
+      if (!rs.ok()) return int64_t{-1};
+      best = std::min(best, NowMicros() - t0);
+    }
+    return best;
+  };
+
+  std::printf("%d sale rows; best of %d runs; host cores matter here\n",
+              rows, reps);
+  std::printf("%8s | %14s %8s | %14s %8s\n", "threads", "scan_agg_ms",
+              "speedup", "join_agg_ms", "speedup");
+  double scan_serial = 0, join_serial = 0, scan_speedup_at8 = 1.0;
+  for (int threads : {1, 2, 4, 8}) {
+    db.set_exec_threads(threads);
+    int64_t scan_us = best_us(kScanAgg);
+    int64_t join_us = best_us(kJoinAgg);
+    if (scan_us < 0 || join_us < 0) {
+      std::fprintf(stderr, "ablation query failed\n");
+      return;
+    }
+    if (threads == 1) {
+      scan_serial = static_cast<double>(scan_us);
+      join_serial = static_cast<double>(join_us);
+    }
+    double ss = scan_serial / static_cast<double>(scan_us);
+    double js = join_serial / static_cast<double>(join_us);
+    if (threads == 8) scan_speedup_at8 = ss;
+    std::printf("%8d | %14.2f %7.1fx | %14.2f %7.1fx\n", threads,
+                scan_us / 1000.0, ss, join_us / 1000.0, js);
+  }
+  std::printf("%s\n",
+              benchfw::FigureRow("fig10", 9, "intra_query_speedup_8t",
+                                 scan_speedup_at8)
+                  .c_str());
+}
 
 CellOut Measure(engine::Database& db, const benchfw::BenchmarkSuite& suite,
                 const std::vector<benchfw::AgentConfig>& agents,
@@ -84,6 +155,7 @@ int Main(int argc, char** argv) {
       std::fflush(stdout);
     }
   }
+  IntraQueryScaling(opts);
   return 0;
 }
 

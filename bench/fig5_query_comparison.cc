@@ -4,9 +4,13 @@
 // group 2 replaces the stream with hybrid transactions at the same rate.
 // The paper reports ~3x latency from analytical pressure, >9x from
 // real-time queries, with stddev exploding 2.21 -> 9.16 -> 38.91.
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "tests/result_strings.h"
 
 namespace olxp::bench {
 namespace {
@@ -26,11 +30,29 @@ int64_t TimeQuery(engine::Session& s, const std::string& sql, int reps) {
   return best;
 }
 
+/// Stringified result set for the serial-vs-parallel parity check (same
+/// encoding as the test parity suites — tests/result_strings.h). An
+/// execution failure clears *ok so it is reported as a failure, never as
+/// an (empty) result that could fake a parity verdict either way.
+std::vector<std::string> ResultRows(engine::Session& s, const std::string& sql,
+                                    bool* ok) {
+  auto rs = s.Execute(sql);
+  if (!rs.ok()) {
+    std::fprintf(stderr, "parity query failed: %s\n",
+                 rs.status().ToString().c_str());
+    *ok = false;
+    return {};
+  }
+  return Stringify(*rs);
+}
+
 /// Interpreter-vs-vectorized wall-clock comparison on the columnar path:
 /// the same scan-aggregate and join-aggregate queries over the same
-/// replica, served by the row-materializing interpreter and by the
-/// vectorized engine (hash joins build from the smaller side's raw column
-/// vectors; the interpreter joins row-at-a-time through pk point lookups).
+/// replica, served by the row-materializing interpreter, the serial
+/// vectorized engine, and the morsel-driven parallel vectorized engine at
+/// 8 lanes (hash joins build from the smaller side's raw column vectors;
+/// the interpreter joins row-at-a-time through pk point lookups). Serial
+/// and parallel result sets are checked for exact equality.
 void VectorizedComparison(const BenchOptions& opts) {
   std::printf("\n--- columnar path: interpreter vs vectorized engine ---\n");
   engine::EngineProfile p = engine::EngineProfile::TiDbLike();
@@ -40,32 +62,9 @@ void VectorizedComparison(const BenchOptions& opts) {
   auto s = db.CreateSession();
   s->set_charging_enabled(false);  // wall-clock, not the simulated model
 
-  auto st = s->Execute("CREATE TABLE sale (id INT PRIMARY KEY, region INT, "
-                       "qty INT, amount DOUBLE, pid INT)");
-  if (st.ok()) {
-    st = s->Execute("CREATE TABLE product (pid INT PRIMARY KEY, "
-                    "category INT, cost DOUBLE)");
-  }
-  if (!st.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n", st.status().ToString().c_str());
-    return;
-  }
   const int rows = opts.quick ? 20000 : 120000;
   const int products = opts.quick ? 4000 : 20000;
-  Rng rng(opts.seed);
-  for (int i = 0; i < products; ++i) {
-    s->Execute("INSERT INTO product VALUES (?, ?, ?)",
-               {Value::Int(i), Value::Int(i % 12),
-                Value::Double(rng.Uniform(0.5, 20.0))});
-  }
-  for (int i = 0; i < rows; ++i) {
-    s->Execute("INSERT INTO sale VALUES (?, ?, ?, ?, ?)",
-               {Value::Int(i), Value::Int(rng.Uniform(int64_t{0}, int64_t{7})),
-                Value::Int(rng.Uniform(int64_t{1}, int64_t{20})),
-                Value::Double(rng.Uniform(1.0, 500.0)),
-                Value::Int(rng.Uniform(int64_t{0}, int64_t{products - 1}))});
-  }
-  db.WaitReplicaCaughtUp();
+  if (!LoadSaleProductReplica(db, *s, rows, products, opts.seed)) return;
   db.replicator().Stop();  // quiesce: wall-clock comparison wants an idle box
 
   struct Query {
@@ -87,29 +86,52 @@ void VectorizedComparison(const BenchOptions& opts) {
        true},
   };
   const int reps = opts.quick ? 3 : 5;
+  const int par_lanes = 8;
   std::printf("%d sale rows + %d products on the replica; "
               "best of %d runs per engine\n",
               rows, products, reps);
-  double worst_scan = 1e9, worst_join = 1e9;
+  double worst_scan = 1e9, worst_join = 1e9, worst_par = 1e9;
+  bool parity_ok = true;
   int qn = 0;
   for (const Query& q : queries) {
     db.set_vectorized_execution(false);
     int64_t interp_us = TimeQuery(*s, q.sql, reps);
     db.set_vectorized_execution(true);
+    db.set_exec_threads(1);
     int64_t vec_us = TimeQuery(*s, q.sql, reps);
-    if (interp_us < 0 || vec_us < 0) return;
+    bool exec_ok = true;
+    std::vector<std::string> serial_rows = ResultRows(*s, q.sql, &exec_ok);
+    db.set_exec_threads(par_lanes);
+    int64_t par_us = TimeQuery(*s, q.sql, reps);
+    std::vector<std::string> par_rows = ResultRows(*s, q.sql, &exec_ok);
+    db.set_exec_threads(1);
+    if (interp_us < 0 || vec_us < 0 || par_us < 0) return;
+    if (!exec_ok) {
+      parity_ok = false;  // a failed execution is a failure, not "equal"
+    } else if (par_rows != serial_rows) {
+      parity_ok = false;
+      std::fprintf(stderr, "PARITY MISMATCH on: %s\n", q.sql);
+    }
     double speedup = vec_us > 0 ? static_cast<double>(interp_us) / vec_us : 0;
+    double par_speedup =
+        par_us > 0 ? static_cast<double>(vec_us) / par_us : 0;
     (q.join ? worst_join : worst_scan) =
         std::min(q.join ? worst_join : worst_scan, speedup);
+    if (!q.join) worst_par = std::min(worst_par, par_speedup);
     std::printf("Q%d %s interpreter=%8.2fms vectorized=%8.2fms "
-                "speedup=%5.1fx\n",
+                "speedup=%5.1fx | parallel(%d)=%8.2fms par_speedup=%4.1fx\n",
                 ++qn, q.join ? "join" : "scan", interp_us / 1000.0,
-                vec_us / 1000.0, speedup);
+                vec_us / 1000.0, speedup, par_lanes, par_us / 1000.0,
+                par_speedup);
   }
+  std::printf("parallel parity (serial == %d-lane results): %s\n", par_lanes,
+              parity_ok ? "OK" : "MISMATCH");
   std::printf("%s\n", benchfw::FigureRow("fig5", 3, "vectorized_speedup",
                                          worst_scan).c_str());
   std::printf("%s\n", benchfw::FigureRow("fig5", 4, "vectorized_join_speedup",
                                          worst_join).c_str());
+  std::printf("%s\n", benchfw::FigureRow("fig5", 5, "parallel_scan_speedup",
+                                         worst_par).c_str());
 }
 
 int Main(int argc, char** argv) {

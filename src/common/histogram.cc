@@ -72,7 +72,16 @@ double LatencyHistogram::StdDev() const {
 
 double LatencyHistogram::Percentile(double q) const {
   if (count_ == 0) return 0.0;
+  // Defined answers for every q, including the ones callers get wrong:
+  // NaN reports the upper bound (the conservative answer for a latency
+  // SLO), out-of-range q clamps, and a degenerate observed range (single
+  // sample, or every sample equal) returns that exact value instead of
+  // interpolating across a log bucket that is wider than the data.
+  if (std::isnan(q)) return static_cast<double>(max_);
+  if (min_ == max_) return static_cast<double>(min_);
   q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
   double target = q * static_cast<double>(count_);
   int64_t seen = 0;
   for (int i = 0; i < kBucketCount; ++i) {

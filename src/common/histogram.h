@@ -30,8 +30,12 @@ class LatencyHistogram {
   double Mean() const;
   double StdDev() const;
 
-  /// Latency (microseconds) at quantile q in [0,1]; interpolated within the
-  /// containing bucket. Returns 0 for an empty histogram.
+  /// Latency (microseconds) at quantile q; interpolated within the
+  /// containing bucket and clamped to the observed [min, max]. Total for
+  /// every input: an empty histogram reports 0 at any q, q outside [0,1]
+  /// clamps (q = 0 -> min, q = 1 -> max), NaN reports max (the
+  /// conservative SLO answer), and a degenerate observed range (single
+  /// sample, or all samples equal) returns that exact value.
   double Percentile(double q) const;
   double Median() const { return Percentile(0.50); }
   double P90() const { return Percentile(0.90); }

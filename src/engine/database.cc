@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <utility>
 
 #include "engine/session.h"
@@ -15,6 +16,17 @@ constexpr size_t kRecoveryOpsPerRecord = 4096;
 }  // namespace
 
 Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
+  // CI (and operators) force intra-query parallelism onto every instance
+  // without touching call sites: the TSan job runs the whole suite with
+  // OLXP_EXEC_THREADS=4 so the pool, dispatcher and partial-state merges
+  // are race-checked by the existing tests.
+  if (const char* env = std::getenv("OLXP_EXEC_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) profile_.exec_threads = n;
+  }
+  if (profile_.exec_threads > 1) {
+    exec_pool_ = std::make_unique<exec::WorkerPool>(profile_.exec_threads);
+  }
   replicator_ = std::make_unique<storage::Replicator>(
       &commit_log_, &column_store_, profile_.replication_lag_micros);
   txn_manager_ = std::make_unique<txn::TransactionManager>(
@@ -50,9 +62,22 @@ Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
 }
 
 Database::~Database() {
-  // Stop the sweepers before any substrate they walk is torn down.
+  // Teardown order is load-bearing. The exec pool goes first: a morsel in
+  // flight holds a replica table's shared latch and reads its raw column
+  // vectors, so every lane must have drained before the replicator (which
+  // mutates those vectors) or the vacuum (which sweeps the row store) is
+  // stopped and the stores destruct. Then the sweepers stop before any
+  // substrate they walk is torn down.
+  if (exec_pool_) exec_pool_->Shutdown();
   if (vacuum_) vacuum_->Stop();
   if (replicator_) replicator_->Stop();
+}
+
+void Database::set_exec_threads(int n) {
+  if (exec_pool_) exec_pool_->Shutdown();
+  exec_pool_.reset();
+  profile_.exec_threads = n;
+  if (n > 1) exec_pool_ = std::make_unique<exec::WorkerPool>(n);
 }
 
 std::unique_ptr<Session> Database::CreateSession() {
@@ -98,6 +123,7 @@ Status Database::CreateTableEverywhere(storage::TableSchema schema) {
     wal_->AppendCreateTable(*tid, schema);
     OLXP_RETURN_NOT_OK(wal_->last_error());
   }
+  schema_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -111,6 +137,7 @@ Status Database::CreateIndexOn(std::string_view table_name,
     wal_->AppendCreateIndex(std::string(table_name), logged);
     OLXP_RETURN_NOT_OK(wal_->last_error());
   }
+  schema_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

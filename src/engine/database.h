@@ -1,12 +1,14 @@
 #ifndef OLXP_ENGINE_DATABASE_H_
 #define OLXP_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/status.h"
 #include "engine/profile.h"
+#include "exec/morsel.h"
 #include "sql/storage_iface.h"
 #include "storage/column_store.h"
 #include "storage/lock_manager.h"
@@ -93,6 +95,17 @@ class Database : public sql::Catalog {
   storage::Vacuum& vacuum() { return *vacuum_; }
   /// Durable segment writer; nullptr when durability is off.
   storage::WalWriter* wal() { return wal_.get(); }
+  /// Shared worker pool for morsel-driven parallel vectorized execution;
+  /// nullptr when profile().exec_threads <= 1 (serial path).
+  exec::WorkerPool* exec_pool() { return exec_pool_.get(); }
+
+  /// Monotone counter bumped by every successful DDL (CREATE TABLE /
+  /// CREATE INDEX). Sessions stamp cached prepared statements with it and
+  /// recompile on mismatch, so a plan prepared before an index existed
+  /// never keeps routing/seeking against its stale shape.
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_acquire);
+  }
 
   /// Adjusts the simulated cluster size (Fig. 10 scaling bench).
   void set_cluster_nodes(int nodes) { profile_.cluster.num_nodes = nodes; }
@@ -102,6 +115,12 @@ class Database : public sql::Catalog {
   void set_vectorized_execution(bool on) {
     profile_.vectorized_execution = on;
   }
+
+  /// Reconfigures intra-query parallelism at runtime: replaces the worker
+  /// pool (n <= 1 removes it, restoring the serial path). For tests and
+  /// bench ablations only — callers must quiesce in-flight statements
+  /// first, exactly like set_vectorized_execution.
+  void set_exec_threads(int n);
 
   /// Sets the chunked-scan latch-drop granularity on every table (0 = hold
   /// the latch for the whole sweep). The fig1/fig4 ablations flip this
@@ -126,6 +145,11 @@ class Database : public sql::Catalog {
   std::unique_ptr<txn::TransactionManager> txn_manager_;
   /// Stopped in ~Database before the stores it sweeps are torn down.
   std::unique_ptr<storage::Vacuum> vacuum_;
+  /// Morsel-execution worker pool; shut down FIRST in ~Database (before
+  /// the vacuum and replicator) so no in-flight morsel reads a table the
+  /// sweepers are tearing down behind it.
+  std::unique_ptr<exec::WorkerPool> exec_pool_;
+  std::atomic<uint64_t> schema_version_{0};
   /// Declared last: destroyed first, flushing its tail while the rest of
   /// the substrate is still alive. No transaction runs during destruction.
   std::unique_ptr<storage::WalWriter> wal_;

@@ -46,6 +46,13 @@ struct LatencyModel {
   /// slow each other too, but sublinearly (bandwidth sharing):
   /// (1 + 0.15 * factor * other_scans).
   double scan_contention = 0.5;
+  /// Per-extra-lane efficiency of morsel-driven parallel execution: a
+  /// vectorized statement that engaged L lanes has its simulated replica
+  /// work divided by 1 + parallel_efficiency * (L - 1) (sub-linear scaling:
+  /// dispatch, partial-state merge and memory bandwidth are shared). The
+  /// router uses the same factor when costing the replica side, so
+  /// seek-dominated shapes still pick the row store.
+  double parallel_efficiency = 0.7;
 };
 
 /// Cluster-size scaling model for Fig. 10: coordination costs grow with the
@@ -100,6 +107,18 @@ struct EngineProfile {
   /// sweep (the replica keeps no ordered index). Complements the stochastic
   /// olap_row_fraction model above.
   bool cost_based_routing = true;
+  /// Intra-query parallelism for the vectorized columnar engine: execution
+  /// lanes (including the calling session thread) that claim morsels of a
+  /// pinned replica scan. 0 or 1 keeps the current serial path; values > 1
+  /// make engine::Database own a shared exec::WorkerPool of
+  /// exec_threads - 1 workers. The OLXP_EXEC_THREADS environment variable
+  /// overrides this at Database construction (CI runs the whole test suite
+  /// with a pool this way).
+  int exec_threads = 1;
+  /// Slots per claimed morsel (work-stealing granularity). Rounded up to a
+  /// whole number of vector chunks; smaller = better load balance, larger =
+  /// less dispatch overhead.
+  size_t morsel_rows = 4096;
   /// The paper ships two schema variants because MemSQL lacks FK support;
   /// profiles therefore choose whether FKs are enforced.
   bool enforce_foreign_keys = false;

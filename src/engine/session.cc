@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/clock.h"
 #include "engine/database.h"
@@ -336,9 +337,19 @@ StatusOr<const Session::Prepared*> Session::Prepare(
     const std::string& sql_text) {
   auto it = cache_.find(sql_text);
   if (it != cache_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return &it->second;
+    if (it->second.schema_version == db_->schema_version()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return &it->second;
+    }
+    // DDL landed since this plan compiled: drop it and re-prepare below so
+    // neither the access path nor the router's PlanShape goes stale.
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
   }
+  // Stamp before compiling: DDL racing the compile leaves the entry with an
+  // older version, forcing a recompile on the next hit instead of silently
+  // serving a half-fresh plan.
+  const uint64_t version = db_->schema_version();
   auto parsed = sql::Parse(sql_text);
   if (!parsed.ok()) return parsed.status();
   auto compiled = sql::Compile(*parsed, *db_);
@@ -346,6 +357,7 @@ StatusOr<const Session::Prepared*> Session::Prepare(
   Prepared p;
   p.compiled = std::move(compiled).value();
   p.shape = exec::InspectPlan(*p.compiled);
+  p.schema_version = version;
   // Bounded cache: evict least-recently-used plans before inserting so
   // ad-hoc SQL (inlined literals) cannot grow a long-lived session without
   // limit. The new entry is inserted after eviction and is never evicted
@@ -385,23 +397,59 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
     if (u < db_->profile().olap_row_fraction) route_to_column = false;
   }
 
+  // Effective speedup morsel-driven parallelism gives a vectorized plan
+  // (sub-linear in lanes). Shared by the router's cost estimate and the
+  // post-execution charge so they can never disagree about the model.
+  const auto parallel_factor = [this](int lanes) {
+    if (lanes <= 1) return 1.0;
+    return 1.0 + db_->profile().latency.parallel_efficiency * (lanes - 1);
+  };
+
   if (route_to_column && db_->profile().cost_based_routing) {
     const LatencyModel& m = db_->profile().latency;
     auto live_rows = [&](int table_id) {
       const storage::ColumnTable* ct = db_->column_store().table(table_id);
       return ct != nullptr ? static_cast<double>(ct->LiveRowCount()) : 0.0;
     };
+    auto slot_rows = [&](int table_id) {
+      const storage::ColumnTable* ct = db_->column_store().table(table_id);
+      return ct != nullptr ? static_cast<double>(ct->SlotCount()) : 0.0;
+    };
     constexpr double kIndexedSelectivity = 0.01;
-    const double col_row_ns =
-        db_->profile().vectorized_execution && shape.vectorizable
-            ? static_cast<double>(m.col_vector_row_ns)
-            : static_cast<double>(m.col_scan_row_ns);
+    const bool vectorizes =
+        db_->profile().vectorized_execution && shape.vectorizable;
+    // Parallel cost term: a vectorizable replica plan's DRIVING scan fans
+    // out over the worker pool, so its estimated cost shrinks by the
+    // parallel factor. Early-stop LIMIT plans never fan out (the serial
+    // path quits after LIMIT rows) and get no discount; the row store's
+    // seek paths stay serial (and point reads never route here at all),
+    // so seek-dominated shapes still win the comparison. The lane count is
+    // clamped by the driving table's morsel count over its SLOT count
+    // (live + dead — a raw scan walks every slot), exactly the clamp
+    // RunMorselFanOut applies — a table smaller than one morsel runs
+    // serially and must not be costed as if it fanned out.
+    const auto col_parallel_for = [&](double driver_slots) {
+      if (!vectorizes || shape.early_stop_limit ||
+          db_->exec_pool() == nullptr) {
+        return 1.0;
+      }
+      const double per_morsel = static_cast<double>(
+          exec::NormalizedMorselRows(db_->profile().morsel_rows));
+      const auto morsels =
+          static_cast<int>(std::ceil(driver_slots / per_morsel));
+      return parallel_factor(
+          std::min(db_->exec_pool()->lanes(), std::max(1, morsels)));
+    };
+    const double col_base_row_ns =
+        vectorizes ? static_cast<double>(m.col_vector_row_ns)
+                   : static_cast<double>(m.col_scan_row_ns);
     if (shape.single_table && shape.indexed_path) {
       // Deterministic cost comparison: the replica can only serve this plan
       // with a full sweep (it keeps no ordered index), while the row store
       // has a pk/index path touching an estimated selective fraction.
       const double live = live_rows(shape.table_id);
-      const double col_ns = live * col_row_ns;
+      const double col_ns =
+          live * col_base_row_ns / col_parallel_for(slot_rows(shape.table_id));
       const double row_ns =
           static_cast<double>(m.row_seek_ns) +
           std::max(1.0, live * kIndexedSelectivity) *
@@ -414,28 +462,34 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
       // every table. Large joinable analytical statements keep routing to
       // the replica; only seek-dominated shapes come back.
       const double driver_live = live_rows(shape.table_ids[0]);
-      double col_ns = 0;
-      double build_live = 0;
-      double stream_live = driver_live;
+      double total_live = 0;
       for (size_t i = 0; i < shape.table_ids.size(); ++i) {
-        const double live = live_rows(shape.table_ids[i]);
-        col_ns += live * col_row_ns;
-        if (i > 0) build_live += live;
+        total_live += live_rows(shape.table_ids[i]);
       }
+      double build_live = total_live - driver_live;
+      double stream_live = driver_live;
+      int stream_id = shape.table_ids[0];
       if (shape.table_ids.size() == 2) {
         // Two-table joins build from the smaller side and stream the
         // bigger one (when parity allows), so estimate that split.
         const double other = live_rows(shape.table_ids[1]);
         build_live = std::min(driver_live, other);
         stream_live = std::max(driver_live, other);
+        if (other > driver_live) stream_id = shape.table_ids[1];
       }
-      if (db_->profile().vectorized_execution && shape.vectorizable) {
+      // Only the stream-side sweep (and probe) fans out across lanes; the
+      // hash-table builds — their sweeps included — are single-threaded
+      // (HashJoinTable::Build), so they are estimated at the serial rate.
+      const double col_parallel = col_parallel_for(slot_rows(stream_id));
+      double col_ns = stream_live * col_base_row_ns / col_parallel +
+                      (total_live - stream_live) * col_base_row_ns;
+      if (vectorizes) {
         // The vectorized path also charges hashing the build sides and
         // emitting joined tuples (estimated one per streamed row, the
         // fk-join shape); the estimate mirrors what execution bills.
-        col_ns += build_live *
-                      static_cast<double>(m.col_join_build_row_ns) +
-                  stream_live * static_cast<double>(m.col_join_row_ns);
+        col_ns += build_live * static_cast<double>(m.col_join_build_row_ns) +
+                  stream_live * static_cast<double>(m.col_join_row_ns) /
+                      col_parallel;
       }
       const double probes = std::max(1.0, driver_live * kIndexedSelectivity);
       const double inner_seeks =
@@ -458,21 +512,35 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
       auto& counter = db_->column_store().active_scans();
       int concurrent = counter.fetch_add(1, std::memory_order_relaxed);
       exec::VecExecStats vstats;
-      auto rs =
-          exec::ExecuteVectorized(stmt, params, db_->column_store(), &vstats);
+      exec::VecExecOptions vopts;
+      vopts.pool = db_->exec_pool();
+      vopts.morsel_rows = db_->profile().morsel_rows;
+      auto rs = exec::ExecuteVectorized(stmt, params, db_->column_store(),
+                                        vopts, &vstats);
       counter.fetch_sub(1, std::memory_order_relaxed);
       if (rs.ok()) {
         // Charge and account only on success: an aborted partial scan
         // (late unsupported-shape detection) must not double-bill the
         // statement on top of the interpreter re-execution below.
         stats.col_rows += vstats.rows_scanned;
-        const double ns =
-            static_cast<double>(vstats.rows_scanned) *
+        // Parallel lanes overlap the DRIVING scan and probe in wall-clock
+        // terms — divide those by the same factor the router estimated
+        // with. Hash-join builds (their sweeps included) ran serially and
+        // are charged undivided; with a serial execution lanes_used is 1
+        // and the split is a no-op.
+        const double driver_ns =
+            static_cast<double>(vstats.rows_scanned_driver) *
                 static_cast<double>(m.col_vector_row_ns) +
-            static_cast<double>(vstats.rows_built) *
-                static_cast<double>(m.col_join_build_row_ns) +
             static_cast<double>(vstats.rows_joined) *
                 static_cast<double>(m.col_join_row_ns);
+        const double build_ns =
+            static_cast<double>(vstats.rows_scanned -
+                                vstats.rows_scanned_driver) *
+                static_cast<double>(m.col_vector_row_ns) +
+            static_cast<double>(vstats.rows_built) *
+                static_cast<double>(m.col_join_build_row_ns);
+        const double ns =
+            driver_ns / parallel_factor(vstats.lanes_used) + build_ns;
         ChargeReplicaWork(this, m, ns, concurrent);
         last_vectorized_ = true;
         ChargeStatement(stats);

@@ -115,6 +115,11 @@ class Session {
     std::unique_ptr<sql::CompiledStatement> compiled;
     /// Router inputs derived once at prepare time (immutable per plan).
     exec::PlanShape shape;
+    /// Database::schema_version() the plan was compiled against. A cache
+    /// hit with a stale version recompiles: DDL (e.g. CREATE INDEX) can
+    /// change both the chosen access path and the PlanShape the router
+    /// costs against.
+    uint64_t schema_version = 0;
     /// Position in lru_ (front = most recently used).
     std::list<std::string>::iterator lru_it;
   };

@@ -51,6 +51,12 @@ bool ClassifyJoinStep(const sql::BoundSelect& plan, size_t k,
 /// the interpreter's `=` exactly: Value::Compare semantics via KeyEq (NULL
 /// keys are skipped on both sides — NULL never joins), with a fast path for
 /// a single integer-family key.
+///
+/// Build() runs single-threaded; afterwards the table is immutable, so the
+/// morsel-driven parallel probe fans ProbeInt/ProbeRow/at out across every
+/// execution lane with no synchronization (a shared read-only build table
+/// is the whole point of the morsel model's join story; parallelizing the
+/// build itself is a ROADMAP follow-up).
 class HashJoinTable {
  public:
   /// Scans `table`'s raw column vectors, applies `local_filters`

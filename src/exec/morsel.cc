@@ -1,0 +1,94 @@
+#include "exec/morsel.h"
+
+#include <algorithm>
+
+namespace olxp::exec {
+
+WorkerPool::WorkerPool(int lanes) : lanes_(std::max(1, lanes)) {
+  workers_.reserve(static_cast<size_t>(lanes_ - 1));
+  for (int i = 0; i < lanes_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // Clear under the lock: Run() reads workers_.empty() under mu_ to decide
+  // whether lanes can be dispatched at all.
+  std::lock_guard<std::mutex> lk(mu_);
+  workers_.clear();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ with a drained queue
+      job = jobs_.front();
+      jobs_.pop_front();
+    }
+    (*job.fn)(job.lane);
+    // fetch_sub under the lock so the Run() waiter cannot observe the
+    // counter hit zero and destroy its stack state while this thread is
+    // between the decrement and the notify.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job.remaining->fetch_sub(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::Run(int n, const std::function<void(int)>& fn) {
+  n = std::min(n, lanes_);
+  std::atomic<int> remaining(0);
+  if (n > 1) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // A stopped (or never-threaded) pool dispatches nothing; lane 0
+      // below still runs the whole job inline, so callers always make
+      // progress. Both flags are read under mu_ — Shutdown mutates them.
+      if (!stop_ && !workers_.empty()) {
+        remaining.store(n - 1, std::memory_order_relaxed);
+        for (int lane = 1; lane < n; ++lane) {
+          jobs_.push_back(Job{&fn, lane, &remaining});
+        }
+      }
+    }
+    if (remaining.load(std::memory_order_relaxed) > 0) work_cv_.notify_all();
+  }
+  fn(0);  // never under mu_: the job may run for a whole query
+  if (remaining.load(std::memory_order_acquire) == 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk,
+                [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+MorselDispatcher::MorselDispatcher(size_t total_rows, size_t morsel_rows)
+    : total_(total_rows),
+      morsel_rows_(std::max<size_t>(1, morsel_rows)),
+      count_(total_rows == 0 ? 0 : (total_rows + morsel_rows_ - 1) /
+                                       morsel_rows_) {}
+
+bool MorselDispatcher::Next(Morsel* out) {
+  if (cancelled_.load(std::memory_order_acquire)) return false;
+  size_t ordinal = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (ordinal >= count_) return false;
+  out->ordinal = ordinal;
+  out->base = ordinal * morsel_rows_;
+  out->rows = std::min(morsel_rows_, total_ - out->base);
+  return true;
+}
+
+}  // namespace olxp::exec

@@ -1,0 +1,102 @@
+#ifndef OLXP_EXEC_MORSEL_H_
+#define OLXP_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Morsel-driven intra-query parallelism (HyPer-style): a query's scan range
+/// is split into fixed-size morsels that execution lanes claim from a shared
+/// atomic cursor, so a fast lane "steals" whatever a slow lane has not
+/// claimed yet and no static partitioning can strand work. One WorkerPool is
+/// owned by engine::Database and shared by every session's queries; the
+/// calling session thread always participates as lane 0, so a saturated pool
+/// degrades to serial execution instead of deadlocking.
+
+namespace olxp::exec {
+
+/// Persistent pool of `lanes - 1` worker threads (lane 0 is the caller).
+/// Thread-safe: concurrent Run() calls from different sessions interleave
+/// on the same workers.
+class WorkerPool {
+ public:
+  /// `lanes` <= 1 spawns no threads (Run degrades to an inline call).
+  explicit WorkerPool(int lanes);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Maximum lanes a Run() can engage (configured exec_threads).
+  int lanes() const { return lanes_; }
+
+  /// Invokes fn(lane) for every lane in [0, n): lane 0 inline on the
+  /// calling thread, the rest on pool workers as they become free. Blocks
+  /// until every lane has returned. `fn` must be safe to call concurrently
+  /// from `n` threads and must not throw.
+  void Run(int n, const std::function<void(int)>& fn);
+
+  /// Joins every worker; subsequent Run() calls execute inline. Idempotent.
+  /// ~Database calls this before stopping the vacuum and replicator so no
+  /// in-flight morsel can touch storage that is being torn down.
+  void Shutdown();
+
+ private:
+  struct Job {
+    const std::function<void(int)>* fn;
+    int lane;
+    std::atomic<int>* remaining;  ///< lanes of this Run still outstanding
+  };
+
+  void WorkerLoop();
+
+  const int lanes_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for jobs here
+  std::condition_variable done_cv_;  ///< Run() callers wait for lanes here
+  std::deque<Job> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Partitions the slot range [0, total_rows) of one pinned table into
+/// morsels of `morsel_rows` slots claimed via an atomic cursor. Morsel
+/// ordinals are dense and ordered by base slot, so per-morsel partial
+/// results merged in ordinal order reproduce the serial scan order exactly
+/// regardless of which lane processed which morsel.
+class MorselDispatcher {
+ public:
+  MorselDispatcher(size_t total_rows, size_t morsel_rows);
+
+  struct Morsel {
+    size_t ordinal = 0;  ///< dense index, ordered by base
+    size_t base = 0;     ///< first slot
+    size_t rows = 0;     ///< slots in this morsel (last one may be short)
+  };
+
+  /// Claims the next unclaimed morsel; false when exhausted or cancelled.
+  bool Next(Morsel* out);
+
+  /// Makes every subsequent Next() return false (error propagation).
+  /// Morsels already claimed run to completion.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  size_t morsel_count() const { return count_; }
+  size_t morsel_rows() const { return morsel_rows_; }
+
+ private:
+  const size_t total_;
+  const size_t morsel_rows_;
+  const size_t count_;
+  std::atomic<size_t> cursor_{0};
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace olxp::exec
+
+#endif  // OLXP_EXEC_MORSEL_H_

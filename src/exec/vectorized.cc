@@ -1,12 +1,14 @@
 #include "exec/vectorized.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "exec/hash_join.h"
+#include "exec/morsel.h"
 #include "exec/vec.h"
 #include "exec/vexpr.h"
 #include "sql/bound_plan.h"
@@ -34,7 +36,7 @@ void AccumulateVec(AggAccum* acc, const Vec& v) {
       int64_t x = v.int_at(i);
       ++acc->count;
       acc->isum += x;
-      acc->dsum += static_cast<double>(x);
+      acc->AddDouble(static_cast<double>(x));
       if (!has) {
         lo = hi = x;
         has = true;
@@ -61,7 +63,7 @@ void AccumulateVec(AggAccum* acc, const Vec& v) {
       double x = v.dbl_at(i);
       ++acc->count;
       acc->any_double = true;
-      acc->dsum += x;
+      acc->AddDouble(x);
       if (!has) {
         lo = hi = x;
         has = true;
@@ -95,11 +97,16 @@ void AccumulateVec(AggAccum* acc, const Vec& v) {
 }
 
 /// One aggregation group (the global aggregate is a single implicit group).
-/// Key values live in the probing structures (group_index / int_groups).
+/// Alongside the probing structures (group_index / int_groups) each group
+/// captures its own key at creation, so per-morsel partial states can be
+/// merged without re-deriving keys from the maps.
 struct VGroup {
   Row repr;  ///< representative input tuple (first row of the group)
   std::vector<AggAccum> accums;
   int64_t star_count = 0;
+  Row key;               ///< group-key values (row-keyed sinks)
+  int64_t ikey = 0;      ///< single-int-key fast path
+  bool null_key = false; ///< the single key was NULL
 };
 
 /// Accumulates one argument vector into per-group accumulators with typed
@@ -119,7 +126,7 @@ void AccumulateGrouped(std::vector<VGroup>& groups,
       int64_t x = v.int_at(i);
       ++acc.count;
       acc.isum += x;
-      acc.dsum += static_cast<double>(x);
+      acc.AddDouble(static_cast<double>(x));
       // AsInt on a kDouble extreme would round; an expression's payload can
       // flip family between chunks when a branch is all-NULL in one chunk,
       // so use the exact Value comparison whenever a double extreme is
@@ -149,7 +156,7 @@ void AccumulateGrouped(std::vector<VGroup>& groups,
       double x = v.dbl_at(i);
       ++acc.count;
       acc.any_double = true;
-      acc.dsum += x;
+      acc.AddDouble(x);
       if (acc.min.is_null() || x < acc.min.AsDouble()) {
         acc.min = Value::Double(x);
       }
@@ -176,11 +183,32 @@ std::vector<ValueType> SchemaTypes(const storage::TableSchema& schema) {
   return types;
 }
 
+/// Mergeable accumulation state of one sink consumer. The serial path owns
+/// a single state for the whole scan; the morsel-driven parallel path owns
+/// one per morsel and merges them in morsel order, which reproduces the
+/// serial scan's output order, group creation order and representative
+/// tuples exactly regardless of which lane ran which morsel.
+struct SinkState {
+  std::vector<PendingRow> pending;
+  std::vector<VGroup> groups;
+  std::unordered_map<Row, uint32_t, storage::KeyHash, storage::KeyEq>
+      group_index;
+  std::unordered_map<int64_t, uint32_t> int_groups;
+  uint32_t null_group = UINT32_MAX;
+  // DISTINCT dedup by value (same semantics as the interpreter's buckets).
+  // Every consumer dedups into its own state (global for the serial scan,
+  // per-morsel for parallel partials); the combine dedups once more across
+  // partials as they merge in morsel order, so keep-first is global.
+  std::unordered_set<Row, storage::KeyHash, storage::KeyEq> distinct_seen;
+};
+
 /// The shared tail of both pipelines: consumes filtered (chunk, selection)
 /// pairs — real replica chunks in the single-table case, materialized
 /// joined batches in the join case — and runs DISTINCT / hash aggregation /
 /// projection, then ORDER BY / LIMIT at Finish. Chunk column `c` holds slot
-/// `c` of the plan's tuple layout.
+/// `c` of the plan's tuple layout. After Init the sink itself is immutable:
+/// every Consume writes only through the caller's SinkState, so one sink
+/// instance serves any number of concurrent execution lanes.
 class VecSink {
  public:
   VecSink(const BoundSelect& plan, std::span<const Value> params)
@@ -190,6 +218,10 @@ class VecSink {
   /// not read the empty columns (unset slots stay NULL, which EvalBound
   /// never touches by construction of the mask).
   void set_needed_slots(const std::vector<uint8_t>* mask) { needed_ = mask; }
+
+  /// The serial path may stop scanning once LIMIT rows are collected; such
+  /// plans never go parallel (a full sweep would waste the early exit).
+  bool can_stop_early() const { return can_stop_early_; }
 
   Status Init(std::span<const ValueType> slot_types) {
     repr_cols_ = plan_.total_slots;
@@ -238,27 +270,98 @@ class VecSink {
     return Status::OK();
   }
 
-  /// Consumes the selected rows of one chunk. Returns false when the plan's
-  /// LIMIT is satisfied and the producer may stop scanning.
-  StatusOr<bool> Consume(const storage::ColumnChunkView& chunk,
-                         const Sel& sel) {
+  /// Consumes the selected rows of one chunk into `st`. `serial` enables
+  /// the single-state behaviors: early LIMIT stop and in-consume DISTINCT
+  /// dedup (a parallel partial cannot see other morsels' rows; the combine
+  /// dedups instead). Returns false when the plan's LIMIT is satisfied and
+  /// the producer may stop scanning.
+  StatusOr<bool> Consume(SinkState* st, const storage::ColumnChunkView& chunk,
+                         const Sel& sel, bool serial) const {
     if (sel.empty()) return true;
-    if (!plan_.aggregate_mode) return ConsumeRows(chunk, sel);
-    if (group_exprs_.empty()) return ConsumeGlobalAgg(chunk, sel);
-    return ConsumeGroupedAgg(chunk, sel);
+    if (!plan_.aggregate_mode) return ConsumeRows(st, chunk, sel, serial);
+    if (group_exprs_.empty()) return ConsumeGlobalAgg(st, chunk, sel);
+    return ConsumeGroupedAgg(st, chunk, sel);
   }
 
-  StatusOr<sql::ResultSet> Finish() {
+  /// Folds `src` (a later morsel's partial state) into `dst`. Callers merge
+  /// partials strictly in morsel order; group-creation order and DISTINCT
+  /// keep-first semantics rely on it.
+  void MergeState(SinkState* dst, SinkState&& src) const {
+    if (!plan_.aggregate_mode) {
+      dst->pending.reserve(dst->pending.size() + src.pending.size());
+      for (PendingRow& pr : src.pending) {
+        if (plan_.distinct && !dst->distinct_seen.insert(pr.out).second) {
+          continue;
+        }
+        dst->pending.push_back(std::move(pr));
+      }
+      return;
+    }
+    if (group_exprs_.empty()) {
+      if (src.groups.empty()) return;
+      if (dst->groups.empty()) {
+        dst->groups = std::move(src.groups);
+        return;
+      }
+      VGroup& d = dst->groups[0];
+      const VGroup& s = src.groups[0];
+      d.star_count += s.star_count;
+      for (size_t a = 0; a < d.accums.size(); ++a) {
+        d.accums[a].MergeFrom(s.accums[a]);
+      }
+      return;
+    }
+    for (VGroup& g : src.groups) {
+      uint32_t tgt = UINT32_MAX;
+      bool fresh = false;
+      const auto next = static_cast<uint32_t>(dst->groups.size());
+      if (single_int_key_) {
+        if (g.null_key) {
+          if (dst->null_group == UINT32_MAX) {
+            dst->null_group = next;
+            fresh = true;
+          } else {
+            tgt = dst->null_group;
+          }
+        } else {
+          auto [it, inserted] = dst->int_groups.try_emplace(g.ikey, next);
+          if (inserted) {
+            fresh = true;
+          } else {
+            tgt = it->second;
+          }
+        }
+      } else {
+        auto [it, inserted] = dst->group_index.try_emplace(g.key, next);
+        if (inserted) {
+          fresh = true;
+        } else {
+          tgt = it->second;
+        }
+      }
+      if (fresh) {
+        dst->groups.push_back(std::move(g));
+        continue;
+      }
+      VGroup& d = dst->groups[tgt];
+      d.star_count += g.star_count;
+      for (size_t a = 0; a < d.accums.size(); ++a) {
+        d.accums[a].MergeFrom(g.accums[a]);
+      }
+    }
+  }
+
+  StatusOr<sql::ResultSet> Finish(SinkState&& st) const {
     // ----- aggregate finalization: HAVING, projection, order keys -----
     if (plan_.aggregate_mode) {
-      if (groups_.empty() && plan_.group_by.empty()) {
+      if (st.groups.empty() && plan_.group_by.empty()) {
         // Global aggregate over empty input still yields one row.
         VGroup g;
         g.repr.assign(plan_.total_slots, Value::Null());
         g.accums.resize(plan_.aggs.size());
-        groups_.push_back(std::move(g));
+        st.groups.push_back(std::move(g));
       }
-      for (const VGroup& g : groups_) {
+      for (const VGroup& g : st.groups) {
         std::vector<Value> agg_values(plan_.aggs.size());
         for (size_t a = 0; a < plan_.aggs.size(); ++a) {
           agg_values[a] =
@@ -277,7 +380,7 @@ class VecSink {
           if (!v.ok()) return v.status();
           pr.out.push_back(std::move(v).value());
         }
-        if (plan_.distinct && !distinct_seen_.insert(pr.out).second) {
+        if (plan_.distinct && !st.distinct_seen.insert(pr.out).second) {
           continue;
         }
         for (const BoundOrderItem& oi : plan_.order_by) {
@@ -289,13 +392,13 @@ class VecSink {
             pr.order_keys.push_back(std::move(v).value());
           }
         }
-        pending_.push_back(std::move(pr));
+        st.pending.push_back(std::move(pr));
       }
     }
 
     // ----- sort / limit / emit (identical to the interpreter) -----
     if (!plan_.order_by.empty()) {
-      std::stable_sort(pending_.begin(), pending_.end(),
+      std::stable_sort(st.pending.begin(), st.pending.end(),
                        [&](const PendingRow& a, const PendingRow& b) {
                          for (size_t i = 0; i < plan_.order_by.size(); ++i) {
                            int c = a.order_keys[i].Compare(b.order_keys[i]);
@@ -308,11 +411,11 @@ class VecSink {
     }
     sql::ResultSet rs;
     rs.column_names = plan_.column_names;
-    size_t n = pending_.size();
+    size_t n = st.pending.size();
     if (plan_.limit >= 0) n = std::min(n, static_cast<size_t>(plan_.limit));
     rs.rows.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      rs.rows.push_back(std::move(pending_[i].out));
+      rs.rows.push_back(std::move(st.pending[i].out));
     }
     rs.affected_rows = 0;
     return rs;
@@ -324,8 +427,9 @@ class VecSink {
     VExpr arg;
   };
 
-  StatusOr<bool> ConsumeRows(const storage::ColumnChunkView& chunk,
-                             const Sel& sel) {
+  StatusOr<bool> ConsumeRows(SinkState* st,
+                             const storage::ColumnChunkView& chunk,
+                             const Sel& sel, bool serial) const {
     std::vector<Vec> pvecs;
     pvecs.reserve(proj_exprs_.size());
     for (const VExpr& p : proj_exprs_) {
@@ -344,7 +448,11 @@ class VecSink {
       PendingRow pr;
       pr.out.reserve(pvecs.size());
       for (const Vec& pv : pvecs) pr.out.push_back(pv.value_at(i));
-      if (plan_.distinct && !distinct_seen_.insert(pr.out).second) {
+      // DISTINCT dedups into this state's own set either way: the serial
+      // path sees every row through one state (global dedup), a parallel
+      // partial dedups within its morsel — keep-first survives the
+      // morsel-order merge, and duplicates never pile up in partials.
+      if (plan_.distinct && !st->distinct_seen.insert(pr.out).second) {
         continue;
       }
       size_t next_expr = 0;
@@ -355,40 +463,42 @@ class VecSink {
           pr.order_keys.push_back(ovecs[next_expr++].value_at(i));
         }
       }
-      pending_.push_back(std::move(pr));
-      if (can_stop_early_ &&
-          pending_.size() >= static_cast<size_t>(plan_.limit)) {
+      st->pending.push_back(std::move(pr));
+      if (serial && can_stop_early_ &&
+          st->pending.size() >= static_cast<size_t>(plan_.limit)) {
         return false;  // enough rows; stop the scan
       }
     }
     return true;
   }
 
-  StatusOr<bool> ConsumeGlobalAgg(const storage::ColumnChunkView& chunk,
-                                  const Sel& sel) {
+  StatusOr<bool> ConsumeGlobalAgg(SinkState* st,
+                                  const storage::ColumnChunkView& chunk,
+                                  const Sel& sel) const {
     // Global aggregate: one implicit group. The representative tuple is
     // the first selected row (projections may reference raw slots).
-    if (groups_.empty()) {
+    if (st->groups.empty()) {
       VGroup g;
       g.repr.resize(repr_cols_);
       for (int c = 0; c < repr_cols_; ++c) {
         if (needed_ == nullptr || (*needed_)[c]) g.repr[c] = chunk.at(c, sel[0]);
       }
       g.accums.resize(plan_.aggs.size());
-      groups_.push_back(std::move(g));
+      st->groups.push_back(std::move(g));
     }
-    groups_[0].star_count += static_cast<int64_t>(sel.size());
+    st->groups[0].star_count += static_cast<int64_t>(sel.size());
     for (size_t a = 0; a < agg_args_.size(); ++a) {
       if (!agg_args_[a].has_arg) continue;  // COUNT(*): star_count only
       auto v = EvalVec(agg_args_[a].arg, chunk, sel);
       if (!v.ok()) return v.status();
-      AccumulateVec(&groups_[0].accums[a], *v);
+      AccumulateVec(&st->groups[0].accums[a], *v);
     }
     return true;
   }
 
-  StatusOr<bool> ConsumeGroupedAgg(const storage::ColumnChunkView& chunk,
-                                   const Sel& sel) {
+  StatusOr<bool> ConsumeGroupedAgg(SinkState* st,
+                                   const storage::ColumnChunkView& chunk,
+                                   const Sel& sel) const {
     std::vector<Vec> kvecs;
     kvecs.reserve(group_exprs_.size());
     for (const VExpr& g : group_exprs_) {
@@ -397,14 +507,14 @@ class VecSink {
       kvecs.push_back(std::move(v).value());
     }
     auto new_group = [&](size_t row) -> uint32_t {
-      uint32_t g = static_cast<uint32_t>(groups_.size());
+      uint32_t g = static_cast<uint32_t>(st->groups.size());
       VGroup grp;
       grp.repr.resize(repr_cols_);
       for (int c = 0; c < repr_cols_; ++c) {
         if (needed_ == nullptr || (*needed_)[c]) grp.repr[c] = chunk.at(c, row);
       }
       grp.accums.resize(plan_.aggs.size());
-      groups_.push_back(std::move(grp));
+      st->groups.push_back(std::move(grp));
       return g;
     };
 
@@ -414,15 +524,21 @@ class VecSink {
       for (size_t i = 0; i < sel.size(); ++i) {
         uint32_t g;
         if (kv.null_at(i)) {
-          if (null_group_ == UINT32_MAX) null_group_ = new_group(sel[i]);
-          g = null_group_;
+          if (st->null_group == UINT32_MAX) {
+            st->null_group = new_group(sel[i]);
+            st->groups.back().null_key = true;
+          }
+          g = st->null_group;
         } else {
           int64_t x = kv.int_at(i);
-          auto [it, inserted] = int_groups_.try_emplace(x, 0);
-          if (inserted) it->second = new_group(sel[i]);
+          auto [it, inserted] = st->int_groups.try_emplace(x, 0);
+          if (inserted) {
+            it->second = new_group(sel[i]);
+            st->groups.back().ikey = x;
+          }
           g = it->second;
         }
-        groups_[g].star_count++;
+        st->groups[g].star_count++;
         gidx[i] = g;
       }
     } else {
@@ -431,10 +547,13 @@ class VecSink {
         key.clear();
         key.reserve(kvecs.size());
         for (const Vec& kv : kvecs) key.push_back(kv.value_at(i));
-        auto [it, inserted] = group_index_.try_emplace(key, 0);
-        if (inserted) it->second = new_group(sel[i]);
+        auto [it, inserted] = st->group_index.try_emplace(key, 0);
+        if (inserted) {
+          it->second = new_group(sel[i]);
+          st->groups.back().key = it->first;
+        }
         uint32_t g = it->second;
-        groups_[g].star_count++;
+        st->groups[g].star_count++;
         gidx[i] = g;
       }
     }
@@ -442,7 +561,7 @@ class VecSink {
       if (!agg_args_[a].has_arg) continue;
       auto v = EvalVec(agg_args_[a].arg, chunk, sel);
       if (!v.ok()) return v.status();
-      AccumulateGrouped(groups_, gidx, a, *v);
+      AccumulateGrouped(st->groups, gidx, a, *v);
     }
     return true;
   }
@@ -457,27 +576,79 @@ class VecSink {
   std::vector<VExpr> order_exprs_;  // non-agg mode, one per expr order item
   bool single_int_key_ = false;
   bool can_stop_early_ = false;
-
-  std::vector<PendingRow> pending_;
-  // DISTINCT dedup by value (same semantics as the interpreter's buckets).
-  std::unordered_set<Row, storage::KeyHash, storage::KeyEq> distinct_seen_;
-  std::vector<VGroup> groups_;
-  std::unordered_map<Row, uint32_t, storage::KeyHash, storage::KeyEq>
-      group_index_;
-  std::unordered_map<int64_t, uint32_t> int_groups_;
-  uint32_t null_group_ = UINT32_MAX;
   const std::vector<uint8_t>* needed_ = nullptr;
 };
 
 // LiveRows/ApplyConjuncts live in vexpr.{h,cc}: the scan, hash-build and
 // join-probe stages share one filtering (and fallback) implementation.
 
+// ------------------------- morsel fan-out driver ---------------------------
+
+/// Whether this execution should fan out over the pool. Early-stop plans
+/// stay serial: their serial scan terminates after LIMIT rows while a
+/// parallel sweep would visit everything.
+bool UseParallel(const VecExecOptions& opts, const VecSink& sink) {
+  return opts.pool != nullptr && opts.pool->lanes() > 1 &&
+         !sink.can_stop_early();
+}
+
+// NormalizedMorselRows lives in vectorized.h (the router mirrors it).
+
+/// Pins `table` and drives `body` over its chunks from `lanes` execution
+/// lanes; each claimed morsel accumulates into its own SinkState slot in
+/// `partials` (indexed by ordinal, i.e. scan order). `body(lane, state,
+/// chunk, sel)` runs the per-chunk pipeline; the first failing status
+/// cancels the dispatcher and is returned. Adds live rows visited to
+/// *visited and reports the fan-out width in *lanes_used.
+template <typename Body>
+Status RunMorselFanOut(const storage::ColumnTable& table,
+                       const VecExecOptions& opts,
+                       std::vector<SinkState>* partials, int* lanes_used,
+                       int64_t* visited, Body&& body) {
+  storage::ColumnTable::ScanPin pin(table);
+  MorselDispatcher dispatcher(pin.total_slots(),
+                              NormalizedMorselRows(opts.morsel_rows));
+  const int lanes = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(opts.pool->lanes()),
+      std::max<size_t>(1, dispatcher.morsel_count())));
+  partials->clear();
+  partials->resize(dispatcher.morsel_count());
+  std::vector<Status> lane_status(lanes, Status::OK());
+  std::vector<int64_t> lane_visited(lanes, 0);
+  opts.pool->Run(lanes, [&](int lane) {
+    MorselDispatcher::Morsel m;
+    while (dispatcher.Next(&m)) {
+      SinkState* st = &(*partials)[m.ordinal];
+      for (size_t off = 0; off < m.rows; off += kVecChunkRows) {
+        storage::ColumnChunkView chunk =
+            pin.Chunk(m.base + off, std::min(kVecChunkRows, m.rows - off));
+        Sel sel = LiveRows(chunk);
+        lane_visited[lane] += static_cast<int64_t>(sel.size());
+        Status st2 = body(lane, st, chunk, sel);
+        if (!st2.ok()) {
+          lane_status[lane] = st2;
+          dispatcher.Cancel();
+          return;
+        }
+      }
+    }
+  });
+  for (const Status& st : lane_status) {
+    if (!st.ok()) return st;
+  }
+  *lanes_used = lanes;
+  for (int64_t v : lane_visited) *visited += v;
+  return Status::OK();
+}
+
 // ---------------------------- single-table path ----------------------------
 
 StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
                                         std::span<const Value> params,
                                         const storage::ColumnTable& table,
-                                        VecSink& sink, VecExecStats* stats) {
+                                        VecSink& sink,
+                                        const VecExecOptions& opts,
+                                        VecExecStats* stats) {
   std::vector<VExpr> filters;
   filters.reserve(plan.steps[0].filters.size());
   for (const auto& f : plan.steps[0].filters) {
@@ -486,6 +657,29 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
     filters.push_back(std::move(lowered).value());
   }
 
+  if (UseParallel(opts, sink)) {
+    std::vector<SinkState> partials;
+    int lanes = 1;
+    int64_t visited = 0;
+    OLXP_RETURN_NOT_OK(RunMorselFanOut(
+        table, opts, &partials, &lanes, &visited,
+        [&](int, SinkState* st, const storage::ColumnChunkView& chunk,
+            Sel& sel) -> Status {
+          OLXP_RETURN_NOT_OK(ApplyConjuncts(filters, chunk, &sel));
+          auto more = sink.Consume(st, chunk, sel, /*serial=*/false);
+          return more.ok() ? Status::OK() : more.status();
+        }));
+    if (stats != nullptr) {
+      stats->rows_scanned += visited;
+      stats->rows_scanned_driver += visited;
+      stats->lanes_used = std::max(stats->lanes_used, lanes);
+    }
+    SinkState merged;
+    for (SinkState& p : partials) sink.MergeState(&merged, std::move(p));
+    return sink.Finish(std::move(merged));
+  }
+
+  SinkState state;
   Status inner = Status::OK();
   int64_t scanned = table.BatchScan(
       kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
@@ -495,7 +689,7 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
           inner = st;
           return false;
         }
-        auto more = sink.Consume(chunk, sel);
+        auto more = sink.Consume(&state, chunk, sel, /*serial=*/true);
         if (!more.ok()) {
           inner = more.status();
           return false;
@@ -503,8 +697,11 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
         return *more;
       });
   if (!inner.ok()) return inner;
-  if (stats != nullptr) stats->rows_scanned += scanned;
-  return sink.Finish();
+  if (stats != nullptr) {
+    stats->rows_scanned += scanned;
+    stats->rows_scanned_driver += scanned;
+  }
+  return sink.Finish(std::move(state));
 }
 
 // ------------------------------- join path ---------------------------------
@@ -542,6 +739,8 @@ struct Batch {
 };
 
 /// One hash-join stage: the built side plus the probe-side machinery.
+/// Immutable once built — the morsel fan-out probes one shared level set
+/// from every lane concurrently.
 struct JoinLevel {
   int base = 0;   ///< first slot of the build table
   int ncols = 0;  ///< columns of the build table
@@ -580,28 +779,30 @@ bool WantIntProbe(const JoinLevel& level, const std::vector<Vec>& kvecs) {
           kvecs[0].type == ValueType::kTimestamp);
 }
 
+/// Per-lane probe machinery: borrows the shared immutable levels, owns its
+/// own reusable output batches and stats. The serial path uses one; the
+/// parallel fan-out one per lane.
 class JoinPipeline {
  public:
-  JoinPipeline(std::vector<JoinLevel> levels, size_t total_slots,
-               VecSink& sink, VecExecStats* stats)
-      : levels_(std::move(levels)), sink_(sink), stats_(stats) {
+  JoinPipeline(const std::vector<JoinLevel>& levels, size_t total_slots,
+               const VecSink& sink, VecExecStats* stats, bool serial)
+      : levels_(levels), sink_(sink), stats_(stats), serial_(serial) {
     out_.reserve(levels_.size());
     for (size_t i = 0; i < levels_.size(); ++i) out_.emplace_back(total_slots);
   }
 
-  JoinLevel& level(size_t i) { return levels_[i]; }
-
   /// Probes the selected rows of `src` through level `lv` and cascades
-  /// onward; past the last level the joined batch feeds the sink. `in_cols`
-  /// are source-view column indices and `out_slots` the plan slots they
-  /// land in — the raw stream chunk passes (local columns, global slots),
-  /// deeper levels pass their identical already-filled slot list for both.
-  /// Returns false when the sink's LIMIT is satisfied.
-  StatusOr<bool> Probe(size_t lv, const storage::ColumnChunkView& src,
-                       const Sel& sel, const std::vector<int>& in_cols,
+  /// onward; past the last level the joined batch feeds the sink via `st`.
+  /// `in_cols` are source-view column indices and `out_slots` the plan
+  /// slots they land in — the raw stream chunk passes (local columns,
+  /// global slots), deeper levels pass their identical already-filled slot
+  /// list for both. Returns false when the sink's LIMIT is satisfied.
+  StatusOr<bool> Probe(SinkState* st, size_t lv,
+                       const storage::ColumnChunkView& src, const Sel& sel,
+                       const std::vector<int>& in_cols,
                        const std::vector<int>& out_slots) {
     if (sel.empty()) return true;
-    JoinLevel& level = levels_[lv];
+    const JoinLevel& level = levels_[lv];
 
     std::vector<Vec> kvecs;
     kvecs.reserve(level.probe_keys.size());
@@ -644,16 +845,19 @@ class JoinPipeline {
     std::iota(next_sel.begin(), next_sel.end(), 0u);
     storage::ColumnChunkView view = next.View();
     OLXP_RETURN_NOT_OK(ApplyConjuncts(level.residuals, view, &next_sel));
-    if (lv + 1 == levels_.size()) return sink_.Consume(view, next_sel);
+    if (lv + 1 == levels_.size()) {
+      return sink_.Consume(st, view, next_sel, serial_);
+    }
     const std::vector<int>& filled = levels_[lv + 1].prev_slots;
-    return Probe(lv + 1, view, next_sel, filled, filled);
+    return Probe(st, lv + 1, view, next_sel, filled, filled);
   }
 
  private:
-  std::vector<JoinLevel> levels_;
+  const std::vector<JoinLevel>& levels_;
   std::vector<Batch> out_;  ///< per-level output batches, reused
-  VecSink& sink_;
+  const VecSink& sink_;
   VecExecStats* stats_;
+  bool serial_;
 };
 
 /// Marks every slot referenced by the subtree in `mask`.
@@ -700,7 +904,7 @@ StatusOr<sql::ResultSet> RunHashJoin(
     const BoundSelect& plan, std::span<const Value> params,
     const std::vector<const storage::ColumnTable*>& tables,
     std::span<const ValueType> slot_types, VecSink& sink,
-    VecExecStats* stats) {
+    const VecExecOptions& opts, VecExecStats* stats) {
   const size_t nsteps = plan.steps.size();
   std::vector<JoinStepPlan> cls(nsteps);
   for (size_t k = 1; k < nsteps; ++k) {
@@ -777,7 +981,9 @@ StatusOr<sql::ResultSet> RunHashJoin(
     }
   }
 
-  // Build one hash table per non-stream step, in plan order.
+  // Build one hash table per non-stream step, in plan order. The build
+  // stays serial; the tables are immutable afterwards, so the probe
+  // fan-out reads them lock-free from every lane.
   std::vector<JoinLevel> levels;
   std::vector<int> filled = stream_out;  // needed slots materialized so far
   for (size_t k = 0; k < nsteps; ++k) {
@@ -852,7 +1058,48 @@ StatusOr<sql::ResultSet> RunHashJoin(
     levels.push_back(std::move(level));
   }
 
-  JoinPipeline pipeline(std::move(levels), total_slots, sink, stats);
+  if (UseParallel(opts, sink)) {
+    // Parallel probe fan-out: every lane owns a pipeline (its own batch
+    // buffers and stats) over the shared immutable levels, and each morsel
+    // of the stream table accumulates into its own partial sink state.
+    const int max_lanes = opts.pool->lanes();
+    std::vector<VecExecStats> lane_stats(max_lanes);
+    // Pipelines (and their per-level batch buffers) are built lazily on a
+    // lane's first morsel: RunMorselFanOut may clamp to far fewer lanes
+    // than the pool offers. Each lane only ever touches its own slot.
+    std::vector<std::unique_ptr<JoinPipeline>> pipelines(max_lanes);
+    std::vector<SinkState> partials;
+    int lanes = 1;
+    int64_t visited = 0;
+    OLXP_RETURN_NOT_OK(RunMorselFanOut(
+        *tables[stream], opts, &partials, &lanes, &visited,
+        [&](int lane, SinkState* st, const storage::ColumnChunkView& chunk,
+            Sel& sel) -> Status {
+          OLXP_RETURN_NOT_OK(ApplyConjuncts(stream_filters, chunk, &sel));
+          if (!pipelines[lane]) {
+            pipelines[lane] = std::make_unique<JoinPipeline>(
+                levels, total_slots, sink, &lane_stats[lane],
+                /*serial=*/false);
+          }
+          auto more = pipelines[lane]->Probe(st, 0, chunk, sel, stream_copy,
+                                             stream_out);
+          return more.ok() ? Status::OK() : more.status();
+        }));
+    if (stats != nullptr) {
+      stats->rows_scanned += visited;
+      stats->rows_scanned_driver += visited;
+      stats->lanes_used = std::max(stats->lanes_used, lanes);
+      for (const VecExecStats& ls : lane_stats) {
+        stats->rows_joined += ls.rows_joined;
+      }
+    }
+    SinkState merged;
+    for (SinkState& p : partials) sink.MergeState(&merged, std::move(p));
+    return sink.Finish(std::move(merged));
+  }
+
+  JoinPipeline pipeline(levels, total_slots, sink, stats, /*serial=*/true);
+  SinkState state;
   Status inner = Status::OK();
   int64_t scanned = tables[stream]->BatchScan(
       kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
@@ -865,7 +1112,8 @@ StatusOr<sql::ResultSet> RunHashJoin(
         // First-level probe runs straight off the raw chunk: its keys are
         // lowered against the stream table, so non-matching rows are never
         // materialized into slot layout.
-        auto more = pipeline.Probe(0, chunk, sel, stream_copy, stream_out);
+        auto more =
+            pipeline.Probe(&state, 0, chunk, sel, stream_copy, stream_out);
         if (!more.ok()) {
           inner = more.status();
           return false;
@@ -873,8 +1121,11 @@ StatusOr<sql::ResultSet> RunHashJoin(
         return *more;
       });
   if (!inner.ok()) return inner;
-  if (stats != nullptr) stats->rows_scanned += scanned;
-  return sink.Finish();
+  if (stats != nullptr) {
+    stats->rows_scanned += scanned;
+    stats->rows_scanned_driver += scanned;
+  }
+  return sink.Finish(std::move(state));
 }
 
 }  // namespace
@@ -922,6 +1173,9 @@ PlanShape InspectPlan(const sql::CompiledStatement& stmt) {
     s.table_id = p.steps[0].table_id;
     s.indexed_path = p.steps[0].path != TableStep::Path::kFull;
   }
+  // Must mirror VecSink::Init's can_stop_early_ derivation exactly.
+  s.early_stop_limit =
+      !p.aggregate_mode && p.order_by.empty() && !p.distinct && p.limit >= 0;
   s.table_ids.reserve(p.steps.size());
   for (const TableStep& step : p.steps) s.table_ids.push_back(step.table_id);
   if (!p.steps.empty()) {
@@ -941,6 +1195,7 @@ PlanShape InspectPlan(const sql::CompiledStatement& stmt) {
 StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
                                            std::span<const Value> params,
                                            const storage::ColumnStore& store,
+                                           const VecExecOptions& opts,
                                            VecExecStats* stats) {
   const auto& impl = stmt.impl();
   if (impl.kind != sql::StmtKind::kSelect || !impl.select ||
@@ -965,9 +1220,9 @@ StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
   OLXP_RETURN_NOT_OK(sink.Init(slot_types));
 
   if (plan.steps.size() == 1) {
-    return RunSingleTable(plan, params, *tables[0], sink, stats);
+    return RunSingleTable(plan, params, *tables[0], sink, opts, stats);
   }
-  return RunHashJoin(plan, params, tables, slot_types, sink, stats);
+  return RunHashJoin(plan, params, tables, slot_types, sink, opts, stats);
 }
 
 }  // namespace olxp::exec

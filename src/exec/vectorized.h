@@ -20,12 +20,33 @@
 /// decides when to use it; anything it cannot lower (non-equi joins,
 /// subqueries) falls back to the interpreter, so no statement loses
 /// behavior.
+///
+/// With a WorkerPool attached (profile knob exec_threads > 1) scans run
+/// morsel-driven in parallel: execution lanes claim fixed-size morsels of
+/// the pinned table, run the scan -> filter -> partial-sink (or hash-join
+/// probe) pipeline independently, and the per-morsel partial states merge
+/// in morsel order in a final single-threaded combine — so output rows,
+/// group creation order and group-representative tuples reproduce the
+/// serial scan exactly at every lane count. Hash-join build sides stay
+/// serial (the shared build table is immutable during the probe fan-out).
 
 namespace olxp::exec {
+
+class WorkerPool;
 
 /// Rows per scan chunk: large enough to amortize dispatch, small enough to
 /// keep a chunk's working vectors cache-resident.
 inline constexpr size_t kVecChunkRows = 1024;
+
+/// Morsel granularity rounded up to whole vector chunks so parallel lanes
+/// see exactly the chunk boundaries a serial BatchScan would produce
+/// (per-chunk vector typing makes boundaries observable). Public so the
+/// engine's router can mirror the fan-out's lane clamp when estimating the
+/// parallel discount.
+inline constexpr size_t NormalizedMorselRows(size_t morsel_rows) {
+  size_t rows = morsel_rows > kVecChunkRows ? morsel_rows : kVecChunkRows;
+  return (rows + kVecChunkRows - 1) / kVecChunkRows * kVecChunkRows;
+}
 
 /// Static plan summary consumed by the engine's cost-based router.
 struct PlanShape {
@@ -36,6 +57,10 @@ struct PlanShape {
   /// instead of a full scan (the replica cannot: it has no ordered index).
   bool indexed_path = false;
   bool vectorizable = false;
+  /// The serial vectorized path stops scanning once LIMIT rows are
+  /// collected (non-aggregate, no ORDER BY, no DISTINCT). Such plans never
+  /// fan out, so the router must not apply the parallel cost discount.
+  bool early_stop_limit = false;
   /// Tables read by the plan, in join order (empty for non-SELECTs).
   std::vector<int> table_ids;
   /// The driving (first) step has an index-backed access path.
@@ -55,18 +80,41 @@ bool CanVectorize(const sql::CompiledStatement& stmt);
 /// Access accounting for the latency model.
 struct VecExecStats {
   int64_t rows_scanned = 0;  ///< live rows visited on the replica (all scans)
+  /// Subset of rows_scanned visited by the DRIVING scan (the single-table
+  /// sweep or the join's stream side) — the part the morsel fan-out
+  /// overlaps across lanes. The remainder (hash-join build-side sweeps)
+  /// stays serial and is charged undivided.
+  int64_t rows_scanned_driver = 0;
   int64_t rows_built = 0;    ///< rows materialized into join hash tables
   int64_t rows_joined = 0;   ///< joined tuples emitted by probe stages
+  /// Execution lanes the driving scan actually engaged (1 = serial). The
+  /// latency model divides the vectorized work by the effective parallel
+  /// speedup derived from this.
+  int lanes_used = 1;
+};
+
+/// Execution-environment knobs (the plan-independent half of the profile).
+struct VecExecOptions {
+  /// Shared worker pool for morsel-driven parallelism; nullptr (or a pool
+  /// with < 2 lanes) keeps the serial path. Plans whose serial path can
+  /// stop early (LIMIT without ORDER BY / DISTINCT / aggregation) stay
+  /// serial regardless — early exit beats a full parallel sweep.
+  WorkerPool* pool = nullptr;
+  /// Slots per claimed morsel; rounded up to a multiple of kVecChunkRows so
+  /// parallel lanes evaluate exactly the chunks a serial scan would (chunk
+  /// boundaries are visible to per-chunk vector typing).
+  size_t morsel_rows = 4096;
 };
 
 /// Executes a vectorizable SELECT against the columnar replica. The result
 /// is identical to the interpreter's (the parity suite in tests/exec_test.cc
-/// enforces this). Returns Unsupported for constructs detected only at
-/// lowering/evaluation time and NotFound when a table has no replica —
-/// callers fall back to the interpreter on any error.
+/// enforces this, at every exec_threads setting). Returns Unsupported for
+/// constructs detected only at lowering/evaluation time and NotFound when a
+/// table has no replica — callers fall back to the interpreter on any error.
 StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
                                            std::span<const Value> params,
                                            const storage::ColumnStore& store,
+                                           const VecExecOptions& opts,
                                            VecExecStats* stats);
 
 }  // namespace olxp::exec

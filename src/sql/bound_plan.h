@@ -1,6 +1,7 @@
 #ifndef OLXP_SQL_BOUND_PLAN_H_
 #define OLXP_SQL_BOUND_PLAN_H_
 
+#include <cmath>
 #include <memory>
 #include <span>
 #include <string>
@@ -152,12 +153,29 @@ enum class StmtKind { kSelect, kInsert, kUpdate, kDelete, kCreateTable,
 /// Aggregate accumulator with the engine's SQL semantics (NULLs skipped,
 /// int/double promotion, AVG always double). Shared by the interpreter and
 /// the vectorized engine so both produce bit-identical aggregate results.
+/// Double sums are Neumaier-compensated: the running error term keeps the
+/// final rounded sum independent of accumulation order, so morsel-driven
+/// parallel partials merged out of scan order still agree with a serial
+/// pass to the last bit for all practical inputs.
 struct AggAccum {
   int64_t count = 0;
   double dsum = 0;
+  double dcomp = 0;  ///< Neumaier compensation term for dsum
   int64_t isum = 0;
   bool any_double = false;
   Value min, max;  // NULL until first value
+
+  void AddDouble(double x) {
+    double t = dsum + x;
+    if (std::abs(dsum) >= std::abs(x)) {
+      dcomp += (dsum - t) + x;
+    } else {
+      dcomp += (x - t) + dsum;
+    }
+    dsum = t;
+  }
+
+  double DoubleSum() const { return dsum + dcomp; }
 
   void Add(const Value& v) {
     if (v.is_null()) return;
@@ -165,14 +183,32 @@ struct AggAccum {
     if (v.is_numeric()) {
       if (v.type() == ValueType::kDouble) {
         any_double = true;
-        dsum += v.AsDouble();
+        AddDouble(v.AsDouble());
       } else {
         isum += v.AsInt();
-        dsum += v.AsDouble();
+        AddDouble(v.AsDouble());
       }
     }
     if (min.is_null() || v.Compare(min) < 0) min = v;
     if (max.is_null() || v.Compare(max) > 0) max = v;
+  }
+
+  /// Folds a partial accumulator over a disjoint row subset into this one.
+  /// Partial-state merge for parallel aggregation: merging per-morsel
+  /// partials in morsel order reproduces the serial result (counts, integer
+  /// sums and extremes exactly; double sums to compensated precision).
+  void MergeFrom(const AggAccum& o) {
+    count += o.count;
+    isum += o.isum;
+    any_double = any_double || o.any_double;
+    AddDouble(o.dsum);
+    AddDouble(o.dcomp);
+    if (!o.min.is_null() && (min.is_null() || o.min.Compare(min) < 0)) {
+      min = o.min;
+    }
+    if (!o.max.is_null() && (max.is_null() || o.max.Compare(max) > 0)) {
+      max = o.max;
+    }
   }
 
   Value Result(AggFunc fn, int64_t star_count) const {
@@ -183,10 +219,10 @@ struct AggAccum {
         return Value::Int(count);
       case AggFunc::kSum:
         if (count == 0) return Value::Null();
-        return any_double ? Value::Double(dsum) : Value::Int(isum);
+        return any_double ? Value::Double(DoubleSum()) : Value::Int(isum);
       case AggFunc::kAvg:
         if (count == 0) return Value::Null();
-        return Value::Double(dsum / static_cast<double>(count));
+        return Value::Double(DoubleSum() / static_cast<double>(count));
       case AggFunc::kMin:
         return min;
       case AggFunc::kMax:

@@ -87,6 +87,22 @@ int64_t ColumnTable::BatchScan(size_t chunk_rows,
   return visited;
 }
 
+ColumnTable::ScanPin::ScanPin(const ColumnTable& table) : lock_(table.mu_) {
+  total_ = table.live_.size();
+  live_ = table.live_.data();
+  cols_.reserve(table.columns_.size());
+  for (const auto& col : table.columns_) cols_.push_back(&col);
+}
+
+ColumnChunkView ColumnTable::ScanPin::Chunk(size_t base, size_t rows) const {
+  ColumnChunkView view;
+  view.base = base;
+  view.rows = base < total_ ? std::min(rows, total_ - base) : 0;
+  view.live = live_ + base;
+  view.columns = cols_.data();
+  return view;
+}
+
 std::optional<Row> ColumnTable::Get(const Row& pk) const {
   std::shared_lock lk(mu_);
   auto it = pk_to_slot_.find(pk);
@@ -101,6 +117,11 @@ std::optional<Row> ColumnTable::Get(const Row& pk) const {
 size_t ColumnTable::LiveRowCount() const {
   std::shared_lock lk(mu_);
   return pk_to_slot_.size();
+}
+
+size_t ColumnTable::SlotCount() const {
+  std::shared_lock lk(mu_);
+  return live_.size();
 }
 
 void ColumnStore::AddTable(int table_id, TableSchema schema) {

@@ -67,6 +67,38 @@ class ColumnTable {
 
   size_t LiveRowCount() const;
 
+  /// Total storage slots (live + dead). A raw scan — serial or morsel-
+  /// driven — walks every slot, so this is the size the morsel dispatcher
+  /// partitions and the router's fan-out estimate must mirror.
+  size_t SlotCount() const;
+
+  /// Pins the table for a morsel-driven (possibly multi-threaded) raw scan:
+  /// the shared latch is held for the pin's lifetime, freezing the slot
+  /// count, live flags and column storage while any number of execution
+  /// lanes read Chunk() views concurrently. Writers (the replicator) block
+  /// until the pin is released — the same snapshot semantics BatchScan
+  /// gives a serial scan, extended to many readers of one scan.
+  class ScanPin {
+   public:
+    explicit ScanPin(const ColumnTable& table);
+
+    ScanPin(const ScanPin&) = delete;
+    ScanPin& operator=(const ScanPin&) = delete;
+
+    size_t total_slots() const { return total_; }
+
+    /// View of up to `rows` slots starting at `base` (clamped to the
+    /// table). Valid while the pin is alive; safe to build concurrently
+    /// from many threads.
+    ColumnChunkView Chunk(size_t base, size_t rows) const;
+
+   private:
+    std::shared_lock<std::shared_mutex> lock_;
+    size_t total_ = 0;
+    const uint8_t* live_ = nullptr;
+    std::vector<const std::vector<Value>*> cols_;
+  };
+
  private:
   TableSchema schema_;
   mutable std::shared_mutex mu_;

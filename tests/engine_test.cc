@@ -109,6 +109,49 @@ TEST(Session, PreparedCacheUnboundedWhenCapacityZero) {
   EXPECT_GE(s->prepared_cache_size(), 40u);
 }
 
+TEST(Session, PreparedStatementsRebindAfterDdl) {
+  // Regression: a plan prepared before CREATE INDEX stayed cached with its
+  // stale PlanShape, so the router kept costing the statement as a full
+  // scan (and the executor kept the full-scan access path) forever. The
+  // schema-version stamp must force a recompile on the next cache hit.
+  EngineProfile p = NoRowOlap(EngineProfile::TiDbLike());
+  p.cost_based_routing = true;
+  Database db(p);
+  db.set_exec_threads(1);  // serial cost crossover, deterministic routing
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(
+      s->Execute("CREATE TABLE d (k INT PRIMARY KEY, tag INT, v INT)").ok());
+  for (int k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(s->Execute("INSERT INTO d VALUES (?, ?, ?)",
+                           {Value::Int(k), Value::Int(k % 100),
+                            Value::Int(k)})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+
+  // Warm the cache: without an index this selective filter is a full scan,
+  // so the router sends it to the replica.
+  const std::string q = "SELECT SUM(v) FROM d WHERE tag = 42";
+  ASSERT_TRUE(s->Execute(q).ok());
+  EXPECT_EQ(s->last_route(), RoutedStore::kColumnStore);
+  const size_t cached = s->prepared_cache_size();
+
+  ASSERT_TRUE(s->Execute("CREATE INDEX d_tag ON d (tag)").ok());
+
+  // Same SQL text: the cache hit must notice the schema-version bump,
+  // recompile against the index, and route the now-indexed shape to the
+  // row store (stale shape would have kept it on the replica).
+  auto rs = s->Execute(q);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(s->last_route(), RoutedStore::kRowStore);
+  int64_t expect = 0;
+  for (int k = 42; k < 2000; k += 100) expect += k;
+  EXPECT_EQ(rs->rows[0][0].AsInt(), expect);
+  // Re-prepared in place, not duplicated.
+  EXPECT_EQ(s->prepared_cache_size(), cached + 1);  // + the CREATE INDEX
+}
+
 TEST(Session, UnifiedArchitectureNeverRoutesToReplica) {
   Database db(EngineProfile::MemSqlLike());
   auto s = db.CreateSession();

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "engine/database.h"
 #include "engine/session.h"
+#include "tests/result_strings.h"
 
 namespace olxp {
 namespace {
@@ -23,48 +24,48 @@ engine::EngineProfile TestProfile() {
   return p;
 }
 
-std::vector<std::string> Stringify(const sql::ResultSet& rs) {
-  std::vector<std::string> rows;
-  rows.reserve(rs.rows.size());
-  for (const Row& r : rs.rows) {
-    std::string s;
-    for (const Value& v : r) {
-      s += v.ToString();
-      s += '|';
-    }
-    rows.push_back(std::move(s));
-  }
-  return rows;
-}
-
-/// Runs `sql` through the vectorized engine and the interpreter and asserts
-/// identical results. `ordered` compares row-for-row; otherwise both result
-/// sets are compared as sorted multisets (hash-group output order is
-/// engine-dependent).
+/// Runs `sql` through the vectorized engine — at exec_threads 1, 2 and 8 —
+/// and the interpreter, asserting identical results everywhere: every
+/// thread count must match the interpreter, and the parallel runs must
+/// match the serial run row-for-row (morsel partials merge in scan order,
+/// so even "unordered" output order is reproduced exactly). `ordered`
+/// compares against the interpreter row-for-row; otherwise that comparison
+/// uses sorted multisets (hash-group output order is engine-dependent).
 void ExpectParity(engine::Database& db, engine::Session& s,
                   const std::string& sql,
                   std::initializer_list<Value> params = {},
                   bool ordered = false, bool expect_vectorized = true) {
   SCOPED_TRACE(sql);
-  db.set_vectorized_execution(true);
-  auto vec = s.Execute(sql, params);
-  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
-  EXPECT_EQ(s.last_vectorized(), expect_vectorized);
-  EXPECT_EQ(s.last_route(), engine::RoutedStore::kColumnStore);
+  const int orig_threads = db.profile().exec_threads;
 
   db.set_vectorized_execution(false);
   auto interp = s.Execute(sql, params);
   ASSERT_TRUE(interp.ok()) << interp.status().ToString();
   EXPECT_FALSE(s.last_vectorized());
-
-  EXPECT_EQ(vec->column_names, interp->column_names);
-  std::vector<std::string> a = Stringify(*vec);
   std::vector<std::string> b = Stringify(*interp);
-  if (!ordered) {
-    std::sort(a.begin(), a.end());
-    std::sort(b.begin(), b.end());
+  if (!ordered) std::sort(b.begin(), b.end());
+
+  db.set_vectorized_execution(true);
+  std::vector<std::string> serial_rows;
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("exec_threads=" + std::to_string(threads));
+    db.set_exec_threads(threads);
+    auto vec = s.Execute(sql, params);
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    EXPECT_EQ(s.last_vectorized(), expect_vectorized);
+    EXPECT_EQ(s.last_route(), engine::RoutedStore::kColumnStore);
+
+    EXPECT_EQ(vec->column_names, interp->column_names);
+    std::vector<std::string> a = Stringify(*vec);
+    if (threads == 1) {
+      serial_rows = a;
+    } else {
+      EXPECT_EQ(a, serial_rows);  // parallel == serial, including order
+    }
+    if (!ordered) std::sort(a.begin(), a.end());
+    EXPECT_EQ(a, b);
   }
-  EXPECT_EQ(a, b);
+  db.set_exec_threads(orig_threads);
 }
 
 class ExecParityTest : public ::testing::Test {
@@ -501,24 +502,34 @@ TEST(JoinAtScale, LargeBuildSideVectorizesWithParity) {
   const std::string q =
       "SELECT d.bucket, COUNT(*), SUM(f.v) FROM fact f JOIN dim d "
       "ON f.dim_id = d.id GROUP BY d.bucket ORDER BY d.bucket";
-  db.set_vectorized_execution(true);
-  auto vec = s->Execute(q);
-  ASSERT_TRUE(vec.ok()) << vec.status().ToString();
-  EXPECT_EQ(s->last_route(), engine::RoutedStore::kColumnStore);
-  EXPECT_TRUE(s->last_vectorized());
-  ASSERT_EQ(vec->rows.size(), 97u);
-
   db.set_vectorized_execution(false);
   auto interp = s->Execute(q);
   ASSERT_TRUE(interp.ok()) << interp.status().ToString();
   EXPECT_FALSE(s->last_vectorized());
-  EXPECT_EQ(Stringify(*vec), Stringify(*interp));
+
+  // The at-scale join must agree with the interpreter at every lane count
+  // (serial probe and morsel-parallel probe over the shared build table).
+  db.set_vectorized_execution(true);
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("exec_threads=" + std::to_string(threads));
+    db.set_exec_threads(threads);
+    auto vec = s->Execute(q);
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    EXPECT_EQ(s->last_route(), engine::RoutedStore::kColumnStore);
+    EXPECT_TRUE(s->last_vectorized());
+    ASSERT_EQ(vec->rows.size(), 97u);
+    EXPECT_EQ(Stringify(*vec), Stringify(*interp));
+  }
 }
 
 TEST(ExecRouting, IndexedJoinDriverRoutesToRowStore) {
   auto profile = TestProfile();
   profile.cost_based_routing = true;
   engine::Database db(profile);
+  // This test asserts the SERIAL cost crossover; pin it even when the
+  // environment (CI's OLXP_EXEC_THREADS) forces a pool onto every
+  // instance. Parallel routing is covered in parallel_exec_test.cc.
+  db.set_exec_threads(1);
   auto s = db.CreateSession();
   s->set_charging_enabled(false);
   ASSERT_TRUE(s->Execute("CREATE TABLE a (k INT PRIMARY KEY, r INT)").ok());
@@ -551,6 +562,7 @@ TEST(ExecRouting, CostBasedRouterPrefersRowStoreForIndexedShapes) {
   auto profile = TestProfile();
   profile.cost_based_routing = true;
   engine::Database db(profile);
+  db.set_exec_threads(1);  // serial crossover (see note above)
   auto s = db.CreateSession();
   s->set_charging_enabled(false);
   ASSERT_TRUE(s->Execute("CREATE TABLE r (k INT PRIMARY KEY, v INT)").ok());

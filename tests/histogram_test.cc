@@ -1,0 +1,136 @@
+// LatencyHistogram edge cases: Percentile must return a defined value for
+// every (histogram state, q) combination — empty histograms, single
+// samples, degenerate ranges, q outside [0,1], and NaN — plus the basic
+// recording/merging invariants the benchfw reports rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/histogram.h"
+
+namespace olxp {
+namespace {
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.StdDev(), 0.0);
+  for (double q : {-1.0, 0.0, 0.5, 0.999, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 0.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(std::numeric_limits<double>::quiet_NaN()),
+                   0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryQuantile) {
+  LatencyHistogram h;
+  h.Record(12345);
+  for (double q : {-0.5, 0.0, 0.25, 0.5, 0.9999, 1.0, 7.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 12345.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
+  EXPECT_DOUBLE_EQ(h.StdDev(), 0.0);  // < 2 samples
+}
+
+TEST(Histogram, IdenticalSamplesCollapseToExactValue) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(777);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 777.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, OutOfRangeQuantilesClampToObservedRange) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 100);
+  EXPECT_DOUBLE_EQ(h.Percentile(-3.0), 100.0);   // q < 0 -> min
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 100.0);    // q = 0 -> min
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 10000.0);  // q = 1 -> max
+  EXPECT_DOUBLE_EQ(h.Percentile(42.0), 10000.0);
+}
+
+TEST(Histogram, NanQuantileReportsMax) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(1000);
+  double p = h.Percentile(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(std::isnan(p));
+  EXPECT_DOUBLE_EQ(p, 1000.0);
+}
+
+TEST(Histogram, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-50);
+  h.Record(-1);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndWithinRange) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10000; ++i) h.Record(1 + (i * 37) % 90000);
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    double p = h.Percentile(q);
+    EXPECT_GE(p, static_cast<double>(h.min()));
+    EXPECT_LE(p, static_cast<double>(h.max()));
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+  // Sanity on a known uniform-ish distribution: the median lands within
+  // bucket resolution (~5%) of the true middle.
+  EXPECT_NEAR(h.Percentile(0.5), 45000.0, 45000.0 * 0.10);
+}
+
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  LatencyHistogram a, b;
+  a.Record(100);
+  a.Record(200);
+  b.Record(5);
+  b.Record(90000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 90000);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(1.0), 90000.0);
+}
+
+TEST(Histogram, MergeWithEmptySidesIsIdentity) {
+  LatencyHistogram a, empty;
+  a.Record(42);
+  a.Merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 42);
+
+  LatencyHistogram c;
+  c.Merge(a);  // merging INTO an empty histogram adopts the extremes
+  EXPECT_EQ(c.count(), 1);
+  EXPECT_EQ(c.min(), 42);
+  EXPECT_EQ(c.max(), 42);
+  EXPECT_DOUBLE_EQ(c.Percentile(0.5), 42.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(i);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  h.Record(9);  // usable after Reset
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 9.0);
+}
+
+}  // namespace
+}  // namespace olxp

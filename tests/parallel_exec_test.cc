@@ -1,0 +1,419 @@
+// Morsel-driven parallel vectorized execution: worker-pool/dispatcher
+// mechanics, partial-aggregate merge stress (skewed and high-cardinality
+// group keys), the parallel cost term in the router, teardown ordering of
+// the pool against the background sweepers, and the OLXP_EXEC_THREADS
+// environment override CI uses to force the pool onto every test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/database.h"
+#include "engine/session.h"
+#include "exec/morsel.h"
+#include "tests/result_strings.h"
+
+namespace olxp {
+namespace {
+
+engine::EngineProfile ParallelProfile(int threads) {
+  auto p = engine::EngineProfile::TiDbLike();
+  p.olap_row_fraction = 0.0;
+  p.cost_based_routing = false;
+  p.replication_lag_micros = 0;
+  p.exec_threads = threads;
+  return p;
+}
+
+// ------------------------------ WorkerPool ---------------------------------
+
+TEST(WorkerPool, RunsEveryLaneIncludingCaller) {
+  exec::WorkerPool pool(4);
+  EXPECT_EQ(pool.lanes(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  std::atomic<bool> lane0_on_caller{false};
+  const auto caller = std::this_thread::get_id();
+  pool.Run(4, [&](int lane) {
+    hits[lane].fetch_add(1);
+    if (lane == 0 && std::this_thread::get_id() == caller) {
+      lane0_on_caller = true;
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_TRUE(lane0_on_caller.load());
+}
+
+TEST(WorkerPool, ReusableAcrossRunsAndClampsLaneCount) {
+  exec::WorkerPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    pool.Run(8, [&](int lane) {  // clamped to lanes()
+      EXPECT_LT(lane, 3);
+      ran.fetch_add(1);
+    });
+    EXPECT_EQ(ran.load(), 3);
+  }
+}
+
+TEST(WorkerPool, SingleLanePoolRunsInline) {
+  exec::WorkerPool pool(1);
+  int ran = 0;
+  pool.Run(4, [&](int lane) {
+    EXPECT_EQ(lane, 0);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(WorkerPool, ConcurrentRunsFromTwoThreadsComplete) {
+  exec::WorkerPool pool(4);
+  std::atomic<int> total{0};
+  auto job = [&] {
+    for (int i = 0; i < 25; ++i) {
+      pool.Run(4, [&](int) { total.fetch_add(1); });
+    }
+  };
+  std::thread a(job), b(job);
+  a.join();
+  b.join();
+  // Each Run engages up to 4 lanes; at minimum lane 0 of all 50 Runs ran.
+  EXPECT_GE(total.load(), 50);
+}
+
+TEST(WorkerPool, ShutdownIsIdempotentAndRunsDegradeToInline) {
+  exec::WorkerPool pool(4);
+  pool.Shutdown();
+  pool.Shutdown();
+  std::atomic<int> ran{0};
+  pool.Run(4, [&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1);  // no workers left: inline lane 0 only
+}
+
+// ---------------------------- MorselDispatcher -----------------------------
+
+TEST(MorselDispatcher, PartitionsExactlyAndOrdinalsAreDense) {
+  exec::MorselDispatcher d(10000, 4096);
+  EXPECT_EQ(d.morsel_count(), 3u);
+  size_t claimed_rows = 0;
+  std::vector<bool> seen(d.morsel_count(), false);
+  exec::MorselDispatcher::Morsel m;
+  while (d.Next(&m)) {
+    EXPECT_EQ(m.base, m.ordinal * 4096);
+    EXPECT_FALSE(seen[m.ordinal]);
+    seen[m.ordinal] = true;
+    claimed_rows += m.rows;
+  }
+  EXPECT_EQ(claimed_rows, 10000u);
+  EXPECT_EQ(seen, std::vector<bool>(d.morsel_count(), true));
+}
+
+TEST(MorselDispatcher, EmptyTableYieldsNoMorsels) {
+  exec::MorselDispatcher d(0, 4096);
+  EXPECT_EQ(d.morsel_count(), 0u);
+  exec::MorselDispatcher::Morsel m;
+  EXPECT_FALSE(d.Next(&m));
+}
+
+TEST(MorselDispatcher, CancelStopsDistribution) {
+  exec::MorselDispatcher d(100000, 1024);
+  exec::MorselDispatcher::Morsel m;
+  ASSERT_TRUE(d.Next(&m));
+  d.Cancel();
+  EXPECT_FALSE(d.Next(&m));
+}
+
+TEST(MorselDispatcher, ConcurrentClaimsNeverOverlap) {
+  exec::MorselDispatcher d(1 << 20, 1024);
+  std::vector<std::atomic<int>> claims(d.morsel_count());
+  for (auto& c : claims) c = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      exec::MorselDispatcher::Morsel m;
+      while (d.Next(&m)) claims[m.ordinal].fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& c : claims) EXPECT_EQ(c.load(), 1);
+}
+
+// --------------------------- partial-agg merges ----------------------------
+
+/// All 60k rows share one group key: every lane hammers partials of the
+/// same group and the combine folds them all into one output row. The
+/// integer aggregates must be exact; COUNT(*) via star_count merge too.
+TEST(ParallelAgg, SkewedSingleGroupStress) {
+  engine::Database db(ParallelProfile(8));
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(
+      s->Execute("CREATE TABLE skew (k INT PRIMARY KEY, g INT, v INT, "
+                 "w DOUBLE)")
+          .ok());
+  constexpr int kRows = 60000;
+  Rng rng(3);
+  int64_t expect_sum = 0;
+  for (int k = 0; k < kRows; ++k) {
+    int64_t v = rng.Uniform(int64_t{0}, int64_t{1000});
+    expect_sum += v;
+    ASSERT_TRUE(s->Execute("INSERT INTO skew VALUES (?, 7, ?, ?)",
+                           {Value::Int(k), Value::Int(v),
+                            Value::Double(rng.Uniform(0.0, 1.0))})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+  db.replicator().Stop();
+
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("exec_threads=" + std::to_string(threads));
+    db.set_exec_threads(threads);
+    auto rs = s->Execute(
+        "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(w) FROM skew "
+        "GROUP BY g");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_TRUE(s->last_vectorized());
+    ASSERT_EQ(rs->rows.size(), 1u);
+    EXPECT_EQ(rs->rows[0][0].AsInt(), 7);
+    EXPECT_EQ(rs->rows[0][1].AsInt(), kRows);
+    EXPECT_EQ(rs->rows[0][2].AsInt(), expect_sum);
+  }
+}
+
+/// High-cardinality keys: most groups exist in several morsels, so the
+/// combine's find-or-merge path (not the fresh-group fast path) dominates.
+/// Output order must still equal the serial run's creation order.
+TEST(ParallelAgg, HighCardinalityGroupMergeMatchesSerial) {
+  engine::Database db(ParallelProfile(8));
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(
+      s->Execute("CREATE TABLE hc (k INT PRIMARY KEY, g INT, v INT)").ok());
+  Rng rng(17);
+  for (int k = 0; k < 30000; ++k) {
+    ASSERT_TRUE(s->Execute("INSERT INTO hc VALUES (?, ?, ?)",
+                           {Value::Int(k),
+                            Value::Int(rng.Uniform(int64_t{0}, int64_t{4999})),
+                            Value::Int(k % 100)})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+  db.replicator().Stop();
+
+  const std::string q =
+      "SELECT g, COUNT(*), SUM(v), MIN(v) FROM hc GROUP BY g";
+  db.set_exec_threads(1);
+  auto serial = s->Execute(q);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(s->last_vectorized());
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("exec_threads=" + std::to_string(threads));
+    db.set_exec_threads(threads);
+    auto par = s->Execute(q);
+    ASSERT_TRUE(par.ok());
+    EXPECT_TRUE(s->last_vectorized());
+    // Row-for-row: group creation order reproduces the serial scan.
+    EXPECT_EQ(Stringify(*par), Stringify(*serial));
+  }
+}
+
+/// Composite (row-keyed) group keys exercise the non-int merge path, and a
+/// grouped NULL key must land in the same output group at every lane count.
+TEST(ParallelAgg, CompositeAndNullKeysMergeExactly) {
+  engine::Database db(ParallelProfile(8));
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE ck (k INT PRIMARY KEY, a INT, "
+                         "b VARCHAR, v INT)")
+                  .ok());
+  const char* tags[] = {"x", "y", "z"};
+  for (int k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(
+        s->Execute("INSERT INTO ck VALUES (?, ?, ?, ?)",
+                   {Value::Int(k),
+                    k % 11 == 0 ? Value::Null() : Value::Int(k % 6),
+                    Value::String(tags[k % 3]), Value::Int(k % 13)})
+            .ok());
+  }
+  db.WaitReplicaCaughtUp();
+  db.replicator().Stop();
+
+  for (const char* q :
+       {"SELECT a, b, COUNT(*), SUM(v) FROM ck GROUP BY a, b",
+        "SELECT a, COUNT(*) FROM ck GROUP BY a"}) {
+    SCOPED_TRACE(q);
+    db.set_exec_threads(1);
+    auto serial = s->Execute(q);
+    ASSERT_TRUE(serial.ok());
+    db.set_exec_threads(8);
+    auto par = s->Execute(q);
+    ASSERT_TRUE(par.ok());
+    EXPECT_TRUE(s->last_vectorized());
+    EXPECT_EQ(Stringify(*par), Stringify(*serial));
+  }
+}
+
+/// Plans whose serial path stops early at LIMIT stay serial (a parallel
+/// sweep would waste the early exit) and still return the right prefix.
+TEST(ParallelExec, EarlyStopLimitPlansStaySerialAndCorrect) {
+  engine::Database db(ParallelProfile(8));
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE lim (k INT PRIMARY KEY, v INT)").ok());
+  for (int k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(s->Execute("INSERT INTO lim VALUES (?, ?)",
+                           {Value::Int(k), Value::Int(k)})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+  auto rs = s->Execute("SELECT k FROM lim WHERE v >= 100 LIMIT 5");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(s->last_vectorized());
+  ASSERT_EQ(rs->rows.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(rs->rows[i][0].AsInt(), 100 + i);
+}
+
+// ------------------------------- routing -----------------------------------
+
+TEST(ParallelRouting, PointReadsStayOnRowStoreWithPool) {
+  auto p = ParallelProfile(8);
+  p.cost_based_routing = true;
+  engine::Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE pr (k INT PRIMARY KEY, v INT)").ok());
+  for (int k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(s->Execute("INSERT INTO pr VALUES (?, ?)",
+                           {Value::Int(k), Value::Int(k)})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+
+  // Point read: never a replica candidate, no matter how cheap parallel
+  // vectorized sweeps become.
+  ASSERT_TRUE(s->Execute("SELECT v FROM pr WHERE k = 123").ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kRowStore);
+  EXPECT_FALSE(s->last_vectorized());
+
+  // Full-table aggregate: replica, vectorized, and the pool engages.
+  ASSERT_TRUE(s->Execute("SELECT SUM(v) FROM pr").ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kColumnStore);
+  EXPECT_TRUE(s->last_vectorized());
+}
+
+TEST(ParallelRouting, ParallelCostTermPullsIndexedScansToReplica) {
+  // The pk-range shape sits between a point read and a full sweep: with a
+  // serial replica the row store's index path wins; a pool divides the
+  // replica's cost below it and the router flips. Both executions are
+  // correct — this pins the cost model's parallel term. 20k rows = ~5
+  // morsels, so the lane clamp still leaves a real fan-out.
+  auto p = ParallelProfile(1);
+  p.cost_based_routing = true;
+  engine::Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  ASSERT_TRUE(s->Execute("CREATE TABLE ix (k INT PRIMARY KEY, v INT)").ok());
+  for (int k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(s->Execute("INSERT INTO ix VALUES (?, ?)",
+                           {Value::Int(k), Value::Int(k)})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+
+  const std::string q = "SELECT SUM(v) FROM ix WHERE k >= 10 AND k <= 20";
+  db.set_exec_threads(1);
+  ASSERT_TRUE(s->Execute(q).ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kRowStore);
+
+  db.set_exec_threads(8);
+  ASSERT_TRUE(s->Execute(q).ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kColumnStore);
+
+  // An early-stop LIMIT shape never fans out, so it must get no parallel
+  // discount: the row store's index path keeps winning even at 8 lanes.
+  ASSERT_TRUE(
+      s->Execute("SELECT v FROM ix WHERE k >= 10 AND k <= 20 LIMIT 3").ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kRowStore);
+
+  // Below one morsel of rows there is nothing to fan out: the discount is
+  // clamped away and the indexed shape stays on the row store.
+  ASSERT_TRUE(s->Execute("CREATE TABLE tiny (k INT PRIMARY KEY, v INT)").ok());
+  for (int k = 0; k < 500; ++k) {
+    ASSERT_TRUE(s->Execute("INSERT INTO tiny VALUES (?, ?)",
+                           {Value::Int(k), Value::Int(k)})
+                    .ok());
+  }
+  db.WaitReplicaCaughtUp();
+  ASSERT_TRUE(
+      s->Execute("SELECT SUM(v) FROM tiny WHERE k >= 10 AND k <= 20").ok());
+  EXPECT_EQ(s->last_route(), engine::RoutedStore::kRowStore);
+}
+
+// ------------------------------- teardown ----------------------------------
+
+/// ~Database must drain the exec pool before stopping the vacuum thread and
+/// replicator: destroy instances while replication is still applying and
+/// right after parallel queries ran. TSan (CI runs this suite under it)
+/// would flag any morsel outliving the stores.
+TEST(ParallelShutdown, DestructorStressPoolStopsBeforeSweepers) {
+  for (int round = 0; round < 12; ++round) {
+    auto p = ParallelProfile(4);
+    p.vacuum_interval_us = 100;  // keep the vacuum thread busy
+    engine::Database db(p);
+    auto s = db.CreateSession();
+    s->set_charging_enabled(false);
+    ASSERT_TRUE(
+        s->Execute("CREATE TABLE t (k INT PRIMARY KEY, g INT, v INT)").ok());
+    for (int k = 0; k < 4000; ++k) {
+      ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (?, ?, ?)",
+                             {Value::Int(k), Value::Int(k % 5),
+                              Value::Int(k)})
+                      .ok());
+    }
+    if (round % 2 == 0) db.WaitReplicaCaughtUp();
+    // Fire parallel work from two session threads, then destroy the
+    // Database immediately — possibly with the replicator mid-apply.
+    std::thread t1([&] {
+      auto s2 = db.CreateSession();
+      s2->set_charging_enabled(false);
+      (void)s2->Execute("SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g");
+    });
+    std::thread t2([&] {
+      auto s3 = db.CreateSession();
+      s3->set_charging_enabled(false);
+      (void)s3->Execute("SELECT SUM(v) FROM t WHERE v % 3 = 0");
+    });
+    t1.join();
+    t2.join();
+  }
+}
+
+// ------------------------------ environment --------------------------------
+
+TEST(ParallelEnv, ExecThreadsEnvOverridesProfile) {
+  const char* orig = std::getenv("OLXP_EXEC_THREADS");
+  const std::string saved = orig != nullptr ? orig : "";
+  ASSERT_EQ(setenv("OLXP_EXEC_THREADS", "3", /*overwrite=*/1), 0);
+  {
+    engine::Database db(ParallelProfile(1));
+    EXPECT_EQ(db.profile().exec_threads, 3);
+    ASSERT_NE(db.exec_pool(), nullptr);
+    EXPECT_EQ(db.exec_pool()->lanes(), 3);
+  }
+  ASSERT_EQ(unsetenv("OLXP_EXEC_THREADS"), 0);
+  {
+    engine::Database db(ParallelProfile(1));
+    EXPECT_EQ(db.exec_pool(), nullptr);
+  }
+  // Put the CI-provided value back for the rest of this binary.
+  if (orig != nullptr) {
+    ASSERT_EQ(setenv("OLXP_EXEC_THREADS", saved.c_str(), 1), 0);
+  }
+}
+
+}  // namespace
+}  // namespace olxp

@@ -1,0 +1,30 @@
+#ifndef OLXP_TESTS_RESULT_STRINGS_H_
+#define OLXP_TESTS_RESULT_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/storage_iface.h"
+
+namespace olxp {
+
+/// One comparable string per result row ("v1|v2|...|"), shared by the
+/// exec/parallel parity suites so the comparison format cannot drift
+/// between them.
+inline std::vector<std::string> Stringify(const sql::ResultSet& rs) {
+  std::vector<std::string> rows;
+  rows.reserve(rs.rows.size());
+  for (const Row& r : rs.rows) {
+    std::string s;
+    for (const Value& v : r) {
+      s += v.ToString();
+      s += '|';
+    }
+    rows.push_back(std::move(s));
+  }
+  return rows;
+}
+
+}  // namespace olxp
+
+#endif  // OLXP_TESTS_RESULT_STRINGS_H_
