@@ -118,6 +118,13 @@ int main(int argc, char** argv) {
   // history-insert row is the lean cell the acceptance ratio is read from.
   const CellSpec kCells[] = {{"history-insert", true}, {"payment-only", false}};
 
+  benchfw::BenchJsonReport report("durability");
+  report.AddConfig("quick", opts.quick);
+  report.AddConfig("measure_seconds", opts.measure);
+  report.AddConfig("threads", static_cast<double>(threads));
+  report.AddConfig("items", static_cast<double>(opts.items));
+  report.AddConfig("seed", static_cast<double>(opts.seed));
+
   for (const CellSpec& cell : kCells) {
     std::printf("\n--- cell: %s (closed loop, %d threads) ---\n", cell.label,
                 threads);
@@ -131,6 +138,9 @@ int main(int argc, char** argv) {
       // cold ext4 journal or scheduler hiccup does not define a mode.
       const int kReps = 2;
       ModeResult best;
+      LatencyHistogram best_hist;
+      uint64_t best_committed = 0;
+      double best_seconds = 0;
       for (int rep = 0; rep < kReps; ++rep) {
         std::string tmpl =
             (std::filesystem::temp_directory_path() / "olxp_dur_XXXXXX")
@@ -181,7 +191,12 @@ int main(int argc, char** argv) {
           m.fsyncs = db.wal()->fsync_count() - fsync0;
           m.wal_mb = (db.wal()->bytes_written() - bytes0) >> 20;
         }
-        if (m.tput > best.tput) best = m;
+        if (m.tput > best.tput) {
+          best = m;
+          best_hist = k.latency;
+          best_committed = k.committed;
+          best_seconds = r.measure_seconds;
+        }
 
         std::error_code ec;
         std::filesystem::remove_all(wal_dir, ec);
@@ -196,13 +211,22 @@ int main(int argc, char** argv) {
 
       if (mode == storage::DurabilityMode::kSync) sync_tput = best.tput;
       if (mode == storage::DurabilityMode::kGroup) group_tput = best.tput;
+
+      const std::string label =
+          std::string(cell.label) + "/" + storage::DurabilityModeName(mode);
+      report.AddLatencyCell(label, best_hist, best_committed, best_seconds);
+      report.AddMetric(label, "fsyncs", static_cast<double>(best.fsyncs));
+      report.AddMetric(label, "wal_mb", static_cast<double>(best.wal_mb));
     }
 
     if (sync_tput > 0) {
       std::printf("[%s] group/sync = %.2fx %s\n", cell.label,
                   group_tput / sync_tput,
                   cell.lean_cell ? "(acceptance target: >= 5x)" : "");
+      report.AddMetric(cell.label, "group_over_sync",
+                       sync_tput > 0 ? group_tput / sync_tput : 0);
     }
   }
+  report.Write();
   return 0;
 }

@@ -53,7 +53,8 @@ std::vector<std::string> ResultRows(engine::Session& s, const std::string& sql,
 /// 8 lanes (hash joins build from the smaller side's raw column vectors;
 /// the interpreter joins row-at-a-time through pk point lookups). Serial
 /// and parallel result sets are checked for exact equality.
-void VectorizedComparison(const BenchOptions& opts) {
+void VectorizedComparison(const BenchOptions& opts,
+                          benchfw::BenchJsonReport* report) {
   std::printf("\n--- columnar path: interpreter vs vectorized engine ---\n");
   engine::EngineProfile p = engine::EngineProfile::TiDbLike();
   p.olap_row_fraction = 0.0;
@@ -132,6 +133,10 @@ void VectorizedComparison(const BenchOptions& opts) {
                                          worst_join).c_str());
   std::printf("%s\n", benchfw::FigureRow("fig5", 5, "parallel_scan_speedup",
                                          worst_par).c_str());
+  report->AddMetric("vectorized", "vectorized_speedup", worst_scan);
+  report->AddMetric("vectorized", "vectorized_join_speedup", worst_join);
+  report->AddMetric("vectorized", "parallel_scan_speedup", worst_par);
+  report->AddMetric("vectorized", "parallel_parity_ok", parity_ok ? 1 : 0);
 }
 
 int Main(int argc, char** argv) {
@@ -142,6 +147,14 @@ int Main(int argc, char** argv) {
   PrintHeader(
       "Figure 5: analytical vs real-time queries (subenchmark, tidb-like)",
       "latency: baseline -> ~3x (+OLAP) -> >9x (hybrid); stddev explodes");
+
+  benchfw::BenchJsonReport jreport("fig5");
+  jreport.AddConfig("profile", "tidb-like");
+  jreport.AddConfig("quick", opts.quick);
+  jreport.AddConfig("measure_seconds", opts.measure);
+  jreport.AddConfig("scale", static_cast<double>(opts.scale));
+  jreport.AddConfig("items", static_cast<double>(opts.items));
+  jreport.AddConfig("seed", static_cast<double>(opts.seed));
 
   benchfw::BenchmarkSuite suite = benchmarks::MakeSubenchmark(opts.Load());
   engine::Database db(engine::EngineProfile::TiDbLike());
@@ -201,8 +214,14 @@ int Main(int argc, char** argv) {
                                          f_olap).c_str());
   std::printf("%s\n", benchfw::FigureRow("fig5", 2, "hybrid_factor",
                                          f_hybrid).c_str());
+  jreport.AddCell("baseline_oltp_only", baseline);
+  jreport.AddCell("plus_analytical_1qps", with_olap);
+  jreport.AddCell("hybrid_realtime", hybrid_run);
+  jreport.AddMetric("interference", "olap_factor", f_olap);
+  jreport.AddMetric("interference", "hybrid_factor", f_hybrid);
 
-  VectorizedComparison(opts);
+  VectorizedComparison(opts, &jreport);
+  jreport.Write();
   return 0;
 }
 

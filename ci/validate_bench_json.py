@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<figure>.json reports against ci/bench_report.schema.json.
+
+Stdlib-only (no jsonschema dependency): implements the subset of JSON Schema
+draft-07 the schema actually uses -- type (single or list), required, enum,
+properties, items, additionalProperties (false or a schema), minimum,
+minItems. On top of the schema it enforces the two cell shapes the C++
+writer (benchfw::BenchJsonReport) produces:
+
+  latency cells must carry committed/throughput_per_s/latency_us
+  metric  cells must carry metric/value
+
+Usage: validate_bench_json.py BENCH_fig5.json [BENCH_durability.json ...]
+Exits non-zero, naming every violation, if any file fails.
+"""
+
+import json
+import os
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, name):
+    if name == "number":
+        # bool is an int subclass in Python; JSON booleans are not numbers.
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[name])
+
+
+def check(value, schema, path, errors):
+    """Appends 'path: problem' strings to errors; recurses into children."""
+    types = schema.get("type")
+    if types is not None:
+        names = types if isinstance(types, list) else [types]
+        if not any(_type_ok(value, n) for n in names):
+            errors.append("%s: expected %s, got %s"
+                          % (path, "/".join(names), type(value).__name__))
+            return  # child checks would only cascade
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: %r not in %r" % (path, value, schema["enum"]))
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append("%s: %r < minimum %r" % (path, value, schema["minimum"]))
+
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append("%s: missing required key '%s'" % (path, req))
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, child in value.items():
+            child_path = "%s.%s" % (path, key)
+            if key in props:
+                check(child, props[key], child_path, errors)
+            elif extra is False:
+                errors.append("%s: unexpected key" % child_path)
+            elif isinstance(extra, dict):
+                check(child, extra, child_path, errors)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append("%s: %d items < minItems %d"
+                          % (path, len(value), schema["minItems"]))
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, child in enumerate(value):
+                check(child, items, "%s[%d]" % (path, i), errors)
+
+
+def check_cell_shapes(doc, errors):
+    """The writer's two cell shapes, beyond what the schema states."""
+    for i, cell in enumerate(doc.get("cells", [])):
+        if not isinstance(cell, dict):
+            continue
+        path = "$.cells[%d]" % i
+        kind = cell.get("type")
+        if kind == "latency":
+            for key in ("committed", "throughput_per_s", "latency_us"):
+                if key not in cell:
+                    errors.append("%s: latency cell missing '%s'" % (path, key))
+        elif kind == "metric":
+            for key in ("metric", "value"):
+                if key not in cell:
+                    errors.append("%s: metric cell missing '%s'" % (path, key))
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "bench_report.schema.json")
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    failed = False
+    for report_path in argv[1:]:
+        errors = []
+        try:
+            with open(report_path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            errors.append("$: %s" % e)
+        else:
+            check(doc, schema, "$", errors)
+            check_cell_shapes(doc, errors)
+        if errors:
+            failed = True
+            print("FAIL %s" % report_path)
+            for err in errors:
+                print("  %s" % err)
+        else:
+            ncells = len(doc.get("cells", []))
+            print("OK   %s (figure=%s, %d cells)"
+                  % (report_path, doc.get("figure"), ncells))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -69,5 +69,21 @@ int main(int argc, char** argv) {
     std::printf("undelivered orders right now: %s\n",
                 backlog->rows[0][0].ToString().c_str());
   }
+
+  // The operator view of the same run: a per-operator breakdown of one
+  // dashboard query, then the engine-wide telemetry snapshot (WAL, vacuum,
+  // replication, locks, worker pool, router) every subsystem reported
+  // while the agents ran.
+  auto explained = session->Execute(
+      "EXPLAIN ANALYZE SELECT ol_i_id, SUM(ol_amount) AS revenue "
+      "FROM order_line GROUP BY ol_i_id ORDER BY revenue DESC LIMIT 5");
+  if (explained.ok()) {
+    std::printf("\ndashboard query, explained:\n");
+    for (const Row& row : explained->rows) {
+      std::printf("  %s\n", row[0].AsString().c_str());
+    }
+  }
+  std::printf("\nlive engine telemetry (Database::StatsJson):\n%s\n",
+              db.StatsJson().c_str());
   return 0;
 }

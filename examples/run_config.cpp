@@ -29,8 +29,25 @@ StatusOr<benchfw::BenchmarkSuite> MakeSuite(const std::string& name,
   return Status::InvalidArgument("unknown benchmark: " + name);
 }
 
+/// Every key the runner reads. Load() validates the file against this
+/// closed set, so a typo (`exec_treads = 4`) fails with a suggestion
+/// instead of silently running with the default.
+const std::vector<std::string> kKnownKeys = {
+    "workload.benchmark",    "workload.scale",
+    "workload.items",        "workload.txn_weights",
+    "workload.oltp_rate",    "workload.oltp_threads",
+    "workload.olap_rate",    "workload.olap_threads",
+    "workload.hybrid_rate",  "workload.hybrid_threads",
+    "run.seed",              "run.open_loop",
+    "run.warmup_seconds",    "run.measure_seconds",
+    "run.print_stats_json",  "sut.profile",
+    "sut.cluster_nodes",     "sut.replication_lag_ms",
+    "sut.exec_threads",      "sut.trace_level",
+    "sut.slow_query_threshold_us",
+};
+
 int Run(const std::string& path) {
-  auto cfg_or = Config::Load(path);
+  auto cfg_or = Config::Load(path, kKnownKeys);
   if (!cfg_or.ok()) {
     std::fprintf(stderr, "config: %s\n", cfg_or.status().ToString().c_str());
     return 1;
@@ -61,6 +78,12 @@ int Run(const std::string& path) {
       static_cast<int>(cfg.GetInt("sut.cluster_nodes", 4).value());
   profile.replication_lag_micros =
       cfg.GetInt("sut.replication_lag_ms", 20).value() * 1000;
+  profile.exec_threads = static_cast<int>(
+      cfg.GetInt("sut.exec_threads", profile.exec_threads).value());
+  profile.trace_level =
+      static_cast<int>(cfg.GetInt("sut.trace_level", 0).value());
+  profile.slow_query_threshold_us =
+      cfg.GetInt("sut.slow_query_threshold_us", 0).value();
 
   engine::Database db(profile);
   std::printf("loading %s (scale=%d) on %s...\n", suite.name.c_str(),
@@ -127,6 +150,9 @@ int Run(const std::string& path) {
     return 1;
   }
   std::printf("%s", benchfw::FormatRunResult(*result).c_str());
+  if (cfg.GetBool("run.print_stats_json", false).value()) {
+    std::printf("%s\n", db.StatsJson().c_str());
+  }
   return 0;
 }
 

@@ -1,6 +1,10 @@
 #include "benchfw/report.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace olxp::benchfw {
 
@@ -38,6 +42,105 @@ std::string FigureRow(const std::string& series, double x,
                       const std::string& metric, double value) {
   return StrFormat("%s,x=%.3f,%s=%.4f", series.c_str(), x, metric.c_str(),
                    value);
+}
+
+namespace {
+
+/// JSON number rendering: finite doubles print with enough precision to
+/// round-trip the figures; non-finite values (a 0-sample percentile can be
+/// NaN) degrade to 0 — JSON has no NaN literal.
+std::string JsonNumber(double v) {
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  return StrFormat("%.6g", v);
+}
+
+std::string Quoted(const std::string& s) {
+  return '"' + obs::JsonEscape(s) + '"';
+}
+
+}  // namespace
+
+void BenchJsonReport::AddConfig(const std::string& key,
+                                const std::string& value) {
+  config_.emplace_back(key, Quoted(value));
+}
+
+void BenchJsonReport::AddConfig(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchJsonReport::AddConfig(const std::string& key, bool value) {
+  config_.emplace_back(key, value ? "true" : "false");
+}
+
+void BenchJsonReport::AddLatencyCell(const std::string& label,
+                                     const LatencyHistogram& h,
+                                     uint64_t committed, double seconds) {
+  std::string cell = "{\"label\":" + Quoted(label);
+  cell += ",\"type\":\"latency\"";
+  cell += ",\"committed\":" + std::to_string(committed);
+  const double tput =
+      seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
+  cell += ",\"throughput_per_s\":" + JsonNumber(tput);
+  cell += ",\"latency_us\":{";
+  cell += "\"count\":" + std::to_string(h.count());
+  cell += ",\"min\":" + JsonNumber(static_cast<double>(h.min()));
+  cell += ",\"max\":" + JsonNumber(static_cast<double>(h.max()));
+  cell += ",\"mean\":" + JsonNumber(h.Mean());
+  cell += ",\"p50\":" + JsonNumber(h.Median());
+  cell += ",\"p95\":" + JsonNumber(h.P95());
+  cell += ",\"p99\":" + JsonNumber(h.Percentile(0.99));
+  cell += "}}";
+  cells_.push_back(std::move(cell));
+}
+
+void BenchJsonReport::AddCell(const std::string& label,
+                              const RunResult& result) {
+  for (const auto& [kind, stats] : result.kinds) {
+    AddLatencyCell(label + "/" + AgentKindName(kind), stats.latency,
+                   stats.committed, result.measure_seconds);
+  }
+}
+
+void BenchJsonReport::AddMetric(const std::string& label,
+                                const std::string& metric, double value) {
+  cells_.push_back("{\"label\":" + Quoted(label) +
+                   ",\"type\":\"metric\",\"metric\":" + Quoted(metric) +
+                   ",\"value\":" + JsonNumber(value) + '}');
+}
+
+std::string BenchJsonReport::ToJson() const {
+  std::string out = "{\"figure\":" + Quoted(figure_);
+  out += ",\"config\":{";
+  for (size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += Quoted(config_[i].first) + ':' + config_[i].second;
+  }
+  out += "},\"cells\":[";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += cells_[i];
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchJsonReport::Write() const {
+  std::string path = "BENCH_" + figure_ + ".json";
+  if (const char* dir = std::getenv("OLXP_BENCH_JSON_DIR")) {
+    if (dir[0] != '\0') path = std::string(dir) + "/" + path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string doc = ToJson();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace olxp::benchfw

@@ -2,6 +2,8 @@
 #define OLXP_BENCHFW_REPORT_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "benchfw/driver.h"
 
@@ -19,6 +21,57 @@ std::string FormatRunResult(const RunResult& result);
 /// binaries so series can be re-plotted.
 std::string FigureRow(const std::string& series, double x,
                       const std::string& metric, double value);
+
+/// Machine-readable figure report: cells accumulate during the run, then
+/// Write() emits `BENCH_<figure>.json` (into OLXP_BENCH_JSON_DIR when set,
+/// else the working directory). Two cell shapes coexist in one report:
+/// latency cells carry a full p50/p95/p99 + throughput summary from a
+/// driver RunResult; metric cells carry one named scalar (speedups,
+/// interference factors). The document layout is pinned by
+/// ci/bench_report.schema.json and validated in CI.
+class BenchJsonReport {
+ public:
+  explicit BenchJsonReport(std::string figure) : figure_(std::move(figure)) {}
+
+  /// Run-level configuration recorded with the results; the value is
+  /// rendered as a JSON string/number/bool respectively.
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, double value);
+  void AddConfig(const std::string& key, bool value);
+  // Without this overload a string literal would convert to bool (standard
+  // conversion) instead of std::string (user-defined) and silently record
+  // `true` for every literal-valued config.
+  void AddConfig(const std::string& key, const char* value) {
+    AddConfig(key, std::string(value));
+  }
+
+  /// One latency cell per agent class in `result`, labelled
+  /// `<label>/<agent-kind>`.
+  void AddCell(const std::string& label, const RunResult& result);
+
+  /// One latency cell from a raw histogram (figures that time queries
+  /// directly rather than through the driver). `seconds` <= 0 omits
+  /// throughput (reported as 0).
+  void AddLatencyCell(const std::string& label, const LatencyHistogram& h,
+                      uint64_t committed, double seconds);
+
+  /// One scalar metric cell.
+  void AddMetric(const std::string& label, const std::string& metric,
+                 double value);
+
+  /// Serializes the report (stable key order; valid JSON).
+  std::string ToJson() const;
+
+  /// Writes BENCH_<figure>.json and returns its path; empty string (with a
+  /// stderr message) on I/O failure.
+  std::string Write() const;
+
+ private:
+  std::string figure_;
+  /// key -> pre-rendered JSON value (escaped/quoted at insertion).
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::string> cells_;  ///< pre-rendered JSON objects
+};
 
 }  // namespace olxp::benchfw
 

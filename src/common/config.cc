@@ -1,5 +1,7 @@
 #include "common/config.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -40,12 +42,94 @@ StatusOr<Config> Config::Parse(const std::string& text) {
   return cfg;
 }
 
+StatusOr<Config> Config::Parse(const std::string& text,
+                               const std::vector<std::string>& known_keys) {
+  auto cfg = Parse(text);
+  if (!cfg.ok()) return cfg;
+  OLXP_RETURN_NOT_OK(cfg->ValidateKeys(known_keys));
+  return cfg;
+}
+
 StatusOr<Config> Config::Load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open config file: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return Parse(ss.str());
+}
+
+StatusOr<Config> Config::Load(const std::string& path,
+                              const std::vector<std::string>& known_keys) {
+  auto cfg = Load(path);
+  if (!cfg.ok()) return cfg;
+  OLXP_RETURN_NOT_OK(cfg->ValidateKeys(known_keys));
+  return cfg;
+}
+
+namespace {
+
+/// Plain Levenshtein edit distance (keys are short; the quadratic table is
+/// nothing).
+size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+Status Config::ValidateKeys(
+    const std::vector<std::string>& known_keys) const {
+  std::vector<std::string> known;
+  known.reserve(known_keys.size());
+  for (const std::string& k : known_keys) known.push_back(ToLower(k));
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    // Nearest known key, accepted as a suggestion only when plausibly a
+    // typo (distance bounded by a third of the key's length, min 2 — one
+    // transposition or a dropped character qualifies; unrelated keys never
+    // do). Distance is computed on the full dotted key AND the bare key
+    // within the same section, so `[sut] exec_treads` finds
+    // `sut.exec_threads` without being charged for the prefix.
+    size_t best = SIZE_MAX;
+    std::string suggestion;
+    for (const std::string& k : known) {
+      size_t d = EditDistance(key, k);
+      const size_t dot_key = key.rfind('.');
+      const size_t dot_k = k.rfind('.');
+      if (dot_key != std::string::npos && dot_k != std::string::npos &&
+          std::string_view(key).substr(0, dot_key) ==
+              std::string_view(k).substr(0, dot_k)) {
+        d = std::min(d, EditDistance(std::string_view(key).substr(dot_key + 1),
+                                     std::string_view(k).substr(dot_k + 1)));
+      }
+      if (d < best) {
+        best = d;
+        suggestion = k;
+      }
+    }
+    std::string msg = "unknown config key '" + key + "'";
+    if (best <= std::max<size_t>(2, key.size() / 3)) {
+      msg += "; did you mean '" + suggestion + "'?";
+    }
+    return Status::InvalidArgument(msg);
+  }
+  return Status::OK();
 }
 
 void Config::Set(const std::string& key, const std::string& value) {

@@ -29,8 +29,24 @@ class Config {
   /// Parses config text. Later duplicates override earlier ones.
   static StatusOr<Config> Parse(const std::string& text);
 
+  /// Parses and validates against a closed key set: any key not in
+  /// `known_keys` (case-insensitive) fails with InvalidArgument naming the
+  /// offender and, when one is close enough, the nearest known key — a typo
+  /// like `exec_treads = 4` reports "did you mean 'sut.exec_threads'?"
+  /// instead of silently running with the default.
+  static StatusOr<Config> Parse(const std::string& text,
+                                const std::vector<std::string>& known_keys);
+
   /// Loads and parses a config file from disk.
   static StatusOr<Config> Load(const std::string& path);
+
+  /// Loads, parses and validates against a closed key set (see Parse).
+  static StatusOr<Config> Load(const std::string& path,
+                               const std::vector<std::string>& known_keys);
+
+  /// Validates the already-parsed keys against a closed key set; same
+  /// contract as the validating Parse overload.
+  Status ValidateKeys(const std::vector<std::string>& known_keys) const;
 
   /// Programmatic set (tests, CLI overrides such as --set a.b=c).
   void Set(const std::string& key, const std::string& value);

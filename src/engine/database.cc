@@ -15,7 +15,9 @@ namespace {
 constexpr size_t kRecoveryOpsPerRecord = 4096;
 }  // namespace
 
-Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
+Database::Database(EngineProfile profile)
+    : profile_(std::move(profile)),
+      slow_log_(profile_.slow_query_log_capacity) {
   // CI (and operators) force intra-query parallelism onto every instance
   // without touching call sites: the TSan job runs the whole suite with
   // OLXP_EXEC_THREADS=4 so the pool, dispatcher and partial-state merges
@@ -24,11 +26,14 @@ Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
     int n = std::atoi(env);
     if (n > 0) profile_.exec_threads = n;
   }
+  lock_manager_.set_metrics(&metrics_);
   if (profile_.exec_threads > 1) {
     exec_pool_ = std::make_unique<exec::WorkerPool>(profile_.exec_threads);
+    exec_pool_->set_metrics(&metrics_);
   }
   replicator_ = std::make_unique<storage::Replicator>(
       &commit_log_, &column_store_, profile_.replication_lag_micros);
+  replicator_->set_metrics(&metrics_);
   txn_manager_ = std::make_unique<txn::TransactionManager>(
       &row_store_, &lock_manager_, &oracle_, &commit_log_,
       profile_.lock_timeout_micros, &snapshots_);
@@ -56,6 +61,7 @@ Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
   vcfg.interval_us = profile_.vacuum_interval_us;
   vcfg.batch_rows = profile_.vacuum_batch_rows;
   vcfg.gc_history_us = profile_.gc_history_us;
+  vcfg.metrics = &metrics_;
   vacuum_ = std::make_unique<storage::Vacuum>(&row_store_, &snapshots_,
                                               &oracle_, vcfg);
   vacuum_->Start();
@@ -77,7 +83,10 @@ void Database::set_exec_threads(int n) {
   if (exec_pool_) exec_pool_->Shutdown();
   exec_pool_.reset();
   profile_.exec_threads = n;
-  if (n > 1) exec_pool_ = std::make_unique<exec::WorkerPool>(n);
+  if (n > 1) {
+    exec_pool_ = std::make_unique<exec::WorkerPool>(n);
+    exec_pool_->set_metrics(&metrics_);
+  }
 }
 
 std::unique_ptr<Session> Database::CreateSession() {
@@ -148,6 +157,26 @@ void Database::WaitReplicaCaughtUp() {
 }
 
 storage::VacuumStats Database::RunVacuum() { return vacuum_->RunOnce(); }
+
+std::string Database::StatsJson() {
+  std::string out = "{\"metrics\":";
+  out += metrics_.Snapshot().ToJson();
+  out += ",\"slow_query_total\":";
+  out += std::to_string(slow_log_.total_recorded());
+  out += ",\"slow_queries\":[";
+  bool first = true;
+  for (const obs::SlowQueryEntry& e : slow_log_.Entries()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"sql\":\"" + obs::JsonEscape(e.sql) + '"';
+    out += ",\"route\":\"" + obs::JsonEscape(e.route) + '"';
+    out += ",\"wall_us\":" + std::to_string(e.wall_us);
+    out += ",\"charged_us\":" + std::to_string(e.charged_us) + '}';
+  }
+  out += "]}";
+  return out;
+}
 
 void Database::PruneAllVersions(size_t keep) {
   for (int id : row_store_.TableIds()) {
@@ -252,6 +281,7 @@ Status Database::RecoverFromWal() {
   wopts.mode = profile_.durability;
   wopts.group_commit_window_us = profile_.group_commit_window_us;
   wopts.segment_bytes = profile_.wal_segment_bytes;
+  wopts.metrics = &metrics_;
   OLXP_ASSIGN_OR_RETURN(
       wal_, storage::WalWriter::Open(
                 wopts, std::max(max_seq + 1, replay_from)));

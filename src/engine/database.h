@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "engine/profile.h"
 #include "exec/morsel.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "sql/storage_iface.h"
 #include "storage/column_store.h"
 #include "storage/lock_manager.h"
@@ -99,6 +101,24 @@ class Database : public sql::Catalog {
   /// nullptr when profile().exec_threads <= 1 (serial path).
   exec::WorkerPool* exec_pool() { return exec_pool_.get(); }
 
+  /// Process-visible metrics for this database instance: every subsystem
+  /// (WAL, vacuum, replicator, lock manager, worker pool, router, session
+  /// statement timing) publishes counters/gauges/histograms here.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Ring of recent statements that crossed the profile's
+  /// slow_query_threshold_us (empty when the threshold is 0).
+  obs::SlowQueryLog& slow_query_log() { return slow_log_; }
+
+  /// One JSON document with everything an operator polls: the full metrics
+  /// snapshot (counters/gauges/histogram summaries) plus the slow-query
+  /// ring. Stable top-level keys: "metrics", "slow_queries",
+  /// "slow_query_total".
+  std::string StatsJson();
+
+  /// Prometheus text exposition of the metrics registry.
+  std::string MetricsText() { return metrics_.Snapshot().ToPrometheusText(); }
+
   /// Monotone counter bumped by every successful DDL (CREATE TABLE /
   /// CREATE INDEX). Sessions stamp cached prepared statements with it and
   /// recompile on mismatch, so a plan prepared before an index existed
@@ -132,7 +152,14 @@ class Database : public sql::Catalog {
   /// then opens the segment writer for new commits.
   Status RecoverFromWal();
 
+  /// Declared before every subsystem so it is destroyed last: WAL flushes,
+  /// final vacuum passes and replicator drains may still record into it
+  /// while the rest of the substrate tears down.
+  obs::MetricsRegistry metrics_;
   EngineProfile profile_;
+  /// Declared after profile_ (sized from it), before the subsystems that
+  /// feed it.
+  obs::SlowQueryLog slow_log_;
   storage::RowStore row_store_;
   storage::ColumnStore column_store_;
   storage::LockManager lock_manager_;

@@ -166,6 +166,18 @@ struct EngineProfile {
   /// Segment rotation threshold; Checkpoint() deletes fully-covered
   /// segments so disk stays bounded during long runs.
   uint64_t wal_segment_bytes = 16ull << 20;
+  /// Per-query tracing (EXPLAIN ANALYZE capture). 0 = off (no timing calls
+  /// on the execution hot path); >= 1 captures per-operator row counts and
+  /// wall times for every statement into Session::last_trace(). Sessions
+  /// can override per-connection via Session::set_trace_level(). The
+  /// `EXPLAIN ANALYZE <stmt>` prefix always traces, regardless of level.
+  int trace_level = 0;
+  /// Statements whose wall clock meets this threshold land in the
+  /// database's slow-query ring (Database::slow_query_log(), surfaced by
+  /// StatsJson()). 0 disables the log.
+  int64_t slow_query_threshold_us = 0;
+  /// Entries the slow-query ring retains (oldest evicted first).
+  size_t slow_query_log_capacity = 64;
 
   /// In-memory unified store, read-committed, no FK support — MemSQL-style.
   static EngineProfile MemSqlLike();

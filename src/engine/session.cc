@@ -1,9 +1,11 @@
 #include "engine/session.h"
 
 #include <cassert>
+#include <cctype>
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 
 #include "common/clock.h"
 #include "engine/database.h"
@@ -324,10 +326,81 @@ class ColumnSnapshotStorage : public sql::StorageIface {
 
 }  // namespace
 
+namespace {
+
+/// Matches (case-insensitively) an `EXPLAIN ANALYZE ` prefix and returns the
+/// inner statement text, or false when the SQL is a plain statement.
+bool StripExplainAnalyze(const std::string& sql, std::string* inner) {
+  auto skip_spaces = [&](size_t i) {
+    while (i < sql.size() &&
+           std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    }
+    return i;
+  };
+  auto match_word = [&](size_t i, std::string_view word) -> size_t {
+    if (sql.size() - i < word.size()) return std::string::npos;
+    for (size_t k = 0; k < word.size(); ++k) {
+      if (std::toupper(static_cast<unsigned char>(sql[i + k])) != word[k]) {
+        return std::string::npos;
+      }
+    }
+    const size_t end = i + word.size();
+    // Must be followed by whitespace (EXPLAINANALYZE is not a keyword).
+    if (end >= sql.size() ||
+        !std::isspace(static_cast<unsigned char>(sql[end]))) {
+      return std::string::npos;
+    }
+    return end;
+  };
+  size_t i = skip_spaces(0);
+  i = match_word(i, "EXPLAIN");
+  if (i == std::string::npos) return false;
+  i = match_word(skip_spaces(i), "ANALYZE");
+  if (i == std::string::npos) return false;
+  i = skip_spaces(i);
+  if (i >= sql.size()) return false;  // nothing to explain
+  *inner = sql.substr(i);
+  return true;
+}
+
+/// Renders a completed capture as the one-column result set EXPLAIN ANALYZE
+/// returns (one row per rendered line).
+sql::ResultSet RenderTrace(const obs::QueryTrace& trace) {
+  sql::ResultSet rs;
+  rs.column_names = {"EXPLAIN ANALYZE"};
+  const std::string text = trace.ToString();
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) {
+      rs.rows.push_back({Value::String(text.substr(start, end - start))});
+    }
+    start = end + 1;
+  }
+  return rs;
+}
+
+}  // namespace
+
 Session::Session(Database* db)
     : db_(db),
       route_rng_state_(0x9e3779b97f4a7c15ULL ^
-                       reinterpret_cast<uint64_t>(this)) {}
+                       reinterpret_cast<uint64_t>(this)),
+      trace_level_(db->profile().trace_level) {
+  obs::MetricsRegistry& m = db->metrics();
+  m_statements_ = m.GetCounter("session.statements");
+  m_route_col_vec_ = m.GetCounter("router.route.column_vectorized");
+  m_route_col_interp_ = m.GetCounter("router.route.column_interpreter");
+  m_route_row_ = m.GetCounter("router.route.row");
+  m_cost_override_ = m.GetCounter("router.cost_overrides_to_row");
+  m_stoch_override_ = m.GetCounter("router.stochastic_overrides_to_row");
+  m_morsels_ = m.GetCounter("exec.morsels_dispatched");
+  m_slow_ = m.GetCounter("session.slow_queries");
+  m_statement_us_ = m.GetHistogram("session.statement_us");
+  m_residual_pct_ = m.GetHistogram("router.cost_residual_pct");
+}
 
 Session::~Session() {
   if (txn_) txn_->Abort();
@@ -376,6 +449,66 @@ StatusOr<const Session::Prepared*> Session::Prepare(
 
 StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
                                           std::span<const Value> params) {
+  std::string inner;
+  const bool explain = StripExplainAnalyze(sql_text, &inner);
+  const std::string& effective = explain ? inner : sql_text;
+  const bool tracing = explain || trace_level_ > 0;
+  obs::QueryTrace* trace = nullptr;
+  if (tracing) {
+    last_trace_.Clear();
+    last_trace_.sql = effective;
+    last_trace_.level = std::max(trace_level_, 1);
+    trace = &last_trace_;
+  }
+  predicted_cost_ns_ = -1;
+  const int64_t wall_t0 = NowMicros();
+  const int64_t charged_before = charged_micros_;
+
+  auto rs = ExecuteRouted(effective, params, trace);
+
+  const int64_t wall_us = NowMicros() - wall_t0;
+  m_statements_->Add(1);
+  m_statement_us_->Record(wall_us);
+  if (last_route_ == RoutedStore::kColumnStore) {
+    (last_vectorized_ ? m_route_col_vec_ : m_route_col_interp_)->Add(1);
+  } else {
+    m_route_row_->Add(1);
+  }
+  const int64_t actual_us = charged_micros_ - charged_before;
+  if (predicted_cost_ns_ > 0 && actual_us > 0) {
+    // Predicted-vs-actual residual of the deterministic cost comparison,
+    // in percent of the prediction (simulated charge is the ground truth
+    // the router tried to predict).
+    const double predicted_us = predicted_cost_ns_ / 1000.0;
+    m_residual_pct_->Record(static_cast<int64_t>(
+        std::abs(static_cast<double>(actual_us) - predicted_us) * 100.0 /
+        std::max(predicted_us, 1.0)));
+  }
+  const char* route = last_route_ == RoutedStore::kColumnStore
+                          ? (last_vectorized_ ? "column/vectorized"
+                                              : "column/interpreter")
+                          : "row/interpreter";
+  if (tracing) {
+    last_trace_.route = route;
+    last_trace_.total_us = wall_us;
+  }
+  const int64_t threshold = db_->profile().slow_query_threshold_us;
+  if (threshold > 0 && wall_us >= threshold) {
+    obs::SlowQueryEntry entry;
+    entry.sql = effective;
+    entry.route = route;
+    entry.wall_us = wall_us;
+    entry.charged_us = actual_us;
+    db_->slow_query_log().Add(std::move(entry));
+    m_slow_->Add(1);
+  }
+  if (explain && rs.ok()) return RenderTrace(last_trace_);
+  return rs;
+}
+
+StatusOr<sql::ResultSet> Session::ExecuteRouted(const std::string& sql_text,
+                                                std::span<const Value> params,
+                                                obs::QueryTrace* trace) {
   auto prepared = Prepare(sql_text);
   if (!prepared.ok()) return prepared.status();
   const sql::CompiledStatement& stmt = *(*prepared)->compiled;
@@ -394,7 +527,10 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
                        1442695040888963407ULL;
     double u = static_cast<double>(route_rng_state_ >> 11) *
                (1.0 / 9007199254740992.0);
-    if (u < db_->profile().olap_row_fraction) route_to_column = false;
+    if (u < db_->profile().olap_row_fraction) {
+      route_to_column = false;
+      m_stoch_override_->Add(1);
+    }
   }
 
   // Effective speedup morsel-driven parallelism gives a vectorized plan
@@ -454,7 +590,11 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
           static_cast<double>(m.row_seek_ns) +
           std::max(1.0, live * kIndexedSelectivity) *
               static_cast<double>(m.row_analytic_scan_row_ns);
-      if (row_ns < col_ns) route_to_column = false;
+      if (row_ns < col_ns) {
+        route_to_column = false;
+        m_cost_override_->Add(1);
+      }
+      predicted_cost_ns_ = route_to_column ? col_ns : row_ns;
     } else if (shape.table_ids.size() > 1 && shape.indexed_driver &&
                shape.inner_steps_indexed) {
       // Selective indexed join: the row store drives it with an index probe
@@ -499,7 +639,11 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
           static_cast<double>(m.row_seek_ns) +
           probes * (static_cast<double>(m.row_analytic_scan_row_ns) +
                     inner_seeks);
-      if (row_ns < col_ns) route_to_column = false;
+      if (row_ns < col_ns) {
+        route_to_column = false;
+        m_cost_override_->Add(1);
+      }
+      predicted_cost_ns_ = route_to_column ? col_ns : row_ns;
     }
   }
 
@@ -515,6 +659,8 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
       exec::VecExecOptions vopts;
       vopts.pool = db_->exec_pool();
       vopts.morsel_rows = db_->profile().morsel_rows;
+      vopts.trace = trace;
+      vopts.morsel_counter = m_morsels_;
       auto rs = exec::ExecuteVectorized(stmt, params, db_->column_store(),
                                         vopts, &vstats);
       counter.fetch_sub(1, std::memory_order_relaxed);
@@ -551,9 +697,16 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
       // (unsupported construct discovered at lowering/evaluation time or a
       // table without a replica): behavior is never lost, and genuine
       // statement errors resurface with the interpreter's diagnostics.
+      if (trace != nullptr) {
+        // Drop any partial ops the aborted vectorized attempt captured; the
+        // interpreter re-execution below records the statement's real plan.
+        trace->ops.clear();
+        trace->lanes = 1;
+        trace->morsels = 0;
+      }
     }
     ColumnSnapshotStorage storage(db_, &stats, this);
-    auto rs = sql::Execute(stmt, params, &storage);
+    auto rs = sql::Execute(stmt, params, &storage, trace);
     ChargeStatement(stats);
     FlushCharge();
     return rs;
@@ -575,7 +728,7 @@ StatusOr<sql::ResultSet> Session::Execute(const std::string& sql_text,
   TxnStorage storage(db_, txn, &stats, this,
                      /*standalone_analytical=*/!in_txn && analytical,
                      scan_penalty);
-  auto rs = sql::Execute(stmt, params, &storage);
+  auto rs = sql::Execute(stmt, params, &storage, trace);
   ChargeStatement(stats);
 
   if (!rs.ok()) {

@@ -10,6 +10,8 @@
 
 #include "common/status.h"
 #include "exec/vectorized.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "sql/executor.h"
 #include "txn/transaction.h"
 
@@ -55,6 +57,11 @@ class Session {
   /// Parses (cached), compiles (cached), routes and executes one statement.
   /// Auto-commits when no transaction is open. Retryable failures
   /// (Conflict/LockTimeout) abort any open transaction.
+  ///
+  /// `EXPLAIN ANALYZE <stmt>` executes the inner statement normally (same
+  /// routing, same side effects) and returns the per-operator trace as a
+  /// one-column result set instead of the statement's rows; the raw capture
+  /// stays available via last_trace().
   StatusOr<sql::ResultSet> Execute(const std::string& sql,
                                    std::span<const Value> params = {});
 
@@ -83,6 +90,16 @@ class Session {
 
   /// Total simulated microseconds charged to this session so far.
   int64_t charged_micros() const { return charged_micros_; }
+
+  /// Per-connection tracing override (initialized from the profile's
+  /// trace_level). Level >= 1 captures a QueryTrace for every statement;
+  /// 0 disables capture (no timing calls on the execution path).
+  void set_trace_level(int level) { trace_level_ = level; }
+  int trace_level() const { return trace_level_; }
+
+  /// Capture for the most recent traced statement (empty — no ops — when
+  /// tracing was off for the last statement).
+  const obs::QueryTrace& last_trace() const { return last_trace_; }
 
   /// Prepared statements currently cached (bounded by the profile's
   /// prepared_statement_cache_capacity; diagnostics and tests).
@@ -126,6 +143,13 @@ class Session {
 
   StatusOr<const Prepared*> Prepare(const std::string& sql);
 
+  /// The routing + execution body of Execute (everything but the statement
+  /// wall clock, trace bookkeeping and slow-query admission, which the
+  /// public wrapper owns). `trace` is null when tracing is off.
+  StatusOr<sql::ResultSet> ExecuteRouted(const std::string& sql,
+                                         std::span<const Value> params,
+                                         obs::QueryTrace* trace);
+
   /// Charges the simulated cost of the statement just executed.
   void ChargeStatement(const AccessStats& stats);
   void ChargeCommit(int64_t writes);
@@ -144,6 +168,24 @@ class Session {
   int64_t pending_charge_micros_ = 0;
   int64_t txn_writes_ = 0;  ///< writes buffered in the open transaction
   bool charging_enabled_ = true;
+  int trace_level_ = 0;  ///< seeded from profile().trace_level at open
+  obs::QueryTrace last_trace_;
+  /// Router cost estimate (ns) for the chosen side of the most recent
+  /// deterministic cost comparison; < 0 when the statement's shape never
+  /// reached the comparison. Feeds the predicted-vs-actual residual metric.
+  double predicted_cost_ns_ = -1;
+  // Metric handles resolved once at session open (stable pointers into the
+  // database's registry; hot paths never touch the name map).
+  obs::Counter* m_statements_ = nullptr;
+  obs::Counter* m_route_col_vec_ = nullptr;
+  obs::Counter* m_route_col_interp_ = nullptr;
+  obs::Counter* m_route_row_ = nullptr;
+  obs::Counter* m_cost_override_ = nullptr;
+  obs::Counter* m_stoch_override_ = nullptr;
+  obs::Counter* m_morsels_ = nullptr;
+  obs::Counter* m_slow_ = nullptr;
+  obs::Histogram* m_statement_us_ = nullptr;
+  obs::Histogram* m_residual_pct_ = nullptr;
 };
 
 }  // namespace olxp::engine

@@ -1,6 +1,9 @@
 #include "exec/morsel.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/clock.h"
 
 namespace olxp::exec {
 
@@ -12,6 +15,25 @@ WorkerPool::WorkerPool(int lanes) : lanes_(std::max(1, lanes)) {
 }
 
 WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (metrics == nullptr) {
+    m_runs_ = nullptr;
+    m_jobs_ = nullptr;
+    m_queue_depth_ = nullptr;
+    lane_busy_ns_.clear();
+    return;
+  }
+  m_runs_ = metrics->GetCounter("exec.pool.runs");
+  m_jobs_ = metrics->GetCounter("exec.pool.jobs");
+  m_queue_depth_ = metrics->GetGauge("exec.pool.queue_depth");
+  lane_busy_ns_.resize(static_cast<size_t>(lanes_));
+  for (int lane = 0; lane < lanes_; ++lane) {
+    lane_busy_ns_[static_cast<size_t>(lane)] = metrics->GetCounter(
+        "exec.pool.lane" + std::to_string(lane) + ".busy_ns");
+  }
+}
 
 void WorkerPool::Shutdown() {
   {
@@ -37,8 +59,18 @@ void WorkerPool::WorkerLoop() {
       if (jobs_.empty()) return;  // stop_ with a drained queue
       job = jobs_.front();
       jobs_.pop_front();
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->Set(static_cast<int64_t>(jobs_.size()));
+      }
     }
-    (*job.fn)(job.lane);
+    if (m_jobs_ != nullptr) {
+      m_jobs_->Add(1);
+      const int64_t t0 = NowNanos();
+      (*job.fn)(job.lane);
+      lane_busy_ns_[static_cast<size_t>(job.lane)]->Add(NowNanos() - t0);
+    } else {
+      (*job.fn)(job.lane);
+    }
     // fetch_sub under the lock so the Run() waiter cannot observe the
     // counter hit zero and destroy its stack state while this thread is
     // between the decrement and the notify.
@@ -64,11 +96,21 @@ void WorkerPool::Run(int n, const std::function<void(int)>& fn) {
         for (int lane = 1; lane < n; ++lane) {
           jobs_.push_back(Job{&fn, lane, &remaining});
         }
+        if (m_queue_depth_ != nullptr) {
+          m_queue_depth_->Set(static_cast<int64_t>(jobs_.size()));
+        }
       }
     }
     if (remaining.load(std::memory_order_relaxed) > 0) work_cv_.notify_all();
   }
-  fn(0);  // never under mu_: the job may run for a whole query
+  if (m_runs_ != nullptr) {
+    m_runs_->Add(1);
+    const int64_t t0 = NowNanos();
+    fn(0);  // never under mu_: the job may run for a whole query
+    lane_busy_ns_[0]->Add(NowNanos() - t0);
+  } else {
+    fn(0);  // never under mu_: the job may run for a whole query
+  }
   if (remaining.load(std::memory_order_acquire) == 0) return;
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk,

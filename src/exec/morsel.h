@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 /// Morsel-driven intra-query parallelism (HyPer-style): a query's scan range
 /// is split into fixed-size morsels that execution lanes claim from a shared
 /// atomic cursor, so a fast lane "steals" whatever a slow lane has not
@@ -46,6 +48,10 @@ class WorkerPool {
   /// in-flight morsel can touch storage that is being torn down.
   void Shutdown();
 
+  /// Attaches a metrics sink (exec.pool.* counters, per-lane busy time).
+  /// Call before Run() traffic; the registry must outlive the pool.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Job {
     const std::function<void(int)>* fn;
@@ -62,6 +68,14 @@ class WorkerPool {
   std::deque<Job> jobs_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Cached metric handles (null until set_metrics). lane_busy_ns_[k] is
+  // lane k's cumulative job execution time (lane 0 = the calling session
+  // thread's share of parallel Runs).
+  obs::Counter* m_runs_ = nullptr;
+  obs::Counter* m_jobs_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  std::vector<obs::Counter*> lane_busy_ns_;
 };
 
 /// Partitions the slot range [0, total_rows) of one pinned table into

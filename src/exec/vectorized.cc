@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/clock.h"
 #include "exec/hash_join.h"
 #include "exec/morsel.h"
 #include "exec/vec.h"
@@ -582,6 +584,92 @@ class VecSink {
 // LiveRows/ApplyConjuncts live in vexpr.{h,cc}: the scan, hash-build and
 // join-probe stages share one filtering (and fallback) implementation.
 
+// ------------------------- EXPLAIN ANALYZE capture -------------------------
+
+/// Per-lane trace accumulation for one scan driver. Parallel fan-outs own
+/// one slot per lane and sum them afterwards (the per-morsel rollup); the
+/// serial paths use a single slot. All writes are gated on opts.trace.
+struct LaneTrace {
+  int64_t selected = 0;    ///< rows surviving the scan filters
+  int64_t consumed_out = 0;  ///< probe-stage output rows (join path)
+  int64_t filter_ns = 0;
+  int64_t consume_ns = 0;  ///< sink consume (single-table) / probe cascade
+};
+
+LaneTrace SumLanes(const std::vector<LaneTrace>& lanes) {
+  LaneTrace t;
+  for (const LaneTrace& l : lanes) {
+    t.selected += l.selected;
+    t.consumed_out += l.consumed_out;
+    t.filter_ns += l.filter_ns;
+    t.consume_ns += l.consume_ns;
+  }
+  return t;
+}
+
+/// Appends the scan (and, when filters exist, filter) operators.
+void TraceScanOps(obs::QueryTrace* trace, int table_id, bool has_filters,
+                  int64_t scanned, const LaneTrace& t, int64_t scan_ns) {
+  obs::TraceOp scan;
+  scan.op = "scan";
+  scan.detail = "table=" + std::to_string(table_id);
+  scan.rows_in = scanned;
+  scan.rows_out = scanned;
+  // The fused scan+filter loop is timed as a whole; the filter's share is
+  // measured directly and subtracted out.
+  int64_t residual = scan_ns - t.filter_ns - t.consume_ns;
+  scan.wall_us = (residual > 0 ? residual : 0) / 1000;
+  trace->ops.push_back(std::move(scan));
+  if (has_filters) {
+    obs::TraceOp filter;
+    filter.op = "filter";
+    filter.rows_in = scanned;
+    filter.rows_out = t.selected;
+    filter.wall_us = t.filter_ns / 1000;
+    trace->ops.push_back(std::move(filter));
+  }
+}
+
+/// Appends the sink-side operators (aggregate/project, order, emit) given
+/// the pre-Finish sink cardinality and the final result.
+void TraceSinkOps(obs::QueryTrace* trace, const BoundSelect& plan,
+                  int64_t rows_in, int64_t sink_rows, int64_t consume_ns,
+                  int64_t finish_ns, const sql::ResultSet& rs) {
+  obs::TraceOp sinkop;
+  sinkop.op = plan.aggregate_mode ? "aggregate" : "project";
+  if (plan.distinct) sinkop.detail = "distinct";
+  sinkop.rows_in = rows_in;
+  sinkop.rows_out = sink_rows;
+  sinkop.wall_us = consume_ns / 1000;
+  trace->ops.push_back(std::move(sinkop));
+  if (!plan.order_by.empty()) {
+    obs::TraceOp order;
+    order.op = "order";
+    order.detail = std::to_string(plan.order_by.size()) + " keys";
+    order.rows_in = sink_rows;
+    order.rows_out = sink_rows;
+    order.wall_us = finish_ns / 1000;
+    trace->ops.push_back(std::move(order));
+  }
+  obs::TraceOp emit;
+  emit.op = "emit";
+  if (plan.limit >= 0) emit.detail = "limit=" + std::to_string(plan.limit);
+  emit.rows_in = sink_rows;
+  emit.rows_out = static_cast<int64_t>(rs.rows.size());
+  trace->ops.push_back(std::move(emit));
+}
+
+/// Sink cardinality before Finish (groups for aggregates, pending rows
+/// otherwise) — the row count entering order/limit/emit.
+int64_t SinkRows(const BoundSelect& plan, const SinkState& st) {
+  if (plan.aggregate_mode) {
+    // A global aggregate over empty input still emits one row.
+    if (st.groups.empty() && plan.group_by.empty()) return 1;
+    return static_cast<int64_t>(st.groups.size());
+  }
+  return static_cast<int64_t>(st.pending.size());
+}
+
 // ------------------------- morsel fan-out driver ---------------------------
 
 /// Whether this execution should fan out over the pool. Early-stop plans
@@ -638,6 +726,9 @@ Status RunMorselFanOut(const storage::ColumnTable& table,
   }
   *lanes_used = lanes;
   for (int64_t v : lane_visited) *visited += v;
+  if (opts.morsel_counter != nullptr) {
+    opts.morsel_counter->Add(static_cast<int64_t>(dispatcher.morsel_count()));
+  }
   return Status::OK();
 }
 
@@ -657,16 +748,31 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
     filters.push_back(std::move(lowered).value());
   }
 
+  const bool tracing = opts.trace != nullptr;
   if (UseParallel(opts, sink)) {
     std::vector<SinkState> partials;
     int lanes = 1;
     int64_t visited = 0;
+    std::vector<LaneTrace> lt(
+        tracing ? static_cast<size_t>(opts.pool->lanes()) : 0);
+    const int64_t t_drv = tracing ? NowNanos() : 0;
     OLXP_RETURN_NOT_OK(RunMorselFanOut(
         table, opts, &partials, &lanes, &visited,
-        [&](int, SinkState* st, const storage::ColumnChunkView& chunk,
+        [&](int lane, SinkState* st, const storage::ColumnChunkView& chunk,
             Sel& sel) -> Status {
+          int64_t t0 = tracing ? NowNanos() : 0;
           OLXP_RETURN_NOT_OK(ApplyConjuncts(filters, chunk, &sel));
+          if (tracing) {
+            LaneTrace& t = lt[static_cast<size_t>(lane)];
+            const int64_t t1 = NowNanos();
+            t.filter_ns += t1 - t0;
+            t.selected += static_cast<int64_t>(sel.size());
+            t0 = t1;
+          }
           auto more = sink.Consume(st, chunk, sel, /*serial=*/false);
+          if (tracing) {
+            lt[static_cast<size_t>(lane)].consume_ns += NowNanos() - t0;
+          }
           return more.ok() ? Status::OK() : more.status();
         }));
     if (stats != nullptr) {
@@ -676,20 +782,42 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
     }
     SinkState merged;
     for (SinkState& p : partials) sink.MergeState(&merged, std::move(p));
-    return sink.Finish(std::move(merged));
+    if (!tracing) return sink.Finish(std::move(merged));
+    const LaneTrace t = SumLanes(lt);
+    opts.trace->lanes = std::max(opts.trace->lanes, lanes);
+    opts.trace->morsels += static_cast<int64_t>(partials.size());
+    TraceScanOps(opts.trace, plan.steps[0].table_id, !filters.empty(),
+                 visited, t, NowNanos() - t_drv);
+    const int64_t sink_rows = SinkRows(plan, merged);
+    const int64_t t_fin = NowNanos();
+    auto rs = sink.Finish(std::move(merged));
+    if (!rs.ok()) return rs.status();
+    TraceSinkOps(opts.trace, plan, t.selected, sink_rows, t.consume_ns,
+                 NowNanos() - t_fin, *rs);
+    return rs;
   }
 
   SinkState state;
   Status inner = Status::OK();
+  LaneTrace t;
+  const int64_t t_drv = tracing ? NowNanos() : 0;
   int64_t scanned = table.BatchScan(
       kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
         Sel sel = LiveRows(chunk);
+        int64_t t0 = tracing ? NowNanos() : 0;
         Status st = ApplyConjuncts(filters, chunk, &sel);
         if (!st.ok()) {
           inner = st;
           return false;
         }
+        if (tracing) {
+          const int64_t t1 = NowNanos();
+          t.filter_ns += t1 - t0;
+          t.selected += static_cast<int64_t>(sel.size());
+          t0 = t1;
+        }
         auto more = sink.Consume(&state, chunk, sel, /*serial=*/true);
+        if (tracing) t.consume_ns += NowNanos() - t0;
         if (!more.ok()) {
           inner = more.status();
           return false;
@@ -701,7 +829,16 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
     stats->rows_scanned += scanned;
     stats->rows_scanned_driver += scanned;
   }
-  return sink.Finish(std::move(state));
+  if (!tracing) return sink.Finish(std::move(state));
+  TraceScanOps(opts.trace, plan.steps[0].table_id, !filters.empty(), scanned,
+               t, NowNanos() - t_drv);
+  const int64_t sink_rows = SinkRows(plan, state);
+  const int64_t t_fin = NowNanos();
+  auto rs = sink.Finish(std::move(state));
+  if (!rs.ok()) return rs.status();
+  TraceSinkOps(opts.trace, plan, t.selected, sink_rows, t.consume_ns,
+               NowNanos() - t_fin, *rs);
+  return rs;
 }
 
 // ------------------------------- join path ---------------------------------
@@ -1048,8 +1185,19 @@ StatusOr<sql::ResultSet> RunHashJoin(
     }
 
     int64_t scanned = 0;
+    const int64_t t_build = opts.trace != nullptr ? NowNanos() : 0;
     OLXP_RETURN_NOT_OK(level.ht.Build(*tables[k], build_filters, build_keys,
                                       bneeded, &scanned));
+    if (opts.trace != nullptr) {
+      obs::TraceOp build;
+      build.op = "join-build";
+      build.detail = "table=" + std::to_string(bstep.table_id) + " level=" +
+                     std::to_string(levels.size());
+      build.rows_in = scanned;
+      build.rows_out = static_cast<int64_t>(level.ht.rows());
+      build.wall_us = (NowNanos() - t_build) / 1000;
+      opts.trace->ops.push_back(std::move(build));
+    }
     if (stats != nullptr) {
       stats->rows_scanned += scanned;
       stats->rows_built += static_cast<int64_t>(level.ht.rows());
@@ -1058,6 +1206,7 @@ StatusOr<sql::ResultSet> RunHashJoin(
     levels.push_back(std::move(level));
   }
 
+  const bool tracing = opts.trace != nullptr;
   if (UseParallel(opts, sink)) {
     // Parallel probe fan-out: every lane owns a pipeline (its own batch
     // buffers and stats) over the shared immutable levels, and each morsel
@@ -1071,49 +1220,97 @@ StatusOr<sql::ResultSet> RunHashJoin(
     std::vector<SinkState> partials;
     int lanes = 1;
     int64_t visited = 0;
+    std::vector<LaneTrace> lt(tracing ? static_cast<size_t>(max_lanes) : 0);
+    const int64_t t_drv = tracing ? NowNanos() : 0;
     OLXP_RETURN_NOT_OK(RunMorselFanOut(
         *tables[stream], opts, &partials, &lanes, &visited,
         [&](int lane, SinkState* st, const storage::ColumnChunkView& chunk,
             Sel& sel) -> Status {
+          int64_t t0 = tracing ? NowNanos() : 0;
           OLXP_RETURN_NOT_OK(ApplyConjuncts(stream_filters, chunk, &sel));
           if (!pipelines[lane]) {
             pipelines[lane] = std::make_unique<JoinPipeline>(
                 levels, total_slots, sink, &lane_stats[lane],
                 /*serial=*/false);
           }
+          if (tracing) {
+            LaneTrace& t = lt[static_cast<size_t>(lane)];
+            const int64_t t1 = NowNanos();
+            t.filter_ns += t1 - t0;
+            t.selected += static_cast<int64_t>(sel.size());
+            t0 = t1;
+          }
           auto more = pipelines[lane]->Probe(st, 0, chunk, sel, stream_copy,
                                              stream_out);
+          if (tracing) {
+            lt[static_cast<size_t>(lane)].consume_ns += NowNanos() - t0;
+          }
           return more.ok() ? Status::OK() : more.status();
         }));
+    int64_t joined = 0;
+    for (const VecExecStats& ls : lane_stats) joined += ls.rows_joined;
     if (stats != nullptr) {
       stats->rows_scanned += visited;
       stats->rows_scanned_driver += visited;
       stats->lanes_used = std::max(stats->lanes_used, lanes);
-      for (const VecExecStats& ls : lane_stats) {
-        stats->rows_joined += ls.rows_joined;
-      }
+      stats->rows_joined += joined;
     }
     SinkState merged;
     for (SinkState& p : partials) sink.MergeState(&merged, std::move(p));
-    return sink.Finish(std::move(merged));
+    if (!tracing) return sink.Finish(std::move(merged));
+    const LaneTrace t = SumLanes(lt);
+    opts.trace->lanes = std::max(opts.trace->lanes, lanes);
+    opts.trace->morsels += static_cast<int64_t>(partials.size());
+    TraceScanOps(opts.trace, plan.steps[stream].table_id,
+                 !stream_filters.empty(), visited, t, NowNanos() - t_drv);
+    obs::TraceOp probe;
+    probe.op = "probe";
+    probe.detail = std::to_string(levels.size()) + " levels";
+    probe.rows_in = t.selected;
+    probe.rows_out = joined;
+    probe.wall_us = t.consume_ns / 1000;  // includes the sink consume
+    opts.trace->ops.push_back(std::move(probe));
+    const int64_t sink_rows = SinkRows(plan, merged);
+    const int64_t t_fin = NowNanos();
+    auto rs = sink.Finish(std::move(merged));
+    if (!rs.ok()) return rs.status();
+    TraceSinkOps(opts.trace, plan, joined, sink_rows, 0, NowNanos() - t_fin,
+                 *rs);
+    return rs;
   }
 
-  JoinPipeline pipeline(levels, total_slots, sink, stats, /*serial=*/true);
+  // The serial trace needs the joined-row count even when the caller passed
+  // no stats block.
+  VecExecStats local_stats;
+  VecExecStats* jstats = stats != nullptr ? stats : (tracing ? &local_stats
+                                                             : nullptr);
+  const int64_t joined_before = jstats != nullptr ? jstats->rows_joined : 0;
+  JoinPipeline pipeline(levels, total_slots, sink, jstats, /*serial=*/true);
   SinkState state;
   Status inner = Status::OK();
+  LaneTrace t;
+  const int64_t t_drv = tracing ? NowNanos() : 0;
   int64_t scanned = tables[stream]->BatchScan(
       kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
         Sel sel = LiveRows(chunk);
+        int64_t t0 = tracing ? NowNanos() : 0;
         Status st = ApplyConjuncts(stream_filters, chunk, &sel);
         if (!st.ok()) {
           inner = st;
           return false;
+        }
+        if (tracing) {
+          const int64_t t1 = NowNanos();
+          t.filter_ns += t1 - t0;
+          t.selected += static_cast<int64_t>(sel.size());
+          t0 = t1;
         }
         // First-level probe runs straight off the raw chunk: its keys are
         // lowered against the stream table, so non-matching rows are never
         // materialized into slot layout.
         auto more =
             pipeline.Probe(&state, 0, chunk, sel, stream_copy, stream_out);
+        if (tracing) t.consume_ns += NowNanos() - t0;
         if (!more.ok()) {
           inner = more.status();
           return false;
@@ -1125,7 +1322,24 @@ StatusOr<sql::ResultSet> RunHashJoin(
     stats->rows_scanned += scanned;
     stats->rows_scanned_driver += scanned;
   }
-  return sink.Finish(std::move(state));
+  if (!tracing) return sink.Finish(std::move(state));
+  const int64_t joined = jstats->rows_joined - joined_before;
+  TraceScanOps(opts.trace, plan.steps[stream].table_id,
+               !stream_filters.empty(), scanned, t, NowNanos() - t_drv);
+  obs::TraceOp probe;
+  probe.op = "probe";
+  probe.detail = std::to_string(levels.size()) + " levels";
+  probe.rows_in = t.selected;
+  probe.rows_out = joined;
+  probe.wall_us = t.consume_ns / 1000;  // includes the sink consume
+  opts.trace->ops.push_back(std::move(probe));
+  const int64_t sink_rows = SinkRows(plan, state);
+  const int64_t t_fin = NowNanos();
+  auto rs = sink.Finish(std::move(state));
+  if (!rs.ok()) return rs.status();
+  TraceSinkOps(opts.trace, plan, joined, sink_rows, 0, NowNanos() - t_fin,
+               *rs);
+  return rs;
 }
 
 }  // namespace

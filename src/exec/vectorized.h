@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "sql/executor.h"
 #include "sql/storage_iface.h"
 #include "storage/column_store.h"
@@ -104,6 +106,13 @@ struct VecExecOptions {
   /// parallel lanes evaluate exactly the chunks a serial scan would (chunk
   /// boundaries are visible to per-chunk vector typing).
   size_t morsel_rows = 4096;
+  /// EXPLAIN ANALYZE capture: when non-null, per-operator row counts and
+  /// wall times are appended (per-morsel rollup on parallel scans). Timing
+  /// calls are fully skipped when null, so the untraced hot path pays only
+  /// a predictable branch per chunk.
+  obs::QueryTrace* trace = nullptr;
+  /// Optional counter bumped once per dispatched morsel (exec.morsels).
+  obs::Counter* morsel_counter = nullptr;
 };
 
 /// Executes a vectorizable SELECT against the columnar replica. The result

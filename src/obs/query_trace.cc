@@ -1,0 +1,23 @@
+#include "obs/query_trace.h"
+
+#include "common/strings.h"
+
+namespace olxp::obs {
+
+std::string QueryTrace::ToString() const {
+  std::string out =
+      StrFormat("EXPLAIN ANALYZE %s\nroute=%s lanes=%d morsels=%lld "
+                "total=%.3fms\n",
+                sql.c_str(), route.c_str(), lanes,
+                static_cast<long long>(morsels), total_us / 1000.0);
+  for (const TraceOp& op : ops) {
+    out += StrFormat("  %-12s %-24s rows_in=%-10lld rows_out=%-10lld "
+                     "wall=%.3fms\n",
+                     op.op.c_str(), op.detail.c_str(),
+                     static_cast<long long>(op.rows_in),
+                     static_cast<long long>(op.rows_out), op.wall_us / 1000.0);
+  }
+  return out;
+}
+
+}  // namespace olxp::obs

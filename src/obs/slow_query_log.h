@@ -1,0 +1,60 @@
+#ifndef OLXP_OBS_SLOW_QUERY_LOG_H_
+#define OLXP_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace olxp::obs {
+
+/// One statement that crossed the slow-query threshold.
+struct SlowQueryEntry {
+  uint64_t seq = 0;  ///< monotone admission number (survives ring eviction)
+  std::string sql;
+  std::string route;  ///< "row/interpreter", "column/vectorized", ...
+  int64_t wall_us = 0;
+  int64_t charged_us = 0;  ///< simulated-model charge for the statement
+};
+
+/// Fixed-capacity ring of the most recent slow statements. Thread-safe:
+/// many sessions append concurrently; Database::StatsJson() reads.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity) : capacity_(capacity) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  void Add(SlowQueryEntry entry) {
+    std::lock_guard<std::mutex> lk(mu_);
+    entry.seq = ++seq_;
+    ring_.push_back(std::move(entry));
+    while (capacity_ > 0 && ring_.size() > capacity_) ring_.pop_front();
+  }
+
+  /// Oldest-to-newest copy of the retained entries.
+  std::vector<SlowQueryEntry> Entries() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return {ring_.begin(), ring_.end()};
+  }
+
+  /// Statements ever admitted (including ones the ring has since evicted).
+  uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return seq_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t seq_ = 0;
+  std::deque<SlowQueryEntry> ring_;
+};
+
+}  // namespace olxp::obs
+
+#endif  // OLXP_OBS_SLOW_QUERY_LOG_H_

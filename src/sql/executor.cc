@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/clock.h"
 #include "common/strings.h"
 #include "sql/bound_plan.h"
 #include "sql/parser.h"
@@ -700,7 +701,8 @@ struct ExecContext {
 };
 
 StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
-                                      ExecContext* ctx);
+                                      ExecContext* ctx,
+                                      obs::QueryTrace* trace = nullptr);
 
 StatusOr<Value> Eval(const BoundExpr& e, const Row& tuple, ExecContext* ctx,
                      const std::vector<Value>* agg_values);
@@ -1045,10 +1047,17 @@ Status RunJoin(const BoundSelect& plan, ExecContext* ctx,
 }
 
 StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
-                                      ExecContext* ctx) {
+                                      ExecContext* ctx,
+                                      obs::QueryTrace* trace) {
   ResultSet rs;
   rs.column_names = plan.column_names;
   bool stop = false;
+  // EXPLAIN ANALYZE capture (coarse: the interpreter fuses its stages, so
+  // ops report the pipeline's phase boundaries, not inner-loop splits).
+  const bool tracing = trace != nullptr;
+  int64_t tuples = 0;  ///< joined tuples reaching projection/aggregation
+  const int64_t t_start = tracing ? NowNanos() : 0;
+  int64_t t_join_end = 0;
 
   struct PendingRow {
     Row out;
@@ -1108,8 +1117,12 @@ StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
   if (!plan.aggregate_mode) {
     OLXP_RETURN_NOT_OK(RunJoin(
         plan, ctx,
-        [&](const Row& tuple) { return project_and_collect(tuple, nullptr); },
+        [&](const Row& tuple) {
+          ++tuples;
+          return project_and_collect(tuple, nullptr);
+        },
         &stop));
+    if (tracing) t_join_end = NowNanos();
   } else {
     // Hash aggregation.
     std::unordered_map<size_t, std::vector<Group>> groups;
@@ -1117,6 +1130,7 @@ StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
     OLXP_RETURN_NOT_OK(RunJoin(
         plan, ctx,
         [&](const Row& tuple) -> Status {
+          ++tuples;
           Row key;
           key.reserve(plan.group_by.size());
           for (const BoundExprPtr& g : plan.group_by) {
@@ -1165,6 +1179,7 @@ StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
           return Status::OK();
         },
         &stop));
+    if (tracing) t_join_end = NowNanos();
 
     // Global aggregate over empty input still yields one row.
     if (total_groups == 0 && plan.group_by.empty()) {
@@ -1193,7 +1208,25 @@ StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
     }
   }
 
+  if (tracing) {
+    obs::TraceOp pipe;
+    pipe.op = plan.steps.size() > 1 ? "join" : "scan";
+    pipe.detail = "steps=" + std::to_string(plan.steps.size());
+    pipe.rows_in = tuples;
+    pipe.rows_out = tuples;
+    pipe.wall_us = (t_join_end - t_start) / 1000;
+    trace->ops.push_back(std::move(pipe));
+    obs::TraceOp sinkop;
+    sinkop.op = plan.aggregate_mode ? "aggregate" : "project";
+    if (plan.distinct) sinkop.detail = "distinct";
+    sinkop.rows_in = tuples;
+    sinkop.rows_out = static_cast<int64_t>(pending.size());
+    sinkop.wall_us = (NowNanos() - t_join_end) / 1000;
+    trace->ops.push_back(std::move(sinkop));
+  }
+
   // Sort / limit / emit.
+  const int64_t t_sort = tracing ? NowNanos() : 0;
   if (!plan.order_by.empty()) {
     std::stable_sort(pending.begin(), pending.end(),
                      [&](const PendingRow& a, const PendingRow& b) {
@@ -1205,12 +1238,29 @@ StatusOr<ResultSet> ExecuteSelectPlan(const BoundSelect& plan,
                        }
                        return false;
                      });
+    if (tracing) {
+      obs::TraceOp order;
+      order.op = "order";
+      order.detail = std::to_string(plan.order_by.size()) + " keys";
+      order.rows_in = static_cast<int64_t>(pending.size());
+      order.rows_out = static_cast<int64_t>(pending.size());
+      order.wall_us = (NowNanos() - t_sort) / 1000;
+      trace->ops.push_back(std::move(order));
+    }
   }
   size_t n = pending.size();
   if (plan.limit >= 0) n = std::min(n, static_cast<size_t>(plan.limit));
   rs.rows.reserve(n);
   for (size_t i = 0; i < n; ++i) rs.rows.push_back(std::move(pending[i].out));
   rs.affected_rows = 0;
+  if (tracing) {
+    obs::TraceOp emit;
+    emit.op = "emit";
+    if (plan.limit >= 0) emit.detail = "limit=" + std::to_string(plan.limit);
+    emit.rows_in = static_cast<int64_t>(pending.size());
+    emit.rows_out = static_cast<int64_t>(rs.rows.size());
+    trace->ops.push_back(std::move(emit));
+  }
   return rs;
 }
 
@@ -1368,22 +1418,50 @@ StatusOr<std::unique_ptr<CompiledStatement>> Compile(const Statement& stmt,
       new CompiledStatement(std::move(impl).value()));
 }
 
+namespace {
+
+/// DML trace: one "write" op plus the closing "emit" (DML result sets carry
+/// no rows, so emit's rows_out is 0 — the statement's result cardinality).
+StatusOr<ResultSet> TraceWrite(StatusOr<ResultSet> rs, obs::QueryTrace* trace,
+                               const char* kind, int64_t t_start) {
+  if (trace == nullptr || !rs.ok()) return rs;
+  obs::TraceOp write;
+  write.op = "write";
+  write.detail = kind;
+  write.rows_in = rs->affected_rows;
+  write.rows_out = rs->affected_rows;
+  write.wall_us = (NowNanos() - t_start) / 1000;
+  trace->ops.push_back(std::move(write));
+  obs::TraceOp emit;
+  emit.op = "emit";
+  emit.rows_in = static_cast<int64_t>(rs->rows.size());
+  emit.rows_out = static_cast<int64_t>(rs->rows.size());
+  trace->ops.push_back(std::move(emit));
+  return rs;
+}
+
+}  // namespace
+
 StatusOr<ResultSet> Execute(const CompiledStatement& stmt,
                             std::span<const Value> params,
-                            StorageIface* storage) {
+                            StorageIface* storage, obs::QueryTrace* trace) {
   ExecContext ctx;
   ctx.params = params;
   ctx.storage = storage;
   ctx.sub_cache.resize(stmt.impl().num_subqueries);
+  const int64_t t_start = trace != nullptr ? NowNanos() : 0;
   switch (stmt.impl().kind) {
     case StmtKind::kSelect:
-      return ExecuteSelectPlan(*stmt.impl().select, &ctx);
+      return ExecuteSelectPlan(*stmt.impl().select, &ctx, trace);
     case StmtKind::kInsert:
-      return ExecuteInsertPlan(*stmt.impl().insert, &ctx);
+      return TraceWrite(ExecuteInsertPlan(*stmt.impl().insert, &ctx), trace,
+                        "insert", t_start);
     case StmtKind::kUpdate:
-      return ExecuteUpdatePlan(*stmt.impl().update, &ctx);
+      return TraceWrite(ExecuteUpdatePlan(*stmt.impl().update, &ctx), trace,
+                        "update", t_start);
     case StmtKind::kDelete:
-      return ExecuteDeletePlan(*stmt.impl().del, &ctx);
+      return TraceWrite(ExecuteDeletePlan(*stmt.impl().del, &ctx), trace,
+                        "delete", t_start);
     case StmtKind::kCreateTable: {
       OLXP_RETURN_NOT_OK(
           storage->CreateTable(stmt.impl().create_table->schema));

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/query_trace.h"
 #include "sql/ast.h"
 #include "sql/storage_iface.h"
 
@@ -51,10 +52,14 @@ class CompiledStatement {
 StatusOr<std::unique_ptr<CompiledStatement>> Compile(const Statement& stmt,
                                                      const Catalog& catalog);
 
-/// Executes a compiled statement with positional parameters.
+/// Executes a compiled statement with positional parameters. When `trace`
+/// is non-null, per-operator row counts and wall times are appended
+/// (EXPLAIN ANALYZE capture; subquery evaluation stays untraced). Tracing
+/// never changes results.
 StatusOr<ResultSet> Execute(const CompiledStatement& stmt,
                             std::span<const Value> params,
-                            StorageIface* storage);
+                            StorageIface* storage,
+                            obs::QueryTrace* trace = nullptr);
 
 /// One-shot convenience: parse + compile + execute (used by DDL, loaders
 /// and tests; hot paths go through Session's prepared-statement cache).

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 #include "storage/schema.h"
 
 namespace olxp::storage {
@@ -79,6 +80,10 @@ class LockManager {
   LockStats& stats() { return stats_; }
   const LockStats& stats() const { return stats_; }
 
+  /// Attaches a metrics sink (lock.* counters, mirroring LockStats). Call
+  /// before concurrent Acquire traffic; the registry must outlive this.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct LockEntry {
     uint64_t owner = 0;  ///< 0 = free
@@ -130,6 +135,13 @@ class LockManager {
   std::vector<Shard> shards_;
   ShardHashFn hash_;
   LockStats stats_;
+
+  // Cached metric handles (null until set_metrics).
+  obs::Counter* m_acquires_ = nullptr;
+  obs::Counter* m_conflicts_ = nullptr;
+  obs::Counter* m_waits_ = nullptr;
+  obs::Counter* m_wait_ns_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;
 };
 
 }  // namespace olxp::storage

@@ -32,6 +32,23 @@ void Replicator::set_snapshot_registry(SnapshotRegistry* registry) {
   }
 }
 
+void Replicator::set_metrics(obs::MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  if (metrics == nullptr) {
+    m_applied_ = nullptr;
+    m_apply_batches_ = nullptr;
+    m_frontier_seq_ = nullptr;
+    m_pending_ = nullptr;
+    m_apply_lag_us_ = nullptr;
+    return;
+  }
+  m_applied_ = metrics->GetCounter("repl.records_applied");
+  m_apply_batches_ = metrics->GetCounter("repl.apply_batches");
+  m_frontier_seq_ = metrics->GetGauge("repl.apply_frontier_seq");
+  m_pending_ = metrics->GetGauge("repl.pending_records");
+  m_apply_lag_us_ = metrics->GetGauge("repl.apply_lag_us");
+}
+
 void Replicator::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
@@ -69,6 +86,23 @@ void Replicator::ApplyUpTo(int64_t max_wall_us) {
   }
   next_seq_.store(next, std::memory_order_release);
   log_->Trim(next);
+  if (m_applied_ != nullptr && !batch.empty()) {
+    m_applied_->Add(static_cast<int64_t>(batch.size()));
+    m_apply_batches_->Add(1);
+    // Replica freshness: age of the newest commit just shipped. With
+    // synthetic wall times (commit_wall_us == 0) the lag is meaningless,
+    // so skip rather than publish a huge bogus value.
+    const int64_t newest_wall = batch.back().commit_wall_us;
+    if (newest_wall > 0) {
+      const int64_t lag = NowMicros() - newest_wall;
+      m_apply_lag_us_->Set(lag > 0 ? lag : 0);
+    }
+  }
+  if (m_frontier_seq_ != nullptr) {
+    m_frontier_seq_->Set(static_cast<int64_t>(next));
+    const uint64_t appended = log_->size();
+    m_pending_->Set(static_cast<int64_t>(appended > next ? appended - next : 0));
+  }
   if (registry_ != nullptr && frontier_handle_ != 0) {
     // Pin the vacuum watermark at the oldest commit still awaiting apply
     // (records inside the lag window); unpin when fully caught up.

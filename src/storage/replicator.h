@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "storage/column_store.h"
 #include "storage/vacuum.h"
 #include "storage/wal.h"
@@ -48,6 +49,10 @@ class Replicator {
   /// Call before Start(); pass nullptr to detach.
   void set_snapshot_registry(SnapshotRegistry* registry);
 
+  /// Attaches a metrics sink (repl.* counters/gauges). Call before
+  /// Start(); the registry must outlive the replicator.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Dynamically adjusts the propagation delay.
   void set_lag_micros(int64_t lag) {
     lag_micros_.store(lag, std::memory_order_relaxed);
@@ -77,6 +82,13 @@ class Replicator {
   std::atomic<uint64_t> next_seq_{0};
   std::thread thread_;
   std::mutex apply_mu_;  ///< serializes ApplyUpTo between thread and CatchUp
+
+  // Cached metric handles (null until set_metrics).
+  obs::Counter* m_applied_ = nullptr;
+  obs::Counter* m_apply_batches_ = nullptr;
+  obs::Gauge* m_frontier_seq_ = nullptr;
+  obs::Gauge* m_pending_ = nullptr;
+  obs::Gauge* m_apply_lag_us_ = nullptr;
 };
 
 }  // namespace olxp::storage

@@ -9,6 +9,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/oracle.h"
 #include "storage/row_store.h"
 
@@ -105,6 +106,9 @@ struct VacuumConfig {
   /// onto logical timestamps via (wall time, oracle ts) samples taken each
   /// pass. 0 = reclaim as soon as no live snapshot needs a version.
   int64_t gc_history_us = 0;
+  /// Optional metrics sink (vacuum.* counters, pass duration, watermark
+  /// age). Must outlive the vacuum.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Background MVCC garbage collector. Each pass computes the active-
@@ -166,6 +170,16 @@ class Vacuum {
   std::condition_variable wake_cv_;  ///< interruptible inter-pass sleep
   std::atomic<bool> running_{false};
   std::thread thread_;
+
+  // Cached metric handles (null when VacuumConfig::metrics is unset).
+  obs::Counter* m_passes_ = nullptr;
+  obs::Counter* m_versions_ = nullptr;
+  obs::Counter* m_tombstones_ = nullptr;
+  obs::Counter* m_index_entries_ = nullptr;
+  obs::Histogram* m_pass_us_ = nullptr;
+  obs::Gauge* m_watermark_ = nullptr;
+  obs::Gauge* m_watermark_age_ = nullptr;
+  obs::Gauge* m_active_snapshots_ = nullptr;
 };
 
 }  // namespace olxp::storage

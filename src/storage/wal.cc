@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/clock.h"
 #include "common/strings.h"
 
 namespace olxp::storage {
@@ -451,6 +452,15 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const WalOptions& opts,
   std::unique_ptr<WalWriter> w(new WalWriter(opts));
   w->next_seq_ = next_seq;
   w->durable_seq_.store(next_seq - 1, std::memory_order_relaxed);
+  if (opts.metrics != nullptr) {
+    w->m_appends_ = opts.metrics->GetCounter("wal.appends");
+    w->m_fsyncs_ = opts.metrics->GetCounter("wal.fsyncs");
+    w->m_bytes_ = opts.metrics->GetCounter("wal.bytes_written");
+    w->m_rotations_ = opts.metrics->GetCounter("wal.segments_rotated");
+    w->m_fsync_us_ = opts.metrics->GetHistogram("wal.fsync_us");
+    w->m_batch_records_ =
+        opts.metrics->GetHistogram("wal.group_batch_records");
+  }
   {
     std::lock_guard io(w->io_mu_);
     OLXP_RETURN_NOT_OK(w->OpenSegment(next_seq));
@@ -509,7 +519,9 @@ uint64_t WalWriter::AppendBody(WalFrame::Type type, const std::string& body,
     PutU32(&pending_, Crc32(payload.data(), payload.size()));
     pending_.append(payload);
     pending_last_seq_ = seq;
+    ++pending_count_;
   }
+  if (m_appends_ != nullptr) m_appends_->Add(1);
   if (opts_.mode == DurabilityMode::kSync || force_durable) {
     Flush();
   } else if (opts_.mode == DurabilityMode::kAsync) {
@@ -592,12 +604,15 @@ Status WalWriter::WaitDurable(uint64_t seq) {
         std::lock_guard io(io_mu_);
         std::string buf;
         uint64_t last = 0;
+        size_t records = 0;
         {
           std::lock_guard swap_lk(mu_);
           buf.swap(pending_);
           last = pending_last_seq_;
+          records = pending_count_;
+          pending_count_ = 0;
         }
-        if (!buf.empty()) WriteAndMaybeSync(buf, last, /*sync=*/true);
+        if (!buf.empty()) WriteAndMaybeSync(buf, last, records, /*sync=*/true);
       }
       // Our record was enqueued before this call, so it was either in the
       // batch just synced or in an earlier completed flush; loop back to
@@ -619,20 +634,28 @@ Status WalWriter::Flush() {
   std::lock_guard io(io_mu_);
   std::string buf;
   uint64_t last = 0;
+  size_t records = 0;
   {
     std::lock_guard lk(mu_);
     buf.swap(pending_);
     last = pending_last_seq_;
+    records = pending_count_;
+    pending_count_ = 0;
   }
   if (!buf.empty()) {
-    OLXP_RETURN_NOT_OK(WriteAndMaybeSync(buf, last, /*sync=*/true));
+    OLXP_RETURN_NOT_OK(WriteAndMaybeSync(buf, last, records, /*sync=*/true));
   } else if (fd_ >= 0 &&
              durable_seq_.load(std::memory_order_acquire) < last) {
     // Async mode may have written these bytes without syncing them.
+    const int64_t t0 = NowMicros();
     if (::fsync(fd_) != 0) {
       return RecordIoError("WAL fsync failed");
     }
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (m_fsyncs_ != nullptr) {
+      m_fsyncs_->Add(1);
+      m_fsync_us_->Record(NowMicros() - t0);
+    }
     durable_seq_.store(last, std::memory_order_release);
     durable_cv_.notify_all();
   }
@@ -652,7 +675,7 @@ Status WalWriter::RecordIoError(const std::string& what) {
 }
 
 Status WalWriter::WriteAndMaybeSync(const std::string& buf, uint64_t last_seq,
-                                    bool sync) {
+                                    size_t records, bool sync) {
   if (fd_ < 0) {
     return RecordIoError("WAL segment unavailable after earlier failure");
   }
@@ -675,13 +698,22 @@ Status WalWriter::WriteAndMaybeSync(const std::string& buf, uint64_t last_seq,
   }
   bytes_written_.fetch_add(buf.size(), std::memory_order_relaxed);
   segment_size_ += buf.size();
+  if (m_bytes_ != nullptr) m_bytes_->Add(static_cast<int64_t>(buf.size()));
 
   const bool rotate = segment_size_ >= opts_.segment_bytes;
   if (sync || rotate) {
+    const int64_t t0 = NowMicros();
     if (::fsync(fd_) != 0) {
       return RecordIoError("WAL fsync failed");
     }
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    if (m_fsyncs_ != nullptr) {
+      m_fsyncs_->Add(1);
+      m_fsync_us_->Record(NowMicros() - t0);
+      // One fsync covered `records` commits/DDLs: the group-commit batch
+      // size distribution the durability figure reasons about.
+      m_batch_records_->Record(static_cast<int64_t>(records));
+    }
     durable_seq_.store(last_seq, std::memory_order_release);
     {
       std::lock_guard lk(mu_);  // pairs with WaitDurable's predicate check
@@ -689,6 +721,7 @@ Status WalWriter::WriteAndMaybeSync(const std::string& buf, uint64_t last_seq,
     durable_cv_.notify_all();
   }
   if (rotate) {
+    if (m_rotations_ != nullptr) m_rotations_->Add(1);
     Status st = OpenSegment(last_seq + 1);
     if (!st.ok()) {
       fd_ = -1;  // OpenSegment closed the old fd; nothing usable remains
@@ -710,12 +743,15 @@ void WalWriter::FlusherLoop() {
     std::lock_guard io(io_mu_);
     std::string buf;
     uint64_t last = 0;
+    size_t records = 0;
     {
       std::lock_guard lk(mu_);
       buf.swap(pending_);
       last = pending_last_seq_;
+      records = pending_count_;
+      pending_count_ = 0;
     }
-    if (!buf.empty()) WriteAndMaybeSync(buf, last, /*sync=*/false);
+    if (!buf.empty()) WriteAndMaybeSync(buf, last, records, /*sync=*/false);
   }
 }
 

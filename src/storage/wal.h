@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "obs/metrics.h"
 #include "storage/schema.h"
 
 namespace olxp::storage {
@@ -61,6 +62,9 @@ struct WalOptions {
   /// batches naturally (everything that arrived during the previous fsync).
   int64_t group_commit_window_us = 100;
   uint64_t segment_bytes = 16ull << 20;  ///< rotation threshold
+  /// Optional metrics sink (wal.* counters, fsync latency, group-commit
+  /// batch size). Must outlive the writer.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One decoded WAL frame. Commit frames carry redo; DDL frames let recovery
@@ -175,10 +179,11 @@ class WalWriter {
   /// Marks the sticky I/O failure (first message wins) and wakes every
   /// group-commit waiter so none hangs on a log that stopped persisting.
   Status RecordIoError(const std::string& what);
-  /// Writes `buf` to the active segment and optionally fsyncs; rotates
-  /// afterwards when the segment outgrew the threshold. Requires io_mu_.
+  /// Writes `buf` (holding `records` frames) to the active segment and
+  /// optionally fsyncs; rotates afterwards when the segment outgrew the
+  /// threshold. Requires io_mu_.
   Status WriteAndMaybeSync(const std::string& buf, uint64_t last_seq,
-                           bool sync);
+                           size_t records, bool sync);
   void FlusherLoop();
 
   const WalOptions opts_;
@@ -191,6 +196,7 @@ class WalWriter {
   std::condition_variable durable_cv_;  ///< wakes group-commit waiters
   std::string pending_;                 ///< encoded frames awaiting write
   uint64_t pending_last_seq_ = 0;
+  size_t pending_count_ = 0;            ///< frames in pending_
   uint64_t next_seq_ = 1;
   std::atomic<uint64_t> durable_seq_{0};
   bool group_flush_in_progress_ = false;  ///< a leader holds the fsync baton
@@ -203,6 +209,14 @@ class WalWriter {
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::thread flusher_;
+
+  // Cached metric handles (null when WalOptions::metrics is unset).
+  obs::Counter* m_appends_ = nullptr;
+  obs::Counter* m_fsyncs_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_rotations_ = nullptr;
+  obs::Histogram* m_fsync_us_ = nullptr;
+  obs::Histogram* m_batch_records_ = nullptr;
 };
 
 /// Replays every WAL frame with seq >= `from_seq` in `dir` in sequence

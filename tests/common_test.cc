@@ -300,5 +300,46 @@ TEST(Config, LaterDuplicateWins) {
   EXPECT_EQ(cfg->GetInt("a", 0).value(), 2);
 }
 
+TEST(Config, ValidatingParseAcceptsKnownKeys) {
+  auto cfg = Config::Parse("[sut]\nexec_threads = 4\nProfile = tidb-like\n",
+                           {"sut.exec_threads", "sut.profile"});
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("sut.exec_threads", 0).value(), 4);
+}
+
+TEST(Config, UnknownKeyRejectedWithSuggestion) {
+  auto cfg = Config::Parse("[sut]\nexec_treads = 4\n",
+                           {"sut.exec_threads", "sut.profile"});
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kInvalidArgument);
+  const std::string msg = cfg.status().ToString();
+  EXPECT_NE(msg.find("exec_treads"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean 'sut.exec_threads'"), std::string::npos)
+      << msg;
+}
+
+TEST(Config, UnknownKeyFarFromEverythingGetsNoSuggestion) {
+  auto cfg = Config::Parse("completely_unrelated = 1\n",
+                           {"sut.exec_threads", "sut.profile"});
+  ASSERT_FALSE(cfg.ok());
+  const std::string msg = cfg.status().ToString();
+  EXPECT_NE(msg.find("unknown config key"), std::string::npos) << msg;
+  EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+}
+
+TEST(Config, PermissiveParseStillAcceptsAnything) {
+  // The single-argument Parse keeps the open-world behaviour: tools that
+  // stash ad-hoc keys in their configs are unaffected by validation.
+  auto cfg = Config::Parse("anything_goes = 1\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->Has("anything_goes"));
+}
+
+TEST(Config, ValidateKeysIsCaseInsensitive) {
+  auto cfg = Config::Parse("[SUT]\nEXEC_THREADS = 2\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->ValidateKeys({"Sut.Exec_Threads"}).ok());
+}
+
 }  // namespace
 }  // namespace olxp

@@ -1,0 +1,376 @@
+// Observability tests: metrics registry primitives (including their
+// concurrency contracts, exercised under TSan in CI), the slow-query ring,
+// per-query tracing (EXPLAIN ANALYZE), and the engine-level wiring —
+// Database::StatsJson() must surface telemetry from every subsystem after
+// a mixed workload, and tracing must never change statement results.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/session.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
+#include "obs/slow_query_log.h"
+#include "tests/result_strings.h"
+
+namespace olxp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------- primitives -------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsCounter, SnapshotRacesWithWriters) {
+  // Reads while writers are mid-increment: each observed value must be
+  // monotone non-decreasing and never above the final total. Run under
+  // TSan in CI, this also proves the relaxed-atomics scheme is race-free.
+  obs::Counter c;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&c] {
+      for (int i = 0; i < kPerWriter; ++i) c.Add(1);
+    });
+  }
+  std::thread reader([&] {
+    int64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      int64_t v = c.Value();
+      EXPECT_GE(v, last);
+      EXPECT_LE(v, int64_t{kWriters} * kPerWriter);
+      last = v;
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(c.Value(), int64_t{kWriters} * kPerWriter);
+}
+
+TEST(ObsRegistry, HandlesAreStableAndSharedByName) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("x.count");
+  obs::Counter* b = reg.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  reg.GetGauge("x.gauge")->Set(-7);
+  reg.GetHistogram("x.lat_us")->Record(150);
+  auto snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("x.count"), 3);
+  EXPECT_EQ(snap.gauges.at("x.gauge"), -7);
+  EXPECT_EQ(snap.histograms.at("x.lat_us").count, 1);
+}
+
+TEST(ObsRegistry, ConcurrentLookupAndRecordUnderSnapshot) {
+  // Registration, recording and snapshotting race from many threads (the
+  // session-open vs dashboard-poll pattern); TSan checks the locking.
+  obs::MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, t] {
+      obs::Counter* c = reg.GetCounter("shared.count");
+      obs::Histogram* h =
+          reg.GetHistogram("h" + std::to_string(t) + ".lat_us");
+      for (int i = 0; i < 2000; ++i) {
+        c->Add(1);
+        h->Record(i);
+        if (i % 500 == 0) reg.Snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.Snapshot().counters.at("shared.count"), 8000);
+}
+
+TEST(ObsRegistry, JsonAndPrometheusRendering) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("wal.appends")->Add(2);
+  reg.GetGauge("repl.pending_records")->Set(5);
+  reg.GetHistogram("session.statement_us")->Record(1000);
+  auto snap = reg.Snapshot();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"wal.appends\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"repl.pending_records\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"session.statement_us\""), std::string::npos);
+  const std::string prom = snap.ToPrometheusText();
+  EXPECT_NE(prom.find("wal_appends 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("session_statement_us_count 1"), std::string::npos);
+}
+
+TEST(ObsSlowQueryLog, RingEvictsOldestAndKeepsMonotoneSeq) {
+  obs::SlowQueryLog log(2);
+  for (int i = 1; i <= 3; ++i) {
+    obs::SlowQueryEntry e;
+    e.sql = "q" + std::to_string(i);
+    e.wall_us = i * 10;
+    log.Add(std::move(e));
+  }
+  EXPECT_EQ(log.total_recorded(), 3u);
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].sql, "q2");
+  EXPECT_EQ(entries[0].seq, 2u);
+  EXPECT_EQ(entries[1].sql, "q3");
+  EXPECT_EQ(entries[1].seq, 3u);
+}
+
+TEST(ObsSlowQueryLog, ZeroCapacityIsUnbounded) {
+  obs::SlowQueryLog log(0);
+  for (int i = 0; i < 100; ++i) log.Add({});
+  EXPECT_EQ(log.Entries().size(), 100u);
+}
+
+// ----------------------------- engine wiring ------------------------------
+
+/// Deterministic separated-architecture profile with durability on (a
+/// scratch WAL dir) and a small morsel size so the worker pool engages on
+/// test-sized tables: every subsystem has a reason to report.
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  ~ObsEngineTest() override {
+    for (const std::string& d : dirs_) {
+      std::error_code ec;
+      fs::remove_all(d, ec);
+    }
+  }
+
+  std::string MakeWalDir() {
+    std::string tmpl = (fs::temp_directory_path() / "olxp_obs_XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* got = mkdtemp(buf.data());
+    EXPECT_NE(got, nullptr);
+    dirs_.emplace_back(got);
+    return dirs_.back();
+  }
+
+  engine::EngineProfile Profile() {
+    auto p = engine::EngineProfile::TiDbLike();
+    p.olap_row_fraction = 0.0;
+    p.replication_lag_micros = 0;
+    p.cost_based_routing = false;  // deterministic replica routing
+    p.durability = storage::DurabilityMode::kGroup;
+    p.wal_dir = MakeWalDir();
+    p.exec_threads = 2;
+    p.morsel_rows = 1024;
+    p.vacuum_interval_us = 0;  // passes run synchronously via RunVacuum()
+    return p;
+  }
+
+  /// CREATE + 3000 inserts + updates + an analytical sweep + a vacuum pass:
+  /// touches the WAL, locks, replication, the worker pool and the router.
+  void RunMixedWorkload(engine::Database& db, engine::Session& s) {
+    ASSERT_TRUE(
+        s.Execute("CREATE TABLE m (k INT PRIMARY KEY, v INT, w DOUBLE)").ok());
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_TRUE(s.Execute("INSERT INTO m VALUES (?, ?, ?)",
+                            {Value::Int(i), Value::Int(i % 50),
+                             Value::Double(i * 0.5)})
+                      .ok());
+    }
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(s.Execute("UPDATE m SET v = ? WHERE k = ?",
+                            {Value::Int(-i), Value::Int(i)})
+                      .ok());
+    }
+    db.WaitReplicaCaughtUp();
+    auto rs = s.Execute("SELECT COUNT(*), SUM(v) FROM m");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_TRUE(s.last_vectorized());
+    db.RunVacuum();
+  }
+
+  std::vector<std::string> dirs_;
+};
+
+TEST_F(ObsEngineTest, StatsJsonCoversEverySubsystem) {
+  engine::Database db(Profile());
+  ASSERT_TRUE(db.recovery_status().ok());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  RunMixedWorkload(db, *s);
+
+  auto snap = db.metrics().Snapshot();
+  // One load-bearing counter per subsystem must have moved.
+  EXPECT_GT(snap.counters.at("wal.appends"), 0);            // WAL
+  EXPECT_GT(snap.counters.at("vacuum.passes"), 0);          // vacuum
+  EXPECT_GT(snap.counters.at("repl.records_applied"), 0);   // replicator
+  EXPECT_GT(snap.counters.at("lock.acquires"), 0);          // lock manager
+  EXPECT_GT(snap.counters.at("exec.pool.runs"), 0);         // worker pool
+  EXPECT_GT(snap.counters.at("router.route.column_vectorized"), 0);  // router
+  EXPECT_GT(snap.counters.at("exec.morsels_dispatched"), 0);
+  EXPECT_GT(snap.counters.at("session.statements"), 0);
+  EXPECT_GT(snap.histograms.at("session.statement_us").count, 0);
+  EXPECT_GT(snap.histograms.at("wal.fsync_us").count, 0);
+  EXPECT_GT(snap.histograms.at("vacuum.pass_us").count, 0);
+
+  // And the JSON document surfaces all of it.
+  const std::string json = db.StatsJson();
+  for (const char* name :
+       {"wal.appends", "vacuum.passes", "repl.records_applied",
+        "lock.acquires", "exec.pool.runs", "router.route.column_vectorized",
+        "slow_queries", "slow_query_total"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name << "\n" << json;
+  }
+  EXPECT_FALSE(db.MetricsText().empty());
+}
+
+TEST_F(ObsEngineTest, TracingChangesNoResults) {
+  engine::Database db(Profile());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  RunMixedWorkload(db, *s);
+
+  const char* queries[] = {
+      "SELECT COUNT(*), SUM(v), AVG(w) FROM m",
+      "SELECT v, COUNT(*), MAX(w) FROM m GROUP BY v ORDER BY v",
+      "SELECT k, v FROM m WHERE v > 25 AND w < 900.0",
+      "SELECT k FROM m ORDER BY w DESC LIMIT 7",
+      "SELECT COUNT(*) FROM m WHERE k = 17",
+  };
+  for (bool vectorized : {true, false}) {
+    db.set_vectorized_execution(vectorized);
+    for (const char* sql : queries) {
+      SCOPED_TRACE(std::string(sql) +
+                   (vectorized ? " [vectorized]" : " [interpreter]"));
+      s->set_trace_level(0);
+      auto plain = s->Execute(sql);
+      ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+      s->set_trace_level(1);
+      auto traced = s->Execute(sql);
+      ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+      EXPECT_EQ(Stringify(*traced), Stringify(*plain));
+      // The trace itself must be coherent: ops captured, and the final
+      // emit op reporting exactly the statement's result cardinality.
+      const obs::QueryTrace& t = s->last_trace();
+      EXPECT_FALSE(t.ops.empty());
+      EXPECT_EQ(t.emitted_rows(),
+                static_cast<int64_t>(traced->rows.size()));
+      EXPECT_FALSE(t.route.empty());
+      s->set_trace_level(0);
+    }
+  }
+}
+
+TEST_F(ObsEngineTest, ExplainAnalyzeReturnsTraceAndExecutesInner) {
+  engine::Database db(Profile());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  RunMixedWorkload(db, *s);
+
+  auto normal = s->Execute("SELECT v, COUNT(*) FROM m GROUP BY v ORDER BY v");
+  ASSERT_TRUE(normal.ok());
+  const auto cardinality = static_cast<int64_t>(normal->rows.size());
+
+  auto explained = s->Execute(
+      "explain analyze SELECT v, COUNT(*) FROM m GROUP BY v ORDER BY v");
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  ASSERT_FALSE(explained->rows.empty());
+  EXPECT_EQ(explained->column_names,
+            std::vector<std::string>{"EXPLAIN ANALYZE"});
+  EXPECT_EQ(s->last_trace().emitted_rows(), cardinality);
+  EXPECT_EQ(s->last_trace().route, "column/vectorized");
+  // The rendering mentions the final emit operator.
+  std::string all;
+  for (const Row& r : explained->rows) all += r[0].AsString() + "\n";
+  EXPECT_NE(all.find("emit"), std::string::npos) << all;
+
+  // EXPLAIN ANALYZE on DML executes the write (trace side effects are the
+  // inner statement's side effects).
+  auto dml = s->Execute(
+      "EXPLAIN ANALYZE INSERT INTO m VALUES (100000, 1, 2.5)");
+  ASSERT_TRUE(dml.ok()) << dml.status().ToString();
+  auto check = s->Execute("SELECT COUNT(*) FROM m WHERE k = 100000");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows[0][0].AsInt(), 1);
+
+  // Plain EXPLAIN (no ANALYZE) is not claimed by the prefix parser.
+  EXPECT_FALSE(s->Execute("EXPLAIN SELECT COUNT(*) FROM m").ok());
+}
+
+TEST_F(ObsEngineTest, SlowQueryLogAdmitsByThresholdIntoBoundedRing) {
+  auto p = Profile();
+  p.slow_query_threshold_us = 1;  // test-sized scans exceed 1us reliably
+  p.slow_query_log_capacity = 2;
+  engine::Database db(p);
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  RunMixedWorkload(db, *s);
+
+  const uint64_t before = db.slow_query_log().total_recorded();
+  EXPECT_GT(before, 0u);  // the load itself crossed the 1us threshold
+  ASSERT_TRUE(s->Execute("SELECT COUNT(*) FROM m WHERE v <> 1").ok());
+  ASSERT_TRUE(s->Execute("SELECT SUM(w) FROM m WHERE v > 2").ok());
+  EXPECT_GE(db.slow_query_log().total_recorded(), before + 2);
+
+  auto entries = db.slow_query_log().Entries();
+  ASSERT_EQ(entries.size(), 2u);  // ring bounded at the profile capacity
+  EXPECT_EQ(entries.back().sql, "SELECT SUM(w) FROM m WHERE v > 2");
+  EXPECT_FALSE(entries.back().route.empty());
+  EXPECT_GE(entries.back().wall_us, 1);
+  EXPECT_GT(entries.back().seq, entries.front().seq);
+
+  const std::string json = db.StatsJson();
+  EXPECT_NE(json.find("SELECT SUM(w) FROM m WHERE v > 2"), std::string::npos)
+      << json;
+}
+
+TEST_F(ObsEngineTest, SlowQueryLogOffByDefault) {
+  engine::Database db(Profile());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  RunMixedWorkload(db, *s);
+  EXPECT_EQ(db.slow_query_log().total_recorded(), 0u);
+}
+
+TEST_F(ObsEngineTest, InterpreterFallbackTraceIsCleanAndEmitMatches) {
+  engine::Database db(Profile());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  RunMixedWorkload(db, *s);
+  s->set_trace_level(1);
+
+  // Subqueries are not vectorizable: the statement routes to the replica,
+  // the vectorized attempt falls back, and the interpreter serves it. The
+  // trace must describe only the interpreter execution.
+  auto rs = s->Execute(
+      "SELECT COUNT(*) FROM m WHERE v > (SELECT AVG(v) FROM m)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_FALSE(s->last_vectorized());
+  const obs::QueryTrace& t = s->last_trace();
+  EXPECT_EQ(t.route, "column/interpreter");
+  EXPECT_EQ(t.emitted_rows(), static_cast<int64_t>(rs->rows.size()));
+  for (const obs::TraceOp& op : t.ops) {
+    EXPECT_NE(op.op, "join-build");  // no leftovers from the aborted attempt
+  }
+}
+
+}  // namespace
+}  // namespace olxp
