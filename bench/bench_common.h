@@ -124,16 +124,27 @@ inline bool LoadSaleProductReplica(engine::Database& db, engine::Session& s,
   }
   Rng rng(seed);
   for (int i = 0; i < products; ++i) {
-    s.Execute("INSERT INTO product VALUES (?, ?, ?)",
-              {Value::Int(i), Value::Int(i % 12),
-               Value::Double(rng.Uniform(0.5, 20.0))});
+    auto ins = s.Execute("INSERT INTO product VALUES (?, ?, ?)",
+                         {Value::Int(i), Value::Int(i % 12),
+                          Value::Double(rng.Uniform(0.5, 20.0))});
+    if (!ins.ok()) {
+      std::fprintf(stderr, "seed failed: %s\n",
+                   ins.status().ToString().c_str());
+      return false;
+    }
   }
   for (int i = 0; i < rows; ++i) {
-    s.Execute("INSERT INTO sale VALUES (?, ?, ?, ?, ?)",
-              {Value::Int(i), Value::Int(rng.Uniform(int64_t{0}, int64_t{7})),
-               Value::Int(rng.Uniform(int64_t{1}, int64_t{20})),
-               Value::Double(rng.Uniform(1.0, 500.0)),
-               Value::Int(rng.Uniform(int64_t{0}, int64_t{products - 1}))});
+    auto ins = s.Execute(
+        "INSERT INTO sale VALUES (?, ?, ?, ?, ?)",
+        {Value::Int(i), Value::Int(rng.Uniform(int64_t{0}, int64_t{7})),
+         Value::Int(rng.Uniform(int64_t{1}, int64_t{20})),
+         Value::Double(rng.Uniform(1.0, 500.0)),
+         Value::Int(rng.Uniform(int64_t{0}, int64_t{products - 1}))});
+    if (!ins.ok()) {
+      std::fprintf(stderr, "seed failed: %s\n",
+                   ins.status().ToString().c_str());
+      return false;
+    }
   }
   db.WaitReplicaCaughtUp();
   return true;

@@ -28,8 +28,9 @@ void BM_TableInstall(benchmark::State& state) {
   storage::TimestampOracle oracle;
   int64_t k = 0;
   for (auto _ : state) {
-    table.InstallVersion({Value::Int(k)}, oracle.Advance(), false,
-                         {Value::Int(k), Value::String("payload")});
+    // Fresh keys with a monotone oracle cannot fail the ascending-ts check.
+    (void)table.InstallVersion({Value::Int(k)}, oracle.Advance(), false,
+                               {Value::Int(k), Value::String("payload")});
     ++k;
   }
   state.SetItemsProcessed(state.iterations());
@@ -41,8 +42,9 @@ void BM_TableGet(benchmark::State& state) {
   storage::TimestampOracle oracle;
   const int n = static_cast<int>(state.range(0));
   for (int i = 0; i < n; ++i) {
-    table.InstallVersion({Value::Int(i)}, oracle.Advance(), false,
-                         {Value::Int(i), Value::String("payload")});
+    // Fresh keys with a monotone oracle cannot fail the ascending-ts check.
+    (void)table.InstallVersion({Value::Int(i)}, oracle.Advance(), false,
+                               {Value::Int(i), Value::String("payload")});
   }
   Rng rng(1);
   uint64_t ts = oracle.Current();
@@ -60,8 +62,9 @@ void BM_TableScan(benchmark::State& state) {
   storage::TimestampOracle oracle;
   const int n = static_cast<int>(state.range(0));
   for (int i = 0; i < n; ++i) {
-    table.InstallVersion({Value::Int(i)}, oracle.Advance(), false,
-                         {Value::Int(i), Value::String("payload")});
+    // Fresh keys with a monotone oracle cannot fail the ascending-ts check.
+    (void)table.InstallVersion({Value::Int(i)}, oracle.Advance(), false,
+                               {Value::Int(i), Value::String("payload")});
   }
   uint64_t ts = oracle.Current();
   for (auto _ : state) {

@@ -111,7 +111,7 @@ int Main(int argc, char** argv) {
   std::printf("pinned:       versions=%zu (was %zu) — reclamation blocked\n",
               pinned.versions, before_pin.versions);
   const bool pin_blocked = pinned.versions > before_pin.versions;
-  pin->Commit();  // release the snapshot
+  (void)pin->Commit();  // release the snapshot; a read-only commit can't fail
   db.RunVacuum();
   StorageFootprint released = Footprint(db);
   std::printf("released:     versions=%zu — watermark advanced past pin\n",

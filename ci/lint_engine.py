@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for rules the compiler cannot express.
+
+Stdlib-only; runs from CI (static-analysis job) and from ctest. Rules:
+
+  raw-sync        std::mutex / std::shared_mutex / std lock guards /
+                  std::condition_variable are banned outside
+                  src/common/sync.h — all engine synchronization goes
+                  through the Clang-TSA-annotated wrappers so every new
+                  lock is born analyzable.
+  tsa-escape      NO_THREAD_SAFETY_ANALYSIS is banned outside
+                  src/common/sync.h: fix the locking, don't mute the
+                  analysis.
+  todo-tag        TODO comments must carry an issue tag — TODO(#123) —
+                  so they are findable and owned, not permanent.
+  parent-include  #include "../foo.h" is banned; include internal
+                  headers by their src/-relative path so moves don't
+                  silently re-resolve.
+  naked-status    A statement that calls a Status-returning method and
+                  discards the result (`s.Execute(...);` as a whole
+                  statement) is banned in non-test code. [[nodiscard]]
+                  catches this at compile time; the lint also covers
+                  files a given build config never compiles.
+
+Usage: lint_engine.py [--root DIR]
+Exits 0 when clean, 1 with `path:line: rule: message` findings otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Directories scanned, relative to the repo root.
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+# Engine (non-test) code: raw-sync, tsa-escape and naked-status apply here.
+ENGINE_DIRS = ["src"]
+# The one file allowed to touch raw primitives and the escape hatch.
+SYNC_HEADER = pathlib.PurePosixPath("src/common/sync.h")
+
+CC_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock|condition_variable(_any)?)\b")
+TSA_ESCAPE_RE = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b|"
+                           r"\bno_thread_safety_analysis\b")
+TODO_RE = re.compile(r"\bTODO\b")
+TODO_TAGGED_RE = re.compile(r"\bTODO\(#\d+\)")
+PARENT_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"\.\./')
+# A whole statement of the form `obj.Method(...);` / `obj->Method(...);` /
+# `Method(...);` for the known Status-returning method names, with nothing
+# consuming the result. Single-line heuristic: multi-line calls and every
+# compiled configuration are already covered by [[nodiscard]] + -Werror.
+STATUS_METHODS = (
+    "Execute|ExecutePrepared|Commit|Rollback|Abort|Begin|Flush|"
+    "InstallVersion|AddIndex|Checkpoint|WaitDurable")
+NAKED_STATUS_RE = re.compile(
+    r"^\s*(?:[A-Za-z_]\w*(?:\.|->))*(?:%s)\s*\([^;]*\)\s*;\s*(?://.*)?$"
+    % STATUS_METHODS)
+
+LINE_COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+
+def is_under(path, dirs):
+    return any(path.parts and path.parts[0] == d for d in dirs)
+
+
+def lint_file(root, rel, findings):
+    path = root / rel
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        findings.append((rel, 0, "io", f"unreadable: {e}"))
+        return
+    is_sync_header = rel.as_posix() == SYNC_HEADER.as_posix()
+    in_engine = is_under(rel, ENGINE_DIRS)
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if TODO_RE.search(line) and not TODO_TAGGED_RE.search(line):
+            findings.append((rel, lineno, "todo-tag",
+                             "TODO without an issue tag (use TODO(#N))"))
+        if PARENT_INCLUDE_RE.search(line):
+            findings.append((rel, lineno, "parent-include",
+                             'relative "../" include; use the src/-relative '
+                             "path"))
+        if is_sync_header:
+            continue
+        if in_engine:
+            if RAW_SYNC_RE.search(line):
+                findings.append((rel, lineno, "raw-sync",
+                                 "raw std sync primitive; use the annotated "
+                                 "wrappers in common/sync.h"))
+            if TSA_ESCAPE_RE.search(line):
+                findings.append((rel, lineno, "tsa-escape",
+                                 "NO_THREAD_SAFETY_ANALYSIS outside "
+                                 "common/sync.h; fix the locking instead"))
+            if (NAKED_STATUS_RE.match(line)
+                    and not LINE_COMMENT_RE.match(line)
+                    # Unbalanced parens = continuation of a wrapping call
+                    # (e.g. the second line of OLXP_RETURN_NOT_OK(...)).
+                    and line.count("(") == line.count(")")):
+                findings.append((rel, lineno, "naked-status",
+                                 "discarded Status result; handle it or "
+                                 "write (void)... with a comment"))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".",
+                    help="repo root to lint (default: cwd)")
+    args = ap.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    findings = []
+    for top in SCAN_DIRS:
+        top_dir = root / top
+        if not top_dir.is_dir():
+            continue
+        for path in sorted(top_dir.rglob("*")):
+            if path.suffix in CC_SUFFIXES and path.is_file():
+                lint_file(root, path.relative_to(root), findings)
+
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel.as_posix()}:{lineno}: {rule}: {msg}")
+    if findings:
+        print(f"lint_engine: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

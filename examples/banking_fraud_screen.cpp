@@ -48,7 +48,7 @@ Status ScreenedPayment(engine::Session& s, int64_t from, int64_t to,
   };
   Status st = run();
   if (!st.ok()) {
-    s.Rollback();
+    (void)s.Rollback();  // run()'s error is the one to report
     return st;
   }
   return s.Commit();

@@ -68,7 +68,7 @@ int main() {
       "s_id = ? AND sub_nbr = ?",
       {Value::Int(1234), Value::String(nbr)});
   if (!upd.ok()) {
-    session->Rollback();
+    (void)session->Rollback();  // the update failure already decided exit 1
     return 1;
   }
   Status c = session->Commit();

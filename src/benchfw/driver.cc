@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "common/clock.h"
 #include "common/strings.h"
+#include "common/sync.h"
 
 namespace olxp::benchfw {
 
@@ -27,7 +27,7 @@ struct GroupState {
 
 void WorkerLoop(engine::Database* db, GroupState* group, const RunConfig& cfg,
                 int64_t start_us, int64_t measure_start_us, int64_t end_us,
-                uint64_t seed, KindStats* out, std::mutex* out_mu) {
+                uint64_t seed, KindStats* out, sync::Mutex* out_mu) {
   auto session = db->CreateSession();
   Rng rng(seed);
   LocalStats local;
@@ -97,7 +97,7 @@ void WorkerLoop(engine::Database* db, GroupState* group, const RunConfig& cfg,
     }
   }
 
-  std::lock_guard<std::mutex> lk(*out_mu);
+  sync::MutexLock lk(*out_mu);
   out->latency.Merge(local.stats.latency);
   out->issued += local.stats.issued;
   out->committed += local.stats.committed;
@@ -168,7 +168,7 @@ StatusOr<RunResult> RunCell(engine::Database& db, const BenchmarkSuite& suite,
     to0 = ls.timeouts.load();
   });
 
-  std::mutex out_mu;
+  sync::Mutex out_mu;
   std::vector<std::thread> threads;
   uint64_t seed = cfg.seed;
   for (size_t g = 0; g < agents.size(); ++g) {

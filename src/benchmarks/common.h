@@ -34,7 +34,7 @@ Status InTxn(engine::Session& s, Fn&& fn) {
   OLXP_RETURN_NOT_OK(s.Begin());
   Status st = std::forward<Fn>(fn)();
   if (!st.ok()) {
-    s.Rollback();
+    (void)s.Rollback();  // fn's error is the one to report
     return st;
   }
   return s.Commit();

@@ -28,7 +28,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// Result of a fallible operation: a code plus a human-readable message.
 /// Cheap to copy in the OK case (empty message).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a lesson every
+/// Status-based codebase relearns). Intentional drops must be spelled
+/// `(void)Fn();` with a comment saying why the error is ignorable.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -85,7 +89,7 @@ class Status {
 
 /// Either a value or a failure Status. Modeled on absl::StatusOr.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from Status so `return Status::NotFound(...)` works.
   StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)

@@ -1,0 +1,212 @@
+#ifndef OLXP_COMMON_SYNC_H_
+#define OLXP_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros
+// ---------------------------------------------------------------------------
+// Every mutex in the engine goes through the wrappers below so that a Clang
+// build with -Wthread-safety (promoted to -Werror=thread-safety in the
+// static-analysis CI job) machine-checks the locking discipline: which lock
+// guards which field (GUARDED_BY), which internal methods assume a lock is
+// already held (REQUIRES / REQUIRES_SHARED), and which must not be entered
+// with it held (EXCLUDES). Under GCC and MSVC the attributes expand to
+// nothing, so the wrappers cost exactly one indirection that inlines away.
+//
+// Repo rule (enforced by ci/lint_engine.py): raw std::mutex /
+// std::shared_mutex and the std lock guards are banned outside this header;
+// NO_THREAD_SAFETY_ANALYSIS escapes are banned outside this header.
+
+#if defined(__clang__)
+#define OLXP_TSA_(x) __attribute__((x))
+#else
+#define OLXP_TSA_(x)
+#endif
+
+#define CAPABILITY(x) OLXP_TSA_(capability(x))
+#define SCOPED_CAPABILITY OLXP_TSA_(scoped_lockable)
+#define GUARDED_BY(x) OLXP_TSA_(guarded_by(x))
+#define PT_GUARDED_BY(x) OLXP_TSA_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) OLXP_TSA_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) OLXP_TSA_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) OLXP_TSA_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) OLXP_TSA_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) OLXP_TSA_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) OLXP_TSA_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) OLXP_TSA_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) OLXP_TSA_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) OLXP_TSA_(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) OLXP_TSA_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  OLXP_TSA_(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) OLXP_TSA_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) OLXP_TSA_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) OLXP_TSA_(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) OLXP_TSA_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS OLXP_TSA_(no_thread_safety_analysis)
+
+namespace olxp::sync {
+
+// ---------------------------------------------------------------------------
+// Annotated mutex wrappers
+// ---------------------------------------------------------------------------
+
+/// std::mutex carrying the "mutex" capability. Prefer the MutexLock guard;
+/// the raw Lock/Unlock surface exists for guard classes and the rare
+/// split-scope pattern (and keeps the analysis informed either way).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex carrying the "shared_mutex" capability. Writers take
+/// the exclusive side (WriterLock), readers the shared side (ReaderLock).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// ---------------------------------------------------------------------------
+// RAII guards (scoped capabilities)
+// ---------------------------------------------------------------------------
+
+/// Scoped exclusive lock on a Mutex. Relockable: WAL group commit unlocks
+/// around the covering fsync and relocks to re-check its predicate, which
+/// the analysis tracks through the annotated Unlock()/Lock() members.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drops the lock (must not be called twice in a row).
+  void Unlock() RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  /// Re-acquires after Unlock().
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterLock() RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// ---------------------------------------------------------------------------
+// Condition variable over sync::Mutex
+// ---------------------------------------------------------------------------
+
+/// std::condition_variable adapted to MutexLock. The wait calls borrow the
+/// underlying std::mutex via an adopted std::unique_lock and release it back
+/// unowned afterwards, so the guard's ownership bookkeeping (and the
+/// analysis' view that the lock is held across the wait) stays intact —
+/// which is the correct function-boundary semantics for a cv wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();
+  }
+
+  template <typename Predicate>
+  void Wait(MutexLock& lock, Predicate pred) {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(ul, std::move(pred));
+    ul.release();
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(MutexLock& lock, const std::chrono::duration<Rep, Period>& d,
+               Predicate pred) {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    bool r = cv_.wait_for(ul, d, std::move(pred));
+    ul.release();
+    return r;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(MutexLock& lock,
+                           const std::chrono::time_point<Clock, Duration>& tp) {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    std::cv_status r = cv_.wait_until(ul, tp);
+    ul.release();
+    return r;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace olxp::sync
+
+#endif  // OLXP_COMMON_SYNC_H_

@@ -299,7 +299,7 @@ Status Database::Checkpoint() {
   // image. Commits are not meaningfully blocked by a running checkpoint:
   // they only cross the short CommitScope below and the per-chunk reader
   // locks of ForEachCommitted.
-  std::lock_guard<std::mutex> ckpt_lk(checkpoint_mu_);
+  sync::MutexLock ckpt_lk(checkpoint_mu_);
   storage::CheckpointImage image;
   storage::SnapshotRegistry::Handle snapshot_handle = 0;
   {

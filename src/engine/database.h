@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "engine/profile.h"
 #include "exec/morsel.h"
 #include "obs/metrics.h"
@@ -180,7 +180,7 @@ class Database : public sql::Catalog {
   /// Declared last: destroyed first, flushing its tail while the rest of
   /// the substrate is still alive. No transaction runs during destruction.
   std::unique_ptr<storage::WalWriter> wal_;
-  std::mutex checkpoint_mu_;  ///< serializes Checkpoint() callers
+  sync::Mutex checkpoint_mu_;  ///< serializes Checkpoint() callers
   Status recovery_status_;
 };
 

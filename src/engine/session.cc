@@ -403,7 +403,9 @@ Session::Session(Database* db)
 }
 
 Session::~Session() {
-  if (txn_) txn_->Abort();
+  // Abort's Status is unreportable from a destructor; the abort path itself
+  // is infallible on the storage side (locks and snapshot always release).
+  if (txn_) (void)txn_->Abort();
 }
 
 StatusOr<const Session::Prepared*> Session::Prepare(
@@ -733,13 +735,14 @@ StatusOr<sql::ResultSet> Session::ExecuteRouted(const std::string& sql_text,
 
   if (!rs.ok()) {
     // Abort whichever transaction was in flight; explicit transactions are
-    // dead after a failure (Rollback becomes a no-op).
+    // dead after a failure (Rollback becomes a no-op). The statement's own
+    // error is what the caller sees; the abort Status carries nothing new.
     if (in_txn) {
-      txn_->Abort();
+      (void)txn_->Abort();
       txn_.reset();
       txn_writes_ = 0;
     } else {
-      auto_txn->Abort();
+      (void)auto_txn->Abort();
     }
     FlushCharge();
     return rs.status();

@@ -17,7 +17,7 @@ WorkerPool::WorkerPool(int lanes) : lanes_(std::max(1, lanes)) {
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::set_metrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   if (metrics == nullptr) {
     m_runs_ = nullptr;
     m_jobs_ = nullptr;
@@ -36,26 +36,31 @@ void WorkerPool::set_metrics(obs::MetricsRegistry* metrics) {
 }
 
 void WorkerPool::Shutdown() {
+  // Swap the threads out under the lock: Run() reads workers_.empty() under
+  // mu_ to decide whether lanes can be dispatched at all, and the join loop
+  // below must not touch the guarded vector unlocked (joining with mu_ held
+  // would deadlock against workers draining the queue).
+  std::vector<std::thread> joined;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     stop_ = true;
+    joined.swap(workers_);
   }
-  work_cv_.notify_all();
-  for (std::thread& t : workers_) {
+  work_cv_.NotifyAll();
+  for (std::thread& t : joined) {
     if (t.joinable()) t.join();
   }
-  // Clear under the lock: Run() reads workers_.empty() under mu_ to decide
-  // whether lanes can be dispatched at all.
-  std::lock_guard<std::mutex> lk(mu_);
-  workers_.clear();
 }
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [this] { return stop_ || !jobs_.empty(); });
+      sync::MutexLock lk(mu_);
+      // Explicit wait loop (not the predicate overload): the condition
+      // reads stop_/jobs_, which are GUARDED_BY(mu_), and a predicate
+      // lambda would be analyzed as a separate unannotated function.
+      while (!stop_ && jobs_.empty()) work_cv_.Wait(lk);
       if (jobs_.empty()) return;  // stop_ with a drained queue
       job = jobs_.front();
       jobs_.pop_front();
@@ -75,10 +80,10 @@ void WorkerPool::WorkerLoop() {
     // counter hit zero and destroy its stack state while this thread is
     // between the decrement and the notify.
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sync::MutexLock lk(mu_);
       job.remaining->fetch_sub(1, std::memory_order_acq_rel);
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -87,7 +92,7 @@ void WorkerPool::Run(int n, const std::function<void(int)>& fn) {
   std::atomic<int> remaining(0);
   if (n > 1) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sync::MutexLock lk(mu_);
       // A stopped (or never-threaded) pool dispatches nothing; lane 0
       // below still runs the whole job inline, so callers always make
       // progress. Both flags are read under mu_ — Shutdown mutates them.
@@ -101,7 +106,7 @@ void WorkerPool::Run(int n, const std::function<void(int)>& fn) {
         }
       }
     }
-    if (remaining.load(std::memory_order_relaxed) > 0) work_cv_.notify_all();
+    if (remaining.load(std::memory_order_relaxed) > 0) work_cv_.NotifyAll();
   }
   if (m_runs_ != nullptr) {
     m_runs_->Add(1);
@@ -112,9 +117,8 @@ void WorkerPool::Run(int n, const std::function<void(int)>& fn) {
     fn(0);  // never under mu_: the job may run for a whole query
   }
   if (remaining.load(std::memory_order_acquire) == 0) return;
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk,
-                [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  sync::MutexLock lk(mu_);
+  while (remaining.load(std::memory_order_acquire) != 0) done_cv_.Wait(lk);
 }
 
 MorselDispatcher::MorselDispatcher(size_t total_rows, size_t morsel_rows)

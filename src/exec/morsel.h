@@ -2,14 +2,13 @@
 #define OLXP_EXEC_MORSEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 /// Morsel-driven intra-query parallelism (HyPer-style): a query's scan range
@@ -41,16 +40,16 @@ class WorkerPool {
   /// calling thread, the rest on pool workers as they become free. Blocks
   /// until every lane has returned. `fn` must be safe to call concurrently
   /// from `n` threads and must not throw.
-  void Run(int n, const std::function<void(int)>& fn);
+  void Run(int n, const std::function<void(int)>& fn) EXCLUDES(mu_);
 
   /// Joins every worker; subsequent Run() calls execute inline. Idempotent.
   /// ~Database calls this before stopping the vacuum and replicator so no
   /// in-flight morsel can touch storage that is being torn down.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   /// Attaches a metrics sink (exec.pool.* counters, per-lane busy time).
   /// Call before Run() traffic; the registry must outlive the pool.
-  void set_metrics(obs::MetricsRegistry* metrics);
+  void set_metrics(obs::MetricsRegistry* metrics) EXCLUDES(mu_);
 
  private:
   struct Job {
@@ -62,16 +61,18 @@ class WorkerPool {
   void WorkerLoop();
 
   const int lanes_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers wait for jobs here
-  std::condition_variable done_cv_;  ///< Run() callers wait for lanes here
-  std::deque<Job> jobs_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  sync::Mutex mu_;
+  sync::CondVar work_cv_;  ///< workers wait for jobs here
+  sync::CondVar done_cv_;  ///< Run() callers wait for lanes here
+  std::deque<Job> jobs_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 
-  // Cached metric handles (null until set_metrics). lane_busy_ns_[k] is
-  // lane k's cumulative job execution time (lane 0 = the calling session
-  // thread's share of parallel Runs).
+  // Cached metric handles (null until set_metrics). Read without mu_ on the
+  // hot path under the set-before-traffic contract: set_metrics must run
+  // before any Run() call. lane_busy_ns_[k] is lane k's cumulative job
+  // execution time (lane 0 = the calling session thread's share of
+  // parallel Runs).
   obs::Counter* m_runs_ = nullptr;
   obs::Counter* m_jobs_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;

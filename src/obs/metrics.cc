@@ -15,21 +15,21 @@ size_t Counter::ShardIndex() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -37,7 +37,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
   for (const auto& [name, h] : histograms_) {

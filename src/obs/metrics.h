@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/histogram.h"
+#include "common/sync.h"
 
 namespace olxp::obs {
 
@@ -61,18 +61,18 @@ class Gauge {
 class Histogram {
  public:
   void Record(int64_t micros) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     hist_.Record(micros);
   }
 
   LatencyHistogram Snapshot() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     return hist_;
   }
 
  private:
-  mutable std::mutex mu_;
-  LatencyHistogram hist_;
+  mutable sync::Mutex mu_;
+  LatencyHistogram hist_ GUARDED_BY(mu_);
 };
 
 /// Point-in-time summary of one histogram (microseconds).
@@ -123,10 +123,11 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable sync::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// JSON string escaping (quotes, backslashes, control characters).

@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace olxp::obs {
 
@@ -28,7 +29,7 @@ class SlowQueryLog {
   SlowQueryLog& operator=(const SlowQueryLog&) = delete;
 
   void Add(SlowQueryEntry entry) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     entry.seq = ++seq_;
     ring_.push_back(std::move(entry));
     while (capacity_ > 0 && ring_.size() > capacity_) ring_.pop_front();
@@ -36,13 +37,13 @@ class SlowQueryLog {
 
   /// Oldest-to-newest copy of the retained entries.
   std::vector<SlowQueryEntry> Entries() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     return {ring_.begin(), ring_.end()};
   }
 
   /// Statements ever admitted (including ones the ring has since evicted).
   uint64_t total_recorded() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     return seq_;
   }
 
@@ -50,9 +51,9 @@ class SlowQueryLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  uint64_t seq_ = 0;
-  std::deque<SlowQueryEntry> ring_;
+  mutable sync::Mutex mu_;
+  uint64_t seq_ GUARDED_BY(mu_) = 0;
+  std::deque<SlowQueryEntry> ring_ GUARDED_BY(mu_);
 };
 
 }  // namespace olxp::obs

@@ -1,8 +1,6 @@
 #include "storage/column_store.h"
 
 #include <algorithm>
-#include <mutex>
-#include <shared_mutex>
 
 #include <cassert>
 
@@ -13,7 +11,7 @@ ColumnTable::ColumnTable(TableSchema schema) : schema_(std::move(schema)) {
 }
 
 void ColumnTable::Apply(const LogOp& op) {
-  std::unique_lock lk(mu_);
+  sync::WriterLock lk(mu_);
   auto it = pk_to_slot_.find(op.pk);
   if (op.kind == LogOp::Kind::kDelete) {
     if (it == pk_to_slot_.end()) return;  // replicated delete of absent row
@@ -53,7 +51,7 @@ void ColumnTable::Apply(const LogOp& op) {
 }
 
 int64_t ColumnTable::Scan(const RowCallback& cb) const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   int64_t visited = 0;
   Row row(schema_.num_columns());
   for (size_t slot = 0; slot < live_.size(); ++slot) {
@@ -68,7 +66,7 @@ int64_t ColumnTable::Scan(const RowCallback& cb) const {
 int64_t ColumnTable::BatchScan(size_t chunk_rows,
                                const ChunkCallback& cb) const {
   assert(chunk_rows > 0);
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   std::vector<const std::vector<Value>*> cols;
   cols.reserve(columns_.size());
   for (const auto& col : columns_) cols.push_back(&col);
@@ -87,12 +85,15 @@ int64_t ColumnTable::BatchScan(size_t chunk_rows,
   return visited;
 }
 
-ColumnTable::ScanPin::ScanPin(const ColumnTable& table) : lock_(table.mu_) {
+ColumnTable::ScanPin::ScanPin(const ColumnTable& table) : table_(table) {
+  table_.mu_.LockShared();
   total_ = table.live_.size();
   live_ = table.live_.data();
   cols_.reserve(table.columns_.size());
   for (const auto& col : table.columns_) cols_.push_back(&col);
 }
+
+ColumnTable::ScanPin::~ScanPin() { table_.mu_.UnlockShared(); }
 
 ColumnChunkView ColumnTable::ScanPin::Chunk(size_t base, size_t rows) const {
   ColumnChunkView view;
@@ -104,7 +105,7 @@ ColumnChunkView ColumnTable::ScanPin::Chunk(size_t base, size_t rows) const {
 }
 
 std::optional<Row> ColumnTable::Get(const Row& pk) const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   auto it = pk_to_slot_.find(pk);
   if (it == pk_to_slot_.end()) return std::nullopt;
   Row row(schema_.num_columns());
@@ -115,12 +116,12 @@ std::optional<Row> ColumnTable::Get(const Row& pk) const {
 }
 
 size_t ColumnTable::LiveRowCount() const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   return pk_to_slot_.size();
 }
 
 size_t ColumnTable::SlotCount() const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   return live_.size();
 }
 

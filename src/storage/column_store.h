@@ -4,12 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/value.h"
 #include "storage/schema.h"
 #include "storage/table.h"
@@ -78,9 +78,10 @@ class ColumnTable {
   /// lanes read Chunk() views concurrently. Writers (the replicator) block
   /// until the pin is released — the same snapshot semantics BatchScan
   /// gives a serial scan, extended to many readers of one scan.
-  class ScanPin {
+  class SCOPED_CAPABILITY ScanPin {
    public:
-    explicit ScanPin(const ColumnTable& table);
+    explicit ScanPin(const ColumnTable& table) ACQUIRE_SHARED(table.mu_);
+    ~ScanPin() RELEASE();
 
     ScanPin(const ScanPin&) = delete;
     ScanPin& operator=(const ScanPin&) = delete;
@@ -93,7 +94,7 @@ class ColumnTable {
     ColumnChunkView Chunk(size_t base, size_t rows) const;
 
    private:
-    std::shared_lock<std::shared_mutex> lock_;
+    const ColumnTable& table_;
     size_t total_ = 0;
     const uint8_t* live_ = nullptr;
     std::vector<const std::vector<Value>*> cols_;
@@ -101,11 +102,12 @@ class ColumnTable {
 
  private:
   TableSchema schema_;
-  mutable std::shared_mutex mu_;
-  std::vector<std::vector<Value>> columns_;          // [col][slot]
-  std::vector<uint8_t> live_;                        // [slot] 1 = live
-  std::vector<size_t> free_slots_;
-  std::unordered_map<Row, size_t, KeyHash, KeyEq> pk_to_slot_;
+  mutable sync::SharedMutex mu_;
+  std::vector<std::vector<Value>> columns_ GUARDED_BY(mu_);  // [col][slot]
+  std::vector<uint8_t> live_ GUARDED_BY(mu_);                // [slot] 1 = live
+  std::vector<size_t> free_slots_ GUARDED_BY(mu_);
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> pk_to_slot_
+      GUARDED_BY(mu_);
 };
 
 /// The set of columnar replicas plus the replication watermark.

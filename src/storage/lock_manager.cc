@@ -35,7 +35,7 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
                             int64_t timeout_micros) {
   Shard& shard = ShardFor(hash_(table_id, key));
   const TableKeyView view{table_id, &key};
-  std::unique_lock<std::mutex> lk(shard.mu);
+  sync::MutexLock lk(shard.mu);
   auto it = shard.locks.find(view);
   if (it == shard.locks.end()) {
     // Free: the Row is copied into the table only on this entry-creating
@@ -81,7 +81,7 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
     // Deadline expiry is a hard timeout: a waiter that slept its whole
     // budget fails deterministically instead of racing the releaser for a
     // last-instant grant (the caller retries the transaction anyway).
-    if (shard.cv.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    if (shard.cv.WaitUntil(lk, deadline) == std::cv_status::timeout) break;
   }
   auto fit = shard.locks.find(view);
   fit->second.waiters--;
@@ -116,7 +116,7 @@ Status LockManager::Acquire(uint64_t txn_id, int table_id, const Row& key,
 void LockManager::Release(uint64_t txn_id, int table_id, const Row& key) {
   Shard& shard = ShardFor(hash_(table_id, key));
   const TableKeyView view{table_id, &key};
-  std::unique_lock<std::mutex> lk(shard.mu);
+  sync::MutexLock lk(shard.mu);
   auto it = shard.locks.find(view);
   if (it == shard.locks.end() || it->second.owner != txn_id) return;
   if (--it->second.reentry > 0) return;
@@ -125,14 +125,14 @@ void LockManager::Release(uint64_t txn_id, int table_id, const Row& key) {
   if (!has_waiters) {
     shard.locks.erase(it);
   }
-  lk.unlock();
-  if (has_waiters) shard.cv.notify_all();
+  lk.Unlock();
+  if (has_waiters) shard.cv.NotifyAll();
 }
 
 size_t LockManager::EntryCount() {
   size_t n = 0;
   for (Shard& shard : shards_) {
-    std::unique_lock<std::mutex> lk(shard.mu);
+    sync::MutexLock lk(shard.mu);
     n += shard.locks.size();
   }
   return n;
@@ -141,7 +141,7 @@ size_t LockManager::EntryCount() {
 bool LockManager::Holds(uint64_t txn_id, int table_id, const Row& key) {
   Shard& shard = ShardFor(hash_(table_id, key));
   const TableKeyView view{table_id, &key};
-  std::unique_lock<std::mutex> lk(shard.mu);
+  sync::MutexLock lk(shard.mu);
   auto it = shard.locks.find(view);
   return it != shard.locks.end() && it->second.owner == txn_id;
 }

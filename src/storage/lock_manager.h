@@ -2,14 +2,13 @@
 #define OLXP_STORAGE_LOCK_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/value.h"
 #include "obs/metrics.h"
 #include "storage/schema.h"
@@ -125,9 +124,10 @@ class LockManager {
     }
   };
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<TableKey, LockEntry, TableKeyHash, TableKeyEq> locks;
+    sync::Mutex mu;
+    sync::CondVar cv;
+    std::unordered_map<TableKey, LockEntry, TableKeyHash, TableKeyEq> locks
+        GUARDED_BY(mu);
   };
 
   Shard& ShardFor(size_t hash) { return shards_[hash % shards_.size()]; }

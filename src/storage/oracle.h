@@ -3,7 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace olxp::storage {
 
@@ -38,14 +39,14 @@ class TimestampOracle {
 
    private:
     TimestampOracle* oracle_;
-    std::lock_guard<std::mutex> lock_;
+    sync::MutexLock lock_;
     uint64_t ts_ = 0;
   };
 
   /// Legacy one-shot advance (single-writer contexts: loaders in tests,
   /// micro benches). Equivalent to an empty CommitScope.
   uint64_t Advance() {
-    std::lock_guard<std::mutex> lk(commit_mu_);
+    sync::MutexLock lk(commit_mu_);
     uint64_t ts = counter_.load(std::memory_order_relaxed) + 1;
     counter_.store(ts, std::memory_order_release);
     return ts;
@@ -55,7 +56,7 @@ class TimestampOracle {
   /// commits must land after every replayed commit timestamp). Called
   /// before any transaction starts; never moves the counter backwards.
   void SeedTo(uint64_t ts) {
-    std::lock_guard<std::mutex> lk(commit_mu_);
+    sync::MutexLock lk(commit_mu_);
     if (counter_.load(std::memory_order_relaxed) < ts) {
       counter_.store(ts, std::memory_order_release);
     }
@@ -64,7 +65,7 @@ class TimestampOracle {
  private:
   friend class CommitScope;
   std::atomic<uint64_t> counter_{0};
-  std::mutex commit_mu_;
+  sync::Mutex commit_mu_;
 };
 
 }  // namespace olxp::storage

@@ -21,7 +21,7 @@ Replicator::~Replicator() {
 }
 
 void Replicator::set_snapshot_registry(SnapshotRegistry* registry) {
-  std::lock_guard<std::mutex> lk(apply_mu_);
+  sync::MutexLock lk(apply_mu_);
   if (registry_ != nullptr && frontier_handle_ != 0) {
     registry_->Release(frontier_handle_);
     frontier_handle_ = 0;
@@ -33,7 +33,7 @@ void Replicator::set_snapshot_registry(SnapshotRegistry* registry) {
 }
 
 void Replicator::set_metrics(obs::MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lk(apply_mu_);
+  sync::MutexLock lk(apply_mu_);
   if (metrics == nullptr) {
     m_applied_ = nullptr;
     m_apply_batches_ = nullptr;
@@ -77,7 +77,7 @@ void Replicator::Run() {
 }
 
 void Replicator::ApplyUpTo(int64_t max_wall_us) {
-  std::lock_guard<std::mutex> lk(apply_mu_);
+  sync::MutexLock lk(apply_mu_);
   std::vector<CommitRecord> batch;
   uint64_t next = log_->Fetch(next_seq_.load(std::memory_order_relaxed),
                               max_wall_us, &batch);

@@ -2,11 +2,10 @@
 #define OLXP_STORAGE_REPLICATOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "storage/column_store.h"
 #include "storage/vacuum.h"
@@ -73,22 +72,24 @@ class Replicator {
 
   CommitLog* log_;
   ColumnStore* store_;
-  SnapshotRegistry* registry_ = nullptr;
-  SnapshotRegistry::Handle frontier_handle_ = 0;
+  /// apply_mu_ serializes ApplyUpTo between the shipping thread and
+  /// CatchUp, and guards the registry/metrics wiring the apply path reads.
+  sync::Mutex apply_mu_;
+  SnapshotRegistry* registry_ GUARDED_BY(apply_mu_) = nullptr;
+  SnapshotRegistry::Handle frontier_handle_ GUARDED_BY(apply_mu_) = 0;
   std::atomic<int64_t> lag_micros_;
   const int64_t poll_micros_;
 
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> next_seq_{0};
   std::thread thread_;
-  std::mutex apply_mu_;  ///< serializes ApplyUpTo between thread and CatchUp
 
   // Cached metric handles (null until set_metrics).
-  obs::Counter* m_applied_ = nullptr;
-  obs::Counter* m_apply_batches_ = nullptr;
-  obs::Gauge* m_frontier_seq_ = nullptr;
-  obs::Gauge* m_pending_ = nullptr;
-  obs::Gauge* m_apply_lag_us_ = nullptr;
+  obs::Counter* m_applied_ GUARDED_BY(apply_mu_) = nullptr;
+  obs::Counter* m_apply_batches_ GUARDED_BY(apply_mu_) = nullptr;
+  obs::Gauge* m_frontier_seq_ GUARDED_BY(apply_mu_) = nullptr;
+  obs::Gauge* m_pending_ GUARDED_BY(apply_mu_) = nullptr;
+  obs::Gauge* m_apply_lag_us_ GUARDED_BY(apply_mu_) = nullptr;
 };
 
 }  // namespace olxp::storage

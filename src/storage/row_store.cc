@@ -1,14 +1,11 @@
 #include "storage/row_store.h"
 
-#include <mutex>
-#include <shared_mutex>
-
 #include "common/strings.h"
 
 namespace olxp::storage {
 
 StatusOr<int> RowStore::CreateTable(TableSchema schema) {
-  std::unique_lock lk(mu_);
+  sync::WriterLock lk(mu_);
   std::string key = ToLower(schema.name());
   if (name_to_id_.count(key)) {
     return Status::AlreadyExists("table " + schema.name());
@@ -20,7 +17,7 @@ StatusOr<int> RowStore::CreateTable(TableSchema schema) {
 }
 
 StatusOr<int> RowStore::TableId(std::string_view name) const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   auto it = name_to_id_.find(ToLower(name));
   if (it == name_to_id_.end()) {
     return Status::NotFound("table " + std::string(name));
@@ -29,7 +26,7 @@ StatusOr<int> RowStore::TableId(std::string_view name) const {
 }
 
 MvccTable* RowStore::table(int table_id) {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   if (table_id < 0 || static_cast<size_t>(table_id) >= tables_.size()) {
     return nullptr;
   }
@@ -37,7 +34,7 @@ MvccTable* RowStore::table(int table_id) {
 }
 
 const MvccTable* RowStore::table(int table_id) const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   if (table_id < 0 || static_cast<size_t>(table_id) >= tables_.size()) {
     return nullptr;
   }
@@ -45,14 +42,14 @@ const MvccTable* RowStore::table(int table_id) const {
 }
 
 std::vector<int> RowStore::TableIds() const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   std::vector<int> ids(tables_.size());
   for (size_t i = 0; i < tables_.size(); ++i) ids[i] = static_cast<int>(i);
   return ids;
 }
 
 int RowStore::num_tables() const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   return static_cast<int>(tables_.size());
 }
 

@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/table.h"
 
 namespace olxp::storage {
@@ -43,9 +43,10 @@ class RowStore {
   std::atomic<int>& active_scans() { return active_scans_; }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<MvccTable>> tables_;
-  std::unordered_map<std::string, int> name_to_id_;  // lower-cased names
+  mutable sync::SharedMutex mu_;
+  std::vector<std::unique_ptr<MvccTable>> tables_ GUARDED_BY(mu_);
+  /// Lower-cased names.
+  std::unordered_map<std::string, int> name_to_id_ GUARDED_BY(mu_);
   std::atomic<int> active_scans_{0};
 };
 

@@ -1,8 +1,5 @@
 #include "storage/table.h"
 
-#include <mutex>
-#include <shared_mutex>
-
 namespace olxp::storage {
 
 const Version* MvccTable::VisibleVersion(const Chain& chain, uint64_t ts) {
@@ -13,14 +10,14 @@ const Version* MvccTable::VisibleVersion(const Chain& chain, uint64_t ts) {
 }
 
 uint64_t MvccTable::LatestCommitTs(const Row& pk) const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   auto it = rows_.find(pk);
   if (it == rows_.end() || it->second.versions.empty()) return 0;
   return it->second.versions.back().commit_ts;
 }
 
 std::optional<Row> MvccTable::Get(const Row& pk, uint64_t snapshot_ts) const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   auto it = rows_.find(pk);
   if (it == rows_.end()) return std::nullopt;
   const Version* v = VisibleVersion(it->second, snapshot_ts);
@@ -30,9 +27,10 @@ std::optional<Row> MvccTable::Get(const Row& pk, uint64_t snapshot_ts) const {
 
 Status MvccTable::InstallVersion(const Row& pk, uint64_t commit_ts,
                                  bool deleted, Row data) {
-  std::unique_lock lk(mu_);
-  if (index_entries_.size() != schema_.indexes().size()) {
-    index_entries_.resize(schema_.indexes().size());
+  sync::WriterLock lk(mu_);
+  const TableSchema& sch = schema();
+  if (index_entries_.size() != sch.indexes().size()) {
+    index_entries_.resize(sch.indexes().size());
   }
   Chain& chain = rows_[pk];
   if (!chain.versions.empty() &&
@@ -43,13 +41,13 @@ Status MvccTable::InstallVersion(const Row& pk, uint64_t commit_ts,
     // chain just now, leaving the empty shell behind is harmless — it
     // reads as absent and the vacuum reclaims it.)
     return Status::Internal(
-        "non-monotone commit ts on " + schema_.name() + ": chain at " +
+        "non-monotone commit ts on " + sch.name() + ": chain at " +
         std::to_string(chain.versions.back().commit_ts) + ", installing " +
         std::to_string(commit_ts));
   }
   if (!deleted) {
-    for (size_t i = 0; i < schema_.indexes().size(); ++i) {
-      Row ikey = schema_.ExtractIndexKey(schema_.indexes()[i], data);
+    for (size_t i = 0; i < sch.indexes().size(); ++i) {
+      Row ikey = sch.ExtractIndexKey(sch.indexes()[i], data);
       // Avoid duplicate (ikey, pk) pairs: check the narrow equal_range.
       auto [b, e] = index_entries_[i].equal_range(ikey);
       bool present = false;
@@ -77,7 +75,7 @@ int64_t MvccTable::Scan(uint64_t snapshot_ts, const RowCallback& cb) const {
   // never waits behind a whole-table analytical scan. Per-key snapshot
   // visibility keeps the merged result consistent across the gaps.
   while (!stopped) {
-    std::shared_lock lk(mu_);
+    sync::ReaderLock lk(mu_);
     auto it = has_resume ? rows_.lower_bound(resume) : rows_.begin();
     size_t n = 0;
     for (; it != rows_.end() && (chunk == 0 || n < chunk); ++it, ++n) {
@@ -107,7 +105,7 @@ int64_t MvccTable::ScanPkRange(const Row& lo, const Row& hi,
   Row resume;
   bool has_resume = false;
   while (!stopped) {
-    std::shared_lock lk(mu_);
+    sync::ReaderLock lk(mu_);
     auto it = has_resume ? rows_.lower_bound(resume) : rows_.lower_bound(lo);
     size_t n = 0;
     for (; it != rows_.end() && (chunk == 0 || n < chunk); ++it, ++n) {
@@ -138,12 +136,13 @@ int64_t MvccTable::ScanPkRange(const Row& lo, const Row& hi,
 int64_t MvccTable::IndexLookup(int index_id, const Row& key,
                                uint64_t snapshot_ts,
                                std::vector<Row>* out) const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   if (index_id < 0 ||
       static_cast<size_t>(index_id) >= index_entries_.size()) {
     return 0;
   }
-  const IndexDef& def = schema_.indexes()[index_id];
+  const TableSchema& sch = schema();
+  const IndexDef& def = sch.indexes()[index_id];
   int64_t visited = 0;
   const auto& idx = index_entries_[index_id];
   // Support prefix lookups: [key, key] as prefix range.
@@ -157,7 +156,7 @@ int64_t MvccTable::IndexLookup(int index_id, const Row& key,
     const Version* v = VisibleVersion(rit->second, snapshot_ts);
     if (v == nullptr || v->deleted) continue;
     // Verify the row still carries this index key (stale-entry filter).
-    Row live_key = schema_.ExtractIndexKey(def, v->data);
+    Row live_key = sch.ExtractIndexKey(def, v->data);
     if (!PrefixEq(live_key, key.size(), key)) continue;
     out->push_back(v->data);
   }
@@ -167,16 +166,22 @@ int64_t MvccTable::IndexLookup(int index_id, const Row& key,
 }
 
 Status MvccTable::AddIndex(IndexDef def) {
-  std::unique_lock lk(mu_);
-  OLXP_RETURN_NOT_OK(schema_.AddIndex(def));
-  index_entries_.resize(schema_.indexes().size());
+  sync::WriterLock lk(mu_);
+  // Copy-on-write: never mutate the published snapshot in place — lock-free
+  // schema() readers may be walking it right now. Build the successor,
+  // backfill its entries, then publish.
+  auto next = std::make_unique<TableSchema>(schema());
+  OLXP_RETURN_NOT_OK(next->AddIndex(def));
+  index_entries_.resize(next->indexes().size());
   auto& entries = index_entries_.back();
-  const IndexDef& added = schema_.indexes().back();
+  const IndexDef& added = next->indexes().back();
   for (const auto& [pk, chain] : rows_) {
     if (chain.versions.empty() || chain.versions.back().deleted) continue;
-    entries.emplace(schema_.ExtractIndexKey(added, chain.versions.back().data),
+    entries.emplace(next->ExtractIndexKey(added, chain.versions.back().data),
                     pk);
   }
+  schema_history_.push_back(std::move(next));
+  schema_ptr_.store(schema_history_.back().get(), std::memory_order_release);
   return Status::OK();
 }
 
@@ -193,7 +198,7 @@ void MvccTable::ForEachCommitted(
   Row resume;
   bool has_resume = false;
   for (;;) {
-    std::shared_lock lk(mu_);
+    sync::ReaderLock lk(mu_);
     auto it = has_resume ? rows_.lower_bound(resume) : rows_.begin();
     size_t n = 0;
     for (; it != rows_.end() && n < kChunkRows; ++it, ++n) {
@@ -208,19 +213,19 @@ void MvccTable::ForEachCommitted(
 }
 
 size_t MvccTable::ApproxRowCount() const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   return rows_.size();
 }
 
 size_t MvccTable::TotalVersionCount() const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   size_t n = 0;
   for (const auto& [pk, chain] : rows_) n += chain.versions.size();
   return n;
 }
 
 size_t MvccTable::IndexEntryCount() const {
-  std::shared_lock lk(mu_);
+  sync::ReaderLock lk(mu_);
   size_t n = 0;
   for (const auto& idx : index_entries_) n += idx.size();
   return n;
@@ -248,7 +253,7 @@ VacuumStats MvccTable::VacuumBelow(uint64_t watermark, size_t batch_rows) {
   std::vector<Row> erased_keys;
   std::vector<Row> survivor_keys;
   for (;;) {
-    std::unique_lock lk(mu_);
+    sync::WriterLock lk(mu_);
     auto it = has_resume ? rows_.lower_bound(resume) : rows_.begin();
     size_t n = 0;
     while (it != rows_.end() && n < batch_rows) {
@@ -279,19 +284,19 @@ VacuumStats MvccTable::VacuumBelow(uint64_t watermark, size_t batch_rows) {
       // pair must survive iff some surviving version still carries ikey
       // (readers above the watermark can see exactly those versions).
       for (size_t i = 0; i < index_entries_.size(); ++i) {
-        const IndexDef& def = schema_.indexes()[i];
+        const IndexDef& def = schema().indexes()[i];
         erased_keys.clear();
         survivor_keys.clear();
         for (size_t v = 0; v < erase_end; ++v) {
           if (chain.versions[v].deleted) continue;
           erased_keys.push_back(
-              schema_.ExtractIndexKey(def, chain.versions[v].data));
+              schema().ExtractIndexKey(def, chain.versions[v].data));
         }
         if (erased_keys.empty()) continue;
         for (size_t v = erase_end; v < chain.versions.size(); ++v) {
           if (chain.versions[v].deleted) continue;
           survivor_keys.push_back(
-              schema_.ExtractIndexKey(def, chain.versions[v].data));
+              schema().ExtractIndexKey(def, chain.versions[v].data));
         }
         for (const Row& ikey : erased_keys) {
           bool still_carried = false;
@@ -324,7 +329,7 @@ VacuumStats MvccTable::VacuumBelow(uint64_t watermark, size_t batch_rows) {
 }
 
 void MvccTable::PruneVersions(size_t keep) {
-  std::unique_lock lk(mu_);
+  sync::WriterLock lk(mu_);
   for (auto& [pk, chain] : rows_) {
     if (chain.versions.size() > keep) {
       chain.versions.erase(chain.versions.begin(),

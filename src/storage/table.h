@@ -6,10 +6,10 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/value.h"
 #include "storage/schema.h"
 
@@ -58,14 +58,26 @@ using RowCallback = std::function<bool(const Row&)>;
 /// rows vacuumed between chunks were invisible at any registered snapshot).
 class MvccTable {
  public:
-  MvccTable(int table_id, TableSchema schema)
-      : table_id_(table_id), schema_(std::move(schema)) {}
+  MvccTable(int table_id, TableSchema schema) : table_id_(table_id) {
+    schema_history_.push_back(
+        std::make_unique<const TableSchema>(std::move(schema)));
+    schema_ptr_.store(schema_history_.back().get(),
+                      std::memory_order_release);
+  }
 
   MvccTable(const MvccTable&) = delete;
   MvccTable& operator=(const MvccTable&) = delete;
 
   int table_id() const { return table_id_; }
-  const TableSchema& schema() const { return schema_; }
+
+  /// Current schema snapshot. Lock-free and safe under concurrent DDL:
+  /// AddIndex never mutates a published snapshot — it publishes a new
+  /// immutable copy and retains the old one for the table's lifetime, so a
+  /// reference obtained here stays valid and self-consistent even while a
+  /// concurrent CREATE INDEX lands (it just describes the pre-DDL shape).
+  const TableSchema& schema() const {
+    return *schema_ptr_.load(std::memory_order_acquire);
+  }
 
   /// Latest commit timestamp of any version of `pk`; 0 when unknown.
   /// Used by snapshot-isolation first-committer-wins validation.
@@ -173,19 +185,27 @@ class MvccTable {
   /// Newest version with commit_ts <= ts, or nullptr.
   static const Version* VisibleVersion(const Chain& chain, uint64_t ts);
 
-  /// Erases one (ikey, pk) pair from index `idx` if present. Requires mu_
-  /// held exclusively. Returns 1 when an entry was erased.
-  size_t EraseIndexEntry(size_t idx, const Row& ikey, const Row& pk);
+  /// Erases one (ikey, pk) pair from index `idx` if present. Returns 1 when
+  /// an entry was erased.
+  size_t EraseIndexEntry(size_t idx, const Row& ikey, const Row& pk)
+      REQUIRES(mu_);
 
   const int table_id_;
-  TableSchema schema_;
 
-  mutable std::shared_mutex mu_;
-  std::map<Row, Chain, KeyLess> rows_;
+  mutable sync::SharedMutex mu_;
+  /// Every schema snapshot ever published, oldest first; the newest is the
+  /// one schema() serves. Grows only on AddIndex (bounded by DDL count), so
+  /// retaining the history keeps old references valid forever instead of
+  /// racing readers against an in-place mutation.
+  std::vector<std::unique_ptr<const TableSchema>> schema_history_
+      GUARDED_BY(mu_);
+  std::atomic<const TableSchema*> schema_ptr_{nullptr};
+  std::map<Row, Chain, KeyLess> rows_ GUARDED_BY(mu_);
   /// One multimap per IndexDef: index key -> primary key. Entries are
   /// inserted on install, verified (lazily invalidated) on lookup, and
   /// physically erased by VacuumBelow when the versions backing them go.
-  std::vector<std::multimap<Row, Row, KeyLess>> index_entries_;
+  std::vector<std::multimap<Row, Row, KeyLess>> index_entries_
+      GUARDED_BY(mu_);
 
   std::atomic<size_t> scan_chunk_rows_{1024};
   mutable std::atomic<uint64_t> rows_scanned_{0};

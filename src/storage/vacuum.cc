@@ -36,9 +36,9 @@ void Vacuum::Stop() {
     // Flag-flip and notify under wake_mu_: notifying outside the mutex can
     // land between the waiter's predicate check and its block, losing the
     // wakeup and stalling Stop() for a whole interval.
-    std::lock_guard<std::mutex> lk(wake_mu_);
+    sync::MutexLock lk(wake_mu_);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -47,16 +47,18 @@ void Vacuum::Run() {
     RunOnce();
     // Real OS sleep (scheduling slack, not simulated latency), interruptible
     // so Stop() never waits out a long interval.
-    std::unique_lock<std::mutex> lk(wake_mu_);
-    wake_cv_.wait_for(lk, std::chrono::microseconds(config_.interval_us),
-                      [this] {
-                        return !running_.load(std::memory_order_relaxed);
-                      });
+    sync::MutexLock lk(wake_mu_);
+    // The predicate only reads the atomic running_ flag (nothing guarded),
+    // so the predicate overload is safe under the analysis.
+    wake_cv_.WaitFor(lk, std::chrono::microseconds(config_.interval_us),
+                     [this] {
+                       return !running_.load(std::memory_order_relaxed);
+                     });
   }
 }
 
 uint64_t Vacuum::HistoryCap() {
-  std::lock_guard<std::mutex> lk(history_mu_);
+  sync::MutexLock lk(history_mu_);
   const int64_t now = NowMicros();
   history_.emplace_back(now, oracle_->Current());
   if (config_.gc_history_us <= 0) {
@@ -78,7 +80,7 @@ uint64_t Vacuum::HistoryCap() {
 }
 
 VacuumStats Vacuum::RunOnce() {
-  std::lock_guard<std::mutex> pass_lk(pass_mu_);
+  sync::MutexLock pass_lk(pass_mu_);
   const int64_t pass_start_us = NowMicros();
   const uint64_t cap = HistoryCap();
   VacuumStats pass;
@@ -95,7 +97,7 @@ VacuumStats Vacuum::RunOnce() {
     pass += t->VacuumBelow(watermark, config_.batch_rows);
   }
   {
-    std::lock_guard<std::mutex> lk(totals_mu_);
+    sync::MutexLock lk(totals_mu_);
     totals_ += pass;
   }
   passes_.fetch_add(1, std::memory_order_relaxed);
@@ -120,7 +122,7 @@ VacuumStats Vacuum::RunOnce() {
 }
 
 VacuumStats Vacuum::Totals() const {
-  std::lock_guard<std::mutex> lk(totals_mu_);
+  sync::MutexLock lk(totals_mu_);
   return totals_;
 }
 

@@ -2,13 +2,12 @@
 #define OLXP_STORAGE_VACUUM_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "storage/oracle.h"
 #include "storage/row_store.h"
@@ -35,7 +34,7 @@ class SnapshotRegistry {
   /// Atomically reads the oracle's current timestamp and registers it as a
   /// live snapshot. Returns the handle; the snapshot ts lands in `*ts`.
   Handle Acquire(const TimestampOracle& oracle, uint64_t* ts) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     *ts = oracle.Current();
     Handle h = next_handle_++;
     active_.emplace(h, *ts);
@@ -46,7 +45,7 @@ class SnapshotRegistry {
   /// timestamp is a reserved commit ts that is not yet published, which is
   /// safe because it is above every watermark computable before publish).
   Handle Register(uint64_t ts) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     Handle h = next_handle_++;
     active_.emplace(h, ts);
     return h;
@@ -55,13 +54,13 @@ class SnapshotRegistry {
   /// Moves an entry to a new snapshot (replicator frontier). kUnpinned
   /// makes the entry stop constraining the watermark without releasing it.
   void Update(Handle h, uint64_t ts) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     auto it = active_.find(h);
     if (it != active_.end()) it->second = ts;
   }
 
   void Release(Handle h) {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     active_.erase(h);
   }
 
@@ -69,7 +68,7 @@ class SnapshotRegistry {
   /// oracle's published counter (with no snapshots open, everything
   /// committed so far is safe to truncate down to its newest version).
   uint64_t Watermark(const TimestampOracle& oracle) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     uint64_t w = oracle.Current();
     for (const auto& [h, ts] : active_) {
       if (ts != kUnpinned && ts < w) w = ts;
@@ -79,7 +78,7 @@ class SnapshotRegistry {
 
   /// Live registered snapshots (diagnostics).
   size_t ActiveCount() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     size_t n = 0;
     for (const auto& [h, ts] : active_) {
       if (ts != kUnpinned) ++n;
@@ -88,9 +87,9 @@ class SnapshotRegistry {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<Handle, uint64_t> active_;
-  Handle next_handle_ = 1;
+  mutable sync::Mutex mu_;
+  std::unordered_map<Handle, uint64_t> active_ GUARDED_BY(mu_);
+  Handle next_handle_ GUARDED_BY(mu_) = 1;
 };
 
 /// Vacuum knobs (EngineProfile mirrors these as vacuum_interval_us /
@@ -156,18 +155,19 @@ class Vacuum {
   const TimestampOracle* oracle_;
   const VacuumConfig config_;
 
-  std::mutex pass_mu_;  ///< serializes RunOnce between thread and callers
-  mutable std::mutex totals_mu_;
-  VacuumStats totals_;
+  sync::Mutex pass_mu_;  ///< serializes RunOnce between thread and callers
+  mutable sync::Mutex totals_mu_;
+  VacuumStats totals_ GUARDED_BY(totals_mu_);
 
-  std::mutex history_mu_;
-  std::deque<std::pair<int64_t, uint64_t>> history_;  // (wall_us, oracle ts)
+  sync::Mutex history_mu_;
+  /// (wall_us, oracle ts) samples driving the gc_history_us mapping.
+  std::deque<std::pair<int64_t, uint64_t>> history_ GUARDED_BY(history_mu_);
 
   std::atomic<uint64_t> last_watermark_{0};
   std::atomic<uint64_t> passes_{0};
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;  ///< interruptible inter-pass sleep
+  sync::Mutex wake_mu_;
+  sync::CondVar wake_cv_;  ///< interruptible inter-pass sleep
   std::atomic<bool> running_{false};
   std::thread thread_;
 

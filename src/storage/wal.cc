@@ -450,7 +450,10 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const WalOptions& opts,
                             ec.message());
   }
   std::unique_ptr<WalWriter> w(new WalWriter(opts));
-  w->next_seq_ = next_seq;
+  {
+    sync::MutexLock lk(w->mu_);
+    w->next_seq_ = next_seq;
+  }
   w->durable_seq_.store(next_seq - 1, std::memory_order_relaxed);
   if (opts.metrics != nullptr) {
     w->m_appends_ = opts.metrics->GetCounter("wal.appends");
@@ -462,7 +465,7 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const WalOptions& opts,
         opts.metrics->GetHistogram("wal.group_batch_records");
   }
   {
-    std::lock_guard io(w->io_mu_);
+    sync::MutexLock io(w->io_mu_);
     OLXP_RETURN_NOT_OK(w->OpenSegment(next_seq));
   }
   if (opts.mode == DurabilityMode::kAsync) {
@@ -473,13 +476,15 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const WalOptions& opts,
 
 WalWriter::~WalWriter() {
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     stop_ = true;
   }
-  pending_cv_.notify_all();
+  pending_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
-  Flush();
-  std::lock_guard io(io_mu_);
+  // Sticky-error state is re-read by whoever cares; shutdown cannot
+  // propagate it anywhere.
+  (void)Flush();
+  sync::MutexLock io(io_mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -507,7 +512,7 @@ uint64_t WalWriter::AppendBody(WalFrame::Type type, const std::string& body,
                                bool force_durable) {
   uint64_t seq;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     seq = next_seq_++;
     // Frame wire format (must match EncodeFrame): [len][crc][type,seq,body].
     std::string payload;
@@ -523,9 +528,11 @@ uint64_t WalWriter::AppendBody(WalFrame::Type type, const std::string& body,
   }
   if (m_appends_ != nullptr) m_appends_->Add(1);
   if (opts_.mode == DurabilityMode::kSync || force_durable) {
-    Flush();
+    // Failure is sticky: Append returns a seq either way and the caller's
+    // WaitDurable / last_error reports the I/O state.
+    (void)Flush();
   } else if (opts_.mode == DurabilityMode::kAsync) {
-    pending_cv_.notify_one();  // wake the write-behind flusher
+    pending_cv_.NotifyOne();  // wake the write-behind flusher
   }
   // Group mode: nothing to wake — the first committer reaching WaitDurable
   // flushes the batch itself.
@@ -561,7 +568,7 @@ uint64_t WalWriter::AppendCreateIndex(const std::string& table_name,
 
 Status WalWriter::last_error() const {
   if (!io_failed_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return io_error_;
 }
 
@@ -576,7 +583,7 @@ Status WalWriter::WaitDurable(uint64_t seq) {
     // later failure is durable, and its commit must report success.
     return Status::OK();
   }
-  std::unique_lock lk(mu_);
+  sync::MutexLock lk(mu_);
   for (;;) {
     // Durability first: a record synced before a later failure is still
     // durable. Then the sticky error — never report success for a record
@@ -592,7 +599,7 @@ Status WalWriter::WaitDurable(uint64_t seq) {
       // the first of them to wake becomes the next leader. A batch forms
       // per fsync without any flusher-thread handoff on the commit path.
       group_flush_in_progress_ = true;
-      lk.unlock();
+      lk.Unlock();
       if (opts_.group_commit_window_us > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(opts_.group_commit_window_us));
@@ -601,42 +608,45 @@ Status WalWriter::WaitDurable(uint64_t seq) {
         // Same order as Flush(): io_mu_ first, then a short mu_ hold for
         // the swap, so concurrent DDL/checkpoint flushes cannot interleave
         // frames out of sequence order in the segment file.
-        std::lock_guard io(io_mu_);
+        sync::MutexLock io(io_mu_);
         std::string buf;
         uint64_t last = 0;
         size_t records = 0;
         {
-          std::lock_guard swap_lk(mu_);
+          sync::MutexLock swap_lk(mu_);
           buf.swap(pending_);
           last = pending_last_seq_;
           records = pending_count_;
           pending_count_ = 0;
         }
-        if (!buf.empty()) WriteAndMaybeSync(buf, last, records, /*sync=*/true);
+        if (!buf.empty()) {
+          // Failure lands in the sticky state the loop re-reads below.
+          (void)WriteAndMaybeSync(buf, last, records, /*sync=*/true);
+        }
       }
       // Our record was enqueued before this call, so it was either in the
       // batch just synced or in an earlier completed flush; loop back to
       // report durable success — or the I/O failure the flush just hit.
-      lk.lock();
+      lk.Lock();
       group_flush_in_progress_ = false;
-      lk.unlock();
-      durable_cv_.notify_all();
-      lk.lock();
+      lk.Unlock();
+      durable_cv_.NotifyAll();
+      lk.Lock();
       continue;
     }
-    durable_cv_.wait(lk);
+    durable_cv_.Wait(lk);
   }
 }
 
 Status WalWriter::Flush() {
   // io_mu_ first, then a short mu_ hold to swap the buffer: the write is
   // outside mu_ (appends keep flowing) but segment bytes stay in seq order.
-  std::lock_guard io(io_mu_);
+  sync::MutexLock io(io_mu_);
   std::string buf;
   uint64_t last = 0;
   size_t records = 0;
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     buf.swap(pending_);
     last = pending_last_seq_;
     records = pending_count_;
@@ -657,7 +667,7 @@ Status WalWriter::Flush() {
       m_fsync_us_->Record(NowMicros() - t0);
     }
     durable_seq_.store(last, std::memory_order_release);
-    durable_cv_.notify_all();
+    durable_cv_.NotifyAll();
   }
   return last_error();
 }
@@ -665,12 +675,12 @@ Status WalWriter::Flush() {
 Status WalWriter::RecordIoError(const std::string& what) {
   Status st = Status::Internal(what);
   {
-    std::lock_guard lk(mu_);
+    sync::MutexLock lk(mu_);
     if (!io_failed_.load(std::memory_order_relaxed)) io_error_ = st;
     io_failed_.store(true, std::memory_order_release);
     st = io_error_;
   }
-  durable_cv_.notify_all();  // waiters must observe the failure, not hang
+  durable_cv_.NotifyAll();  // waiters must observe the failure, not hang
   return st;
 }
 
@@ -716,9 +726,9 @@ Status WalWriter::WriteAndMaybeSync(const std::string& buf, uint64_t last_seq,
     }
     durable_seq_.store(last_seq, std::memory_order_release);
     {
-      std::lock_guard lk(mu_);  // pairs with WaitDurable's predicate check
+      sync::MutexLock lk(mu_);  // pairs with WaitDurable's predicate check
     }
-    durable_cv_.notify_all();
+    durable_cv_.NotifyAll();
   }
   if (rotate) {
     if (m_rotations_ != nullptr) m_rotations_->Add(1);
@@ -735,28 +745,34 @@ void WalWriter::FlusherLoop() {
   // Async mode only: write behind on a coarse cadence, fsync on rotation.
   while (true) {
     {
-      std::unique_lock lk(mu_);
-      pending_cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+      sync::MutexLock lk(mu_);
+      // Explicit wait loop (not the predicate overload): the predicate
+      // reads mu_-guarded state, and the analysis can only see the lock
+      // held here, in this function's own scope.
+      while (!stop_ && pending_.empty()) pending_cv_.Wait(lk);
       if (stop_) return;  // destructor flushes the remainder
     }
     std::this_thread::sleep_for(std::chrono::microseconds(500));
-    std::lock_guard io(io_mu_);
+    sync::MutexLock io(io_mu_);
     std::string buf;
     uint64_t last = 0;
     size_t records = 0;
     {
-      std::lock_guard lk(mu_);
+      sync::MutexLock lk(mu_);
       buf.swap(pending_);
       last = pending_last_seq_;
       records = pending_count_;
       pending_count_ = 0;
     }
-    if (!buf.empty()) WriteAndMaybeSync(buf, last, records, /*sync=*/false);
+    if (!buf.empty()) {
+      // Write-behind: failure is sticky and reported by WaitDurable/Flush.
+      (void)WriteAndMaybeSync(buf, last, records, /*sync=*/false);
+    }
   }
 }
 
 void WalWriter::DeleteSegmentsBefore(uint64_t seq) {
-  std::lock_guard io(io_mu_);
+  sync::MutexLock io(io_mu_);
   auto segments = ListSegments(opts_.dir);
   // A segment is deletable when the NEXT segment starts at or below `seq`
   // (every frame it holds is then < seq). The newest segment is active.
@@ -770,7 +786,7 @@ void WalWriter::DeleteSegmentsBefore(uint64_t seq) {
 }
 
 uint64_t WalWriter::next_seq() const {
-  std::lock_guard lk(mu_);
+  sync::MutexLock lk(mu_);
   return next_seq_;
 }
 
@@ -917,7 +933,7 @@ uint64_t CommitLog::Append(CommitRecord rec) {
     uint64_t seq = wal_->AppendCommit(rec);
     if (wal_->mode() == DurabilityMode::kGroup) ticket = seq;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   if (retain_records_) {
     records_.push_back(std::move(rec));
   } else {
@@ -933,7 +949,7 @@ Status CommitLog::WaitDurable(uint64_t ticket) {
 
 uint64_t CommitLog::Fetch(uint64_t from_seq, int64_t max_wall_us,
                           std::vector<CommitRecord>* out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   uint64_t seq = from_seq;
   if (seq < base_seq_) seq = base_seq_;
   const size_t first = seq - base_seq_;
@@ -955,7 +971,7 @@ uint64_t CommitLog::Fetch(uint64_t from_seq, int64_t max_wall_us,
 }
 
 void CommitLog::Trim(uint64_t up_to_seq) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   while (base_seq_ < up_to_seq && !records_.empty()) {
     records_.pop_front();
     ++base_seq_;
@@ -963,12 +979,12 @@ void CommitLog::Trim(uint64_t up_to_seq) {
 }
 
 uint64_t CommitLog::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   return base_seq_ + records_.size();
 }
 
 uint64_t CommitLog::OldestPendingCommitTs(uint64_t from_seq) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   size_t idx = from_seq > base_seq_ ? from_seq - base_seq_ : 0;
   if (idx >= records_.size()) return 0;
   return records_[idx].commit_ts;

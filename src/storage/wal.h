@@ -2,17 +2,16 @@
 #define OLXP_STORAGE_WAL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/value.h"
 #include "obs/metrics.h"
 #include "storage/schema.h"
@@ -142,21 +141,21 @@ class WalWriter {
   /// both just report the sticky I/O state). `seq` 0 skips the wait.
   /// Returns the first write/fsync/rotation failure ever hit: a commit
   /// must not be acknowledged as durable on a log that stopped persisting.
-  Status WaitDurable(uint64_t seq);
+  Status WaitDurable(uint64_t seq) EXCLUDES(mu_, io_mu_);
 
   /// Writes and fsyncs everything pending (checkpoint barrier, shutdown).
-  Status Flush();
+  Status Flush() EXCLUDES(mu_, io_mu_);
 
   /// First I/O failure this writer hit (sticky), or OK.
-  Status last_error() const;
+  Status last_error() const EXCLUDES(mu_);
 
   /// Deletes segment files whose every frame has seq < `seq` (called after
   /// a checkpoint covering that prefix landed). The active segment is never
   /// deleted.
-  void DeleteSegmentsBefore(uint64_t seq);
+  void DeleteSegmentsBefore(uint64_t seq) EXCLUDES(io_mu_);
 
   /// Next sequence number to be assigned.
-  uint64_t next_seq() const;
+  uint64_t next_seq() const EXCLUDES(mu_);
 
   /// fsync() calls issued so far (durability-cost accounting for benches).
   uint64_t fsync_count() const {
@@ -170,42 +169,46 @@ class WalWriter {
  private:
   explicit WalWriter(WalOptions opts);
 
-  Status OpenSegment(uint64_t first_seq);  // requires io_mu_
+  Status OpenSegment(uint64_t first_seq) REQUIRES(io_mu_);
   /// Assigns the next sequence number and enqueues one framed record whose
   /// payload is [type, seq, body] (body pre-encoded by the caller, outside
   /// any lock and without copying the source record).
   uint64_t AppendBody(WalFrame::Type type, const std::string& body,
-                      bool force_durable);
+                      bool force_durable) EXCLUDES(mu_);
   /// Marks the sticky I/O failure (first message wins) and wakes every
   /// group-commit waiter so none hangs on a log that stopped persisting.
-  Status RecordIoError(const std::string& what);
+  Status RecordIoError(const std::string& what) EXCLUDES(mu_);
   /// Writes `buf` (holding `records` frames) to the active segment and
   /// optionally fsyncs; rotates afterwards when the segment outgrew the
-  /// threshold. Requires io_mu_.
+  /// threshold.
   Status WriteAndMaybeSync(const std::string& buf, uint64_t last_seq,
-                           size_t records, bool sync);
-  void FlusherLoop();
+                           size_t records, bool sync)
+      REQUIRES(io_mu_) EXCLUDES(mu_);
+  void FlusherLoop() EXCLUDES(mu_, io_mu_);
 
   const WalOptions opts_;
 
-  /// mu_ orders sequence assignment and guards the pending buffer; io_mu_
-  /// serializes file writes so flusher and Flush() never interleave frames.
-  mutable std::mutex mu_;
-  std::mutex io_mu_;
-  std::condition_variable pending_cv_;  ///< wakes the flusher
-  std::condition_variable durable_cv_;  ///< wakes group-commit waiters
-  std::string pending_;                 ///< encoded frames awaiting write
-  uint64_t pending_last_seq_ = 0;
-  size_t pending_count_ = 0;            ///< frames in pending_
-  uint64_t next_seq_ = 1;
+  /// io_mu_ serializes file writes so flusher, group-commit leader and
+  /// Flush() never interleave frames; mu_ orders sequence assignment and
+  /// guards the pending buffer. Whenever both are held, io_mu_ is taken
+  /// first and mu_ only for the short buffer swap.
+  sync::Mutex io_mu_;
+  mutable sync::Mutex mu_ ACQUIRED_AFTER(io_mu_);
+  sync::CondVar pending_cv_;  ///< wakes the flusher
+  sync::CondVar durable_cv_;  ///< wakes group-commit waiters
+  std::string pending_ GUARDED_BY(mu_);  ///< encoded frames awaiting write
+  uint64_t pending_last_seq_ GUARDED_BY(mu_) = 0;
+  size_t pending_count_ GUARDED_BY(mu_) = 0;  ///< frames in pending_
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
   std::atomic<uint64_t> durable_seq_{0};
-  bool group_flush_in_progress_ = false;  ///< a leader holds the fsync baton
-  bool stop_ = false;
+  /// A leader holds the fsync baton.
+  bool group_flush_in_progress_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::atomic<bool> io_failed_{false};
-  Status io_error_;  ///< first failure, sticky; guarded by mu_
+  Status io_error_ GUARDED_BY(mu_);  ///< first failure, sticky
 
-  int fd_ = -1;                   // requires io_mu_
-  uint64_t segment_size_ = 0;     // requires io_mu_
+  int fd_ GUARDED_BY(io_mu_) = -1;
+  uint64_t segment_size_ GUARDED_BY(io_mu_) = 0;
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::thread flusher_;
@@ -289,7 +292,10 @@ class CommitLog {
   /// When false, Append still feeds the WAL but drops the in-memory record:
   /// unified-store engines never start the Replicator, and retaining every
   /// commit forever would grow memory without bound during long runs.
-  void set_retain_records(bool retain) { retain_records_ = retain; }
+  void set_retain_records(bool retain) {
+    sync::MutexLock lk(mu_);
+    retain_records_ = retain;
+  }
 
   /// Drains records with sequence number >= `from_seq` whose wall commit
   /// time is <= `max_wall_us` into `out`, and returns the next sequence
@@ -316,10 +322,14 @@ class CommitLog {
   uint64_t OldestPendingCommitTs(uint64_t from_seq) const;
 
  private:
-  mutable std::mutex mu_;
-  std::deque<CommitRecord> records_;
-  uint64_t base_seq_ = 0;  ///< sequence number of records_.front()
-  bool retain_records_ = true;
+  mutable sync::Mutex mu_;
+  std::deque<CommitRecord> records_ GUARDED_BY(mu_);
+  uint64_t base_seq_ GUARDED_BY(mu_) = 0;  ///< seq of records_.front()
+  bool retain_records_ GUARDED_BY(mu_) = true;
+  /// Wired once by AttachWal before any transaction runs and immutable
+  /// afterwards (deliberately not lock-guarded: Append reads it outside
+  /// mu_ so the disk append never runs inside the in-memory critical
+  /// section).
   WalWriter* wal_ = nullptr;
 };
 

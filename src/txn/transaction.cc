@@ -38,7 +38,7 @@ Transaction::Transaction(uint64_t id, IsolationLevel isolation,
 
 Transaction::~Transaction() {
   if (state_ == TxnState::kActive) {
-    Abort();
+    (void)Abort();  // Status unreportable from a destructor
   }
   ReleaseSnapshot();  // Abort/Commit already did; idempotent backstop
 }

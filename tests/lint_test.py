@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Self-test for ci/lint_engine.py: per-rule fixtures that must pass and
+must fail, run against a temp directory shaped like the repo. Wired into
+ctest so `ctest` alone exercises the linter."""
+
+import importlib.util
+import pathlib
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINT_PATH = REPO_ROOT / "ci" / "lint_engine.py"
+
+spec = importlib.util.spec_from_file_location("lint_engine", LINT_PATH)
+lint_engine = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(lint_engine)
+
+
+class LintFixtureTest(unittest.TestCase):
+    def run_lint(self, files):
+        """files: {relative/path: content}. Returns (exit_code, findings)."""
+        with tempfile.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            for rel, content in files.items():
+                path = root / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(content)
+            findings = []
+            for top in lint_engine.SCAN_DIRS:
+                top_dir = root / top
+                if not top_dir.is_dir():
+                    continue
+                for p in sorted(top_dir.rglob("*")):
+                    if p.suffix in lint_engine.CC_SUFFIXES and p.is_file():
+                        lint_engine.lint_file(root, p.relative_to(root),
+                                              findings)
+            return findings
+
+    def assert_rules(self, files, expected_rules):
+        findings = self.run_lint(files)
+        self.assertEqual(sorted(f[2] for f in findings),
+                         sorted(expected_rules),
+                         msg=f"findings: {findings}")
+
+    # ---- raw-sync ----
+
+    def test_raw_mutex_in_engine_fails(self):
+        self.assert_rules(
+            {"src/storage/foo.h": "#include <mutex>\nstd::mutex mu_;\n"},
+            ["raw-sync"])
+
+    def test_raw_shared_mutex_and_guards_fail(self):
+        src = ("std::shared_mutex mu_;\n"
+               "std::lock_guard<std::mutex> lk(mu_);\n"
+               "std::unique_lock<std::mutex> ul(mu_);\n"
+               "std::condition_variable cv_;\n")
+        self.assert_rules({"src/exec/foo.cc": src},
+                          ["raw-sync", "raw-sync", "raw-sync", "raw-sync"])
+
+    def test_sync_header_itself_passes(self):
+        self.assert_rules(
+            {"src/common/sync.h": "std::mutex mu_;\nstd::shared_mutex s_;\n"},
+            [])
+
+    def test_wrapper_usage_passes(self):
+        self.assert_rules(
+            {"src/storage/foo.cc": "sync::MutexLock lk(mu_);\n"}, [])
+
+    def test_raw_mutex_in_tests_passes(self):
+        # The ban is on engine code; tests may build ad-hoc harnesses.
+        self.assert_rules({"tests/foo_test.cc": "std::mutex mu;\n"}, [])
+
+    # ---- tsa-escape ----
+
+    def test_tsa_escape_in_engine_fails(self):
+        self.assert_rules(
+            {"src/storage/foo.cc":
+             "void F() NO_THREAD_SAFETY_ANALYSIS {}\n"},
+            ["tsa-escape"])
+
+    def test_tsa_escape_in_sync_header_passes(self):
+        self.assert_rules(
+            {"src/common/sync.h":
+             "#define NO_THREAD_SAFETY_ANALYSIS ...\n"}, [])
+
+    # ---- todo-tag ----
+
+    def test_untagged_todo_fails(self):
+        self.assert_rules({"src/a.cc": "// TODO: fix this later\n"},
+                          ["todo-tag"])
+
+    def test_tagged_todo_passes(self):
+        self.assert_rules({"src/a.cc": "// TODO(#42): fix this later\n"}, [])
+
+    def test_untagged_todo_in_tests_fails(self):
+        self.assert_rules({"tests/a.cc": "// TODO someday\n"}, ["todo-tag"])
+
+    # ---- parent-include ----
+
+    def test_parent_include_fails(self):
+        self.assert_rules({"src/a.cc": '#include "../common/status.h"\n'},
+                          ["parent-include"])
+
+    def test_repo_relative_include_passes(self):
+        self.assert_rules({"src/a.cc": '#include "common/status.h"\n'}, [])
+
+    # ---- naked-status ----
+
+    def test_naked_execute_fails(self):
+        self.assert_rules({"src/a.cc": '  s.Execute("DELETE FROM t");\n'},
+                          ["naked-status"])
+
+    def test_naked_commit_via_arrow_fails(self):
+        self.assert_rules({"src/a.cc": "  txn->Commit();\n"},
+                          ["naked-status"])
+
+    def test_void_discard_passes(self):
+        self.assert_rules(
+            {"src/a.cc": '  (void)s.Execute("X");  // reason\n'}, [])
+
+    def test_assigned_status_passes(self):
+        self.assert_rules({"src/a.cc": '  auto st = s.Execute("X");\n'}, [])
+
+    def test_macro_continuation_line_passes(self):
+        src = ("  OLXP_RETURN_NOT_OK(\n"
+               "      table->InstallVersion(pk, ts, false, row));\n")
+        self.assert_rules({"src/a.cc": src}, [])
+
+    def test_naked_status_in_tests_passes(self):
+        # Test code is exempt (gtest macros wrap most calls anyway).
+        self.assert_rules({"tests/a.cc": "  txn->Commit();\n"}, [])
+
+    # ---- end-to-end on the real repo ----
+
+    def test_real_repo_is_clean(self):
+        rc = lint_engine.main(["--root", str(REPO_ROOT)])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -80,8 +80,8 @@ TEST(Schema, KeyLessPrefixSemantics) {
 
 TEST(MvccTable, VisibilityByTimestamp) {
   MvccTable t(0, KvSchema());
-  t.InstallVersion({Value::Int(1)}, 10, false, KvRow(1, "v10", 0));
-  t.InstallVersion({Value::Int(1)}, 20, false, KvRow(1, "v20", 0));
+  EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, 10, false, KvRow(1, "v10", 0)).ok());
+  EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, 20, false, KvRow(1, "v20", 0)).ok());
 
   EXPECT_FALSE(t.Get({Value::Int(1)}, 9).has_value());
   EXPECT_EQ(t.Get({Value::Int(1)}, 10)->at(1).AsString(), "v10");
@@ -94,19 +94,19 @@ TEST(MvccTable, VisibilityByTimestamp) {
 
 TEST(MvccTable, TombstoneHidesRow) {
   MvccTable t(0, KvSchema());
-  t.InstallVersion({Value::Int(1)}, 10, false, KvRow(1, "a", 0));
-  t.InstallVersion({Value::Int(1)}, 20, true, {});
+  EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, 10, false, KvRow(1, "a", 0)).ok());
+  EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, 20, true, {}).ok());
   EXPECT_TRUE(t.Get({Value::Int(1)}, 15).has_value());
   EXPECT_FALSE(t.Get({Value::Int(1)}, 25).has_value());
   // Resurrection.
-  t.InstallVersion({Value::Int(1)}, 30, false, KvRow(1, "b", 0));
+  EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, 30, false, KvRow(1, "b", 0)).ok());
   EXPECT_EQ(t.Get({Value::Int(1)}, 35)->at(1).AsString(), "b");
 }
 
 TEST(MvccTable, ScanSnapshotAndOrder) {
   MvccTable t(0, KvSchema());
   for (int i = 5; i >= 1; --i) {
-    t.InstallVersion({Value::Int(i)}, 10 + i, false, KvRow(i, "v", i));
+    EXPECT_TRUE(t.InstallVersion({Value::Int(i)}, 10 + i, false, KvRow(i, "v", i)).ok());
   }
   std::vector<int64_t> keys;
   t.Scan(13, [&](const Row& r) {
@@ -122,7 +122,7 @@ TEST(MvccTable, ScanSnapshotAndOrder) {
 TEST(MvccTable, ScanEarlyStop) {
   MvccTable t(0, KvSchema());
   for (int i = 1; i <= 10; ++i) {
-    t.InstallVersion({Value::Int(i)}, i, false, KvRow(i, "v", i));
+    EXPECT_TRUE(t.InstallVersion({Value::Int(i)}, i, false, KvRow(i, "v", i)).ok());
   }
   int count = 0;
   t.Scan(100, [&](const Row&) { return ++count < 4; });
@@ -134,10 +134,10 @@ TEST(MvccTable, PkRangeWithCompositePrefix) {
   uint64_t ts = 0;
   for (int a = 1; a <= 3; ++a) {
     for (char b = 'a'; b <= 'c'; ++b) {
-      t.InstallVersion({Value::Int(a), Value::String(std::string(1, b))},
+      EXPECT_TRUE(t.InstallVersion({Value::Int(a), Value::String(std::string(1, b))},
                        ++ts, false,
                        {Value::Int(a), Value::String(std::string(1, b)),
-                        Value::Double(a)});
+                        Value::Double(a)}).ok());
     }
   }
   // Prefix range [a=2, a=2] should return all three b's of a=2.
@@ -163,9 +163,9 @@ TEST(MvccTable, SecondaryIndexLookupAndStaleEntries) {
   TableSchema schema = KvSchema();
   ASSERT_TRUE(schema.AddIndex({"by_n", {2}, false}).ok());
   MvccTable t(0, schema);
-  t.InstallVersion({Value::Int(1)}, 1, false, KvRow(1, "x", 7));
-  t.InstallVersion({Value::Int(2)}, 2, false, KvRow(2, "y", 7));
-  t.InstallVersion({Value::Int(3)}, 3, false, KvRow(3, "z", 8));
+  EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, 1, false, KvRow(1, "x", 7)).ok());
+  EXPECT_TRUE(t.InstallVersion({Value::Int(2)}, 2, false, KvRow(2, "y", 7)).ok());
+  EXPECT_TRUE(t.InstallVersion({Value::Int(3)}, 3, false, KvRow(3, "z", 8)).ok());
 
   std::vector<Row> out;
   t.IndexLookup(0, {Value::Int(7)}, 100, &out);
@@ -173,7 +173,7 @@ TEST(MvccTable, SecondaryIndexLookupAndStaleEntries) {
 
   // Update row 1's n to 9: the old (7 -> 1) index entry is stale and must
   // be filtered by verification.
-  t.InstallVersion({Value::Int(1)}, 4, false, KvRow(1, "x", 9));
+  EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, 4, false, KvRow(1, "x", 9)).ok());
   out.clear();
   t.IndexLookup(0, {Value::Int(7)}, 100, &out);
   ASSERT_EQ(out.size(), 1u);
@@ -191,9 +191,9 @@ TEST(MvccTable, SecondaryIndexLookupAndStaleEntries) {
 TEST(MvccTable, AddIndexBackfills) {
   MvccTable t(0, KvSchema());
   for (int i = 1; i <= 5; ++i) {
-    t.InstallVersion({Value::Int(i)}, i, false, KvRow(i, "v", i % 2));
+    EXPECT_TRUE(t.InstallVersion({Value::Int(i)}, i, false, KvRow(i, "v", i % 2)).ok());
   }
-  t.InstallVersion({Value::Int(5)}, 6, true, {});  // deleted: no entry
+  EXPECT_TRUE(t.InstallVersion({Value::Int(5)}, 6, true, {}).ok());  // deleted: no entry
   ASSERT_TRUE(t.AddIndex({"by_n", {2}, false}).ok());
   std::vector<Row> out;
   t.IndexLookup(0, {Value::Int(1)}, 100, &out);
@@ -295,8 +295,8 @@ TEST(MvccTable, ChunkedScanStaysConsistentAcrossLatchDrops) {
 TEST(MvccTable, PruneVersionsKeepsNewest) {
   MvccTable t(0, KvSchema());
   for (uint64_t ts = 1; ts <= 10; ++ts) {
-    t.InstallVersion({Value::Int(1)}, ts, false,
-                     KvRow(1, "v" + std::to_string(ts), 0));
+    EXPECT_TRUE(t.InstallVersion({Value::Int(1)}, ts, false,
+                     KvRow(1, "v" + std::to_string(ts), 0)).ok());
   }
   t.PruneVersions(2);
   EXPECT_FALSE(t.Get({Value::Int(1)}, 8).has_value());  // pruned
@@ -310,15 +310,15 @@ TEST(MvccTable, ConcurrentReadersAndInstalls) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     for (int i = 0; i < 20000; ++i) {
-      t.InstallVersion({Value::Int(i % 64)}, oracle.Advance(), false,
-                       KvRow(i % 64, "w", i));
+      EXPECT_TRUE(t.InstallVersion({Value::Int(i % 64)}, oracle.Advance(), false,
+                       KvRow(i % 64, "w", i)).ok());
     }
     stop = true;
   });
   int64_t reads = 0;
   while (!stop.load()) {
     uint64_t ts = oracle.Current();
-    t.Scan(ts, [&](const Row& r) {
+    t.Scan(ts, [&](const Row&) {
       ++reads;
       return true;
     });
