@@ -26,7 +26,8 @@ struct CellOut {
 /// morsel-driven parallel layer is the single-node analog of "throw more
 /// hardware at OLAP". Reported per lane count for a scan-aggregate and a
 /// join-aggregate over the fig5-sized replica (wall-clock, charging off).
-void IntraQueryScaling(const BenchOptions& opts) {
+void IntraQueryScaling(const BenchOptions& opts,
+                       benchfw::BenchJsonReport* report) {
   std::printf("\n--- intra-query scaling: exec_threads ablation ---\n");
   engine::EngineProfile p = engine::EngineProfile::TiDbLike();
   p.olap_row_fraction = 0.0;
@@ -80,11 +81,17 @@ void IntraQueryScaling(const BenchOptions& opts) {
     if (threads == 8) scan_speedup_at8 = ss;
     std::printf("%8d | %14.2f %7.1fx | %14.2f %7.1fx\n", threads,
                 scan_us / 1000.0, ss, join_us / 1000.0, js);
+    const std::string label = "intra_query/" + std::to_string(threads) + "t";
+    report->AddMetric(label, "scan_agg_us", static_cast<double>(scan_us));
+    report->AddMetric(label, "join_agg_us", static_cast<double>(join_us));
+    report->AddMetric(label, "scan_speedup", ss);
+    report->AddMetric(label, "join_speedup", js);
   }
   std::printf("%s\n",
               benchfw::FigureRow("fig10", 9, "intra_query_speedup_8t",
                                  scan_speedup_at8)
                   .c_str());
+  report->AddMetric("intra_query", "speedup_8t", scan_speedup_at8);
 }
 
 CellOut Measure(engine::Database& db, const benchfw::BenchmarkSuite& suite,
@@ -100,6 +107,12 @@ int Main(int argc, char** argv) {
   PrintHeader("Figure 10: scalability 4 -> 16 nodes (subenchmark)",
               "latency grows with cluster size; OLxP sharply; tidb-like "
               "isolates OLAP pressure better than oceanbase-like");
+
+  benchfw::BenchJsonReport jreport("fig10");
+  jreport.AddConfig("quick", opts.quick);
+  jreport.AddConfig("measure_seconds", opts.measure);
+  jreport.AddConfig("scale", static_cast<double>(opts.scale));
+  jreport.AddConfig("seed", static_cast<double>(opts.seed));
 
   struct EngineCase {
     engine::EngineProfile profile;
@@ -153,9 +166,18 @@ int Main(int argc, char** argv) {
                   ec.profile.name.c_str(), nodes, a.avg_ms, a.p95_ms,
                   b.avg_ms, b.p95_ms, c.avg_ms, c.p95_ms);
       std::fflush(stdout);
+      const std::string label =
+          ec.profile.name + "/" + std::to_string(nodes) + "nodes";
+      jreport.AddMetric(label, "oltp_avg_ms", a.avg_ms);
+      jreport.AddMetric(label, "oltp_p95_ms", a.p95_ms);
+      jreport.AddMetric(label, "mix_avg_ms", b.avg_ms);
+      jreport.AddMetric(label, "mix_p95_ms", b.p95_ms);
+      jreport.AddMetric(label, "olxp_avg_ms", c.avg_ms);
+      jreport.AddMetric(label, "olxp_p95_ms", c.p95_ms);
     }
   }
-  IntraQueryScaling(opts);
+  IntraQueryScaling(opts, &jreport);
+  jreport.Write();
   return 0;
 }
 

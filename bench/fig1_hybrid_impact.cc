@@ -18,6 +18,13 @@ int Main(int argc, char** argv) {
   PrintHeader("Figure 1: hybrid transaction impact (subenchmark, tidb-like)",
               "real-time query => ~5.9x latency, ~1/5.9x throughput");
 
+  benchfw::BenchJsonReport jreport("fig1");
+  jreport.AddConfig("profile", "tidb-like");
+  jreport.AddConfig("quick", opts.quick);
+  jreport.AddConfig("measure_seconds", opts.measure);
+  jreport.AddConfig("scale", static_cast<double>(opts.scale));
+  jreport.AddConfig("seed", static_cast<double>(opts.seed));
+
   benchfw::BenchmarkSuite suite = benchmarks::MakeSubenchmark(opts.Load());
   engine::Database db(engine::EngineProfile::TiDbLike());
   Status st = benchfw::SetUp(db, suite);
@@ -98,6 +105,15 @@ int Main(int argc, char** argv) {
               benchfw::FigureRow("fig1", 1, "latency_factor_unchunked",
                                  lat_ratio_unchunked)
                   .c_str());
+
+  jreport.AddCell("baseline", baseline);
+  jreport.AddCell("hybrid", hybrid_run);
+  jreport.AddCell("hybrid_unchunked", hybrid_unchunked);
+  jreport.AddMetric("impact", "latency_factor", lat_ratio);
+  jreport.AddMetric("impact", "tput_factor", tput_ratio);
+  jreport.AddMetric("impact", "latency_factor_unchunked",
+                    lat_ratio_unchunked);
+  jreport.Write();
   return 0;
 }
 

@@ -1,0 +1,189 @@
+// Compressed columnar blocks: memory footprint and zone-map scan benefit.
+// Loads the fig5 sale/product star schema at 10x scale into two engines —
+// one with sealed-block encoding (dictionary / RLE / bit-packing), one
+// pinned to boxed raw blocks — and reports:
+//
+//   footprint_ratio   boxed bytes / encoded bytes for the sale replica
+//                     (the PR's acceptance bar is >= 2x)
+//   scan wall-clock   a selective pk-range aggregate (zone maps skip most
+//                     sealed blocks) vs. an exhaustive aggregate over the
+//                     same rows, on both storage modes
+//   blocks_skipped    the selective scan must skip > 0 blocks, visible in
+//                     BOTH the per-table gauges and EXPLAIN ANALYZE
+//
+// Exits non-zero if the footprint or skipping bar is missed, so CI treats
+// a regression as a failure, not a number drift.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/clock.h"
+
+namespace olxp::bench {
+namespace {
+
+/// Wall-clock of the fastest of `reps` executions (microseconds).
+int64_t TimeQuery(engine::Session& s, const std::string& sql, int reps) {
+  int64_t best = INT64_MAX;
+  for (int r = 0; r < reps; ++r) {
+    int64_t t0 = NowMicros();
+    auto rs = s.Execute(sql);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   rs.status().ToString().c_str());
+      return -1;
+    }
+    best = std::min(best, NowMicros() - t0);
+  }
+  return best;
+}
+
+/// Zone-skip count parsed out of an EXPLAIN ANALYZE rendering (the scan
+/// operator prints "zskip=<n>"); -1 when absent or the statement fails.
+int64_t ExplainZskip(engine::Session& s, const std::string& sql) {
+  auto rs = s.Execute("EXPLAIN ANALYZE " + sql);
+  if (!rs.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 rs.status().ToString().c_str());
+    return -1;
+  }
+  for (const Row& r : rs->rows) {
+    const std::string& line = r[0].AsString();
+    const size_t pos = line.find("zskip=");
+    if (pos != std::string::npos) {
+      return std::atoll(line.c_str() + pos + 6);
+    }
+  }
+  return -1;
+}
+
+struct ModeOut {
+  int64_t selective_us = -1;
+  int64_t exhaustive_us = -1;
+  int64_t bytes_stored = 0;   // encoded bytes (== boxed bytes in raw mode)
+  int64_t bytes_boxed = 0;
+  int64_t blocks_skipped = 0;  // gauge delta across the selective scan
+  int64_t explain_zskip = -1;
+};
+
+int Main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  PrintHeader("Compression: encoded sealed blocks vs boxed raw storage",
+              "footprint >= 2x smaller; selective scans skip whole blocks");
+
+  const int rows = opts.quick ? 200000 : 1200000;     // 10x fig5 scale
+  const int products = opts.quick ? 40000 : 200000;
+  const int reps = opts.quick ? 3 : 5;
+  const int64_t cutoff = rows / 20;  // 5% selectivity on the monotone pk
+  const std::string selective =
+      "SELECT COUNT(*), SUM(amount) FROM sale WHERE id < " +
+      std::to_string(cutoff);
+  const std::string exhaustive =
+      "SELECT COUNT(*), SUM(amount) FROM sale WHERE qty >= 1";
+
+  benchfw::BenchJsonReport jreport("compression");
+  jreport.AddConfig("quick", opts.quick);
+  jreport.AddConfig("rows", static_cast<double>(rows));
+  jreport.AddConfig("products", static_cast<double>(products));
+  jreport.AddConfig("selectivity", 0.05);
+  jreport.AddConfig("seed", static_cast<double>(opts.seed));
+
+  ModeOut out[2];
+  for (int encoded = 0; encoded < 2; ++encoded) {
+    engine::EngineProfile p = engine::EngineProfile::TiDbLike();
+    p.olap_row_fraction = 0.0;
+    p.cost_based_routing = false;
+    p.columnar_encoding = encoded != 0;
+    engine::Database db(p);
+    auto s = db.CreateSession();
+    s->set_charging_enabled(false);
+    if (!LoadSaleProductReplica(db, *s, rows, products, opts.seed)) return 1;
+    db.replicator().Stop();  // quiesce: wall-clock wants an idle box
+
+    ModeOut& m = out[encoded];
+    (void)db.StatsJson();  // publish storage gauges
+    auto before = db.metrics().Snapshot();
+    m.bytes_stored = before.gauges.at("column.sale.bytes_encoded");
+    m.bytes_boxed = before.gauges.at("column.sale.bytes_raw");
+    const int64_t skipped0 = before.gauges.at("column.sale.blocks_skipped");
+
+    m.selective_us = TimeQuery(*s, selective, reps);
+    m.exhaustive_us = TimeQuery(*s, exhaustive, reps);
+    if (m.selective_us < 0 || m.exhaustive_us < 0) return 1;
+
+    (void)db.StatsJson();
+    m.blocks_skipped =
+        db.metrics().Snapshot().gauges.at("column.sale.blocks_skipped") -
+        skipped0;
+    m.explain_zskip = ExplainZskip(*s, selective);
+
+    const char* label = encoded ? "encoded" : "raw";
+    std::printf("%-8s | stored %8.2f MB (boxed %8.2f MB) | selective "
+                "%8.2f ms | exhaustive %8.2f ms | skipped %lld blocks "
+                "(explain zskip=%lld)\n",
+                label, m.bytes_stored / 1048576.0, m.bytes_boxed / 1048576.0,
+                m.selective_us / 1000.0, m.exhaustive_us / 1000.0,
+                static_cast<long long>(m.blocks_skipped),
+                static_cast<long long>(m.explain_zskip));
+
+    const std::string l(label);
+    jreport.AddMetric(l, "bytes_stored", static_cast<double>(m.bytes_stored));
+    jreport.AddMetric(l, "bytes_boxed", static_cast<double>(m.bytes_boxed));
+    jreport.AddMetric(l, "selective_scan_us",
+                      static_cast<double>(m.selective_us));
+    jreport.AddMetric(l, "exhaustive_scan_us",
+                      static_cast<double>(m.exhaustive_us));
+    jreport.AddMetric(l, "blocks_skipped",
+                      static_cast<double>(m.blocks_skipped));
+    jreport.AddMetric(l, "explain_zskip",
+                      static_cast<double>(m.explain_zskip));
+  }
+
+  const ModeOut& enc = out[1];
+  const double footprint_ratio =
+      enc.bytes_stored > 0
+          ? static_cast<double>(enc.bytes_boxed) / enc.bytes_stored
+          : 0;
+  const double skip_speedup =
+      enc.selective_us > 0
+          ? static_cast<double>(enc.exhaustive_us) / enc.selective_us
+          : 0;
+  std::printf("\nfootprint ratio (boxed/encoded):      %.2fx (bar: 2x)\n",
+              footprint_ratio);
+  std::printf("selective vs exhaustive (encoded):    %.2fx faster\n",
+              skip_speedup);
+  std::printf("%s\n",
+              benchfw::FigureRow("compression", 0, "footprint_ratio",
+                                 footprint_ratio)
+                  .c_str());
+  jreport.AddMetric("summary", "footprint_ratio", footprint_ratio);
+  jreport.AddMetric("summary", "selective_speedup", skip_speedup);
+  jreport.Write();
+
+  bool ok = true;
+  if (footprint_ratio < 2.0) {
+    std::fprintf(stderr, "FAIL: footprint ratio %.2fx below the 2x bar\n",
+                 footprint_ratio);
+    ok = false;
+  }
+  // Zone maps are built in both modes, so BOTH must skip, and the skip
+  // must be visible through the gauges and through EXPLAIN ANALYZE.
+  for (const ModeOut& m : out) {
+    if (m.blocks_skipped <= 0 || m.explain_zskip <= 0) {
+      std::fprintf(stderr,
+                   "FAIL: selective scan skipped no blocks (gauge %lld, "
+                   "explain %lld)\n",
+                   static_cast<long long>(m.blocks_skipped),
+                   static_cast<long long>(m.explain_zskip));
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace olxp::bench
+
+int main(int argc, char** argv) { return olxp::bench::Main(argc, argv); }

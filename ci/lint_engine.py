@@ -21,6 +21,13 @@ Stdlib-only; runs from CI (static-analysis job) and from ctest. Rules:
                   statement) is banned in non-test code. [[nodiscard]]
                   catches this at compile time; the lint also covers
                   files a given build config never compiles.
+  columns-access  The identifier `columns_` is banned outside
+                  src/storage/column_store.* / column_block.*: the
+                  monolithic per-table Value vectors are gone, and every
+                  reader (kernels, joins, tests) must go through the
+                  block API (ColumnChunkView spans / value_at). Also
+                  keeps anyone from reintroducing a member with the old
+                  name and poking at it directly.
 
 Usage: lint_engine.py [--root DIR]
 Exits 0 when clean, 1 with `path:line: rule: message` findings otherwise.
@@ -59,6 +66,13 @@ NAKED_STATUS_RE = re.compile(
     r"^\s*(?:[A-Za-z_]\w*(?:\.|->))*(?:%s)\s*\([^;]*\)\s*;\s*(?://.*)?$"
     % STATUS_METHODS)
 
+COLUMNS_ACCESS_RE = re.compile(r"\bcolumns_\b")
+# Files allowed to define/use a `columns_` member (the block storage core).
+COLUMNS_ALLOWED_PREFIXES = (
+    "src/storage/column_store",
+    "src/storage/column_block",
+)
+
 LINE_COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
 
@@ -75,6 +89,7 @@ def lint_file(root, rel, findings):
         return
     is_sync_header = rel.as_posix() == SYNC_HEADER.as_posix()
     in_engine = is_under(rel, ENGINE_DIRS)
+    columns_ok = rel.as_posix().startswith(COLUMNS_ALLOWED_PREFIXES)
     for lineno, line in enumerate(text.splitlines(), start=1):
         if TODO_RE.search(line) and not TODO_TAGGED_RE.search(line):
             findings.append((rel, lineno, "todo-tag",
@@ -83,6 +98,11 @@ def lint_file(root, rel, findings):
             findings.append((rel, lineno, "parent-include",
                              'relative "../" include; use the src/-relative '
                              "path"))
+        if COLUMNS_ACCESS_RE.search(line) and not columns_ok:
+            findings.append((rel, lineno, "columns-access",
+                             "direct columns_ access outside the block "
+                             "storage core; go through the ColumnChunkView "
+                             "block API"))
         if is_sync_header:
             continue
         if in_engine:

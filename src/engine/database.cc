@@ -125,7 +125,7 @@ Status Database::CreateTableEverywhere(storage::TableSchema schema) {
   if (!tid.ok()) return tid.status();
   row_store_.table(*tid)->set_scan_chunk_rows(profile_.scan_chunk_rows);
   if (profile_.architecture == StoreArchitecture::kSeparated) {
-    column_store_.AddTable(*tid, schema);
+    column_store_.AddTable(*tid, schema, profile_.columnar_encoding);
   }
   // wal_ is null while recovery replays DDL frames, so replay never re-logs.
   if (wal_ != nullptr) {
@@ -159,6 +159,9 @@ void Database::WaitReplicaCaughtUp() {
 storage::VacuumStats Database::RunVacuum() { return vacuum_->RunOnce(); }
 
 std::string Database::StatsJson() {
+  // Storage gauges (per-table footprint and block-skip telemetry) are
+  // pull-published: refresh them right before snapshotting.
+  column_store_.PublishMetrics(&metrics_);
   std::string out = "{\"metrics\":";
   out += metrics_.Snapshot().ToJson();
   out += ",\"slow_query_total\":";
@@ -176,6 +179,11 @@ std::string Database::StatsJson() {
   }
   out += "]}";
   return out;
+}
+
+std::string Database::MetricsText() {
+  column_store_.PublishMetrics(&metrics_);
+  return metrics_.Snapshot().ToPrometheusText();
 }
 
 void Database::PruneAllVersions(size_t keep) {

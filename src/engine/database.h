@@ -116,8 +116,9 @@ class Database : public sql::Catalog {
   /// "slow_query_total".
   std::string StatsJson();
 
-  /// Prometheus text exposition of the metrics registry.
-  std::string MetricsText() { return metrics_.Snapshot().ToPrometheusText(); }
+  /// Prometheus text exposition of the metrics registry (refreshes the
+  /// pull-published columnar storage gauges first).
+  std::string MetricsText();
 
   /// Monotone counter bumped by every successful DDL (CREATE TABLE /
   /// CREATE INDEX). Sessions stamp cached prepared statements with it and

@@ -102,6 +102,12 @@ struct EngineProfile {
   /// row-at-a-time interpreter. Unsupported shapes (joins, subqueries) fall
   /// back to the interpreter automatically.
   bool vectorized_execution = true;
+  /// Columnar replica block encoding: sealed blocks compress each column
+  /// (string dictionary, integer RLE / bit-packing, flat arrays) and carry
+  /// min/max zone maps. Off keeps sealed blocks as boxed raw values — scan
+  /// results and block skipping are identical either way (zone maps are
+  /// always built); the exec parity suite sweeps both settings.
+  bool columnar_encoding = true;
   /// Deterministic cost-based routing: an index-backed single-table SELECT
   /// runs on the row store when its estimated cost beats a full replica
   /// sweep (the replica keeps no ordered index). Complements the stochastic

@@ -582,12 +582,24 @@ StatusOr<sql::ResultSet> Session::ExecuteRouted(const std::string& sql_text,
         vectorizes ? static_cast<double>(m.col_vector_row_ns)
                    : static_cast<double>(m.col_scan_row_ns);
     if (shape.single_table && shape.indexed_path) {
-      // Deterministic cost comparison: the replica can only serve this plan
-      // with a full sweep (it keeps no ordered index), while the row store
-      // has a pk/index path touching an estimated selective fraction.
+      // Deterministic cost comparison: the replica serves this plan with a
+      // sweep (it keeps no ordered index), but zone maps let it skip sealed
+      // blocks the plan's sargable bounds refute — so the columnar side is
+      // charged by the fraction of slots a zone-mapped scan actually reads.
+      // The parallel clamp stays on the TOTAL slot count: the morsel
+      // dispatcher partitions every slot and skipping happens per chunk.
       const double live = live_rows(shape.table_id);
+      const double slots = slot_rows(shape.table_id);
+      double read_frac = 1.0;
+      const storage::ColumnTable* ct =
+          db_->column_store().table(shape.table_id);
+      if (ct != nullptr && slots > 0) {
+        read_frac =
+            static_cast<double>(exec::EstimateScanSlots(stmt, params, *ct)) /
+            slots;
+      }
       const double col_ns =
-          live * col_base_row_ns / col_parallel_for(slot_rows(shape.table_id));
+          live * read_frac * col_base_row_ns / col_parallel_for(slots);
       const double row_ns =
           static_cast<double>(m.row_seek_ns) +
           std::max(1.0, live * kIndexedSelectivity) *

@@ -122,7 +122,7 @@ Status HashJoinTable::Build(const storage::ColumnTable& table,
           if (null_key) continue;  // NULL never joins
           uint32_t idx = static_cast<uint32_t>(nrows_++);
           for (int c : store_cols) {
-            cols_[c].push_back(chunk.at(c, sel[i]));
+            cols_[c].push_back(chunk.value_at(c, sel[i]));
           }
           if (int_keyed_) {
             int_index_[kvecs[0].int_at(i)].push_back(idx);

@@ -483,7 +483,9 @@ class VecSink {
       VGroup g;
       g.repr.resize(repr_cols_);
       for (int c = 0; c < repr_cols_; ++c) {
-        if (needed_ == nullptr || (*needed_)[c]) g.repr[c] = chunk.at(c, sel[0]);
+        if (needed_ == nullptr || (*needed_)[c]) {
+          g.repr[c] = chunk.value_at(c, sel[0]);
+        }
       }
       g.accums.resize(plan_.aggs.size());
       st->groups.push_back(std::move(g));
@@ -513,7 +515,9 @@ class VecSink {
       VGroup grp;
       grp.repr.resize(repr_cols_);
       for (int c = 0; c < repr_cols_; ++c) {
-        if (needed_ == nullptr || (*needed_)[c]) grp.repr[c] = chunk.at(c, row);
+        if (needed_ == nullptr || (*needed_)[c]) {
+          grp.repr[c] = chunk.value_at(c, row);
+        }
       }
       grp.accums.resize(plan_.aggs.size());
       st->groups.push_back(std::move(grp));
@@ -607,12 +611,15 @@ LaneTrace SumLanes(const std::vector<LaneTrace>& lanes) {
   return t;
 }
 
-/// Appends the scan (and, when filters exist, filter) operators.
+/// Appends the scan (and, when filters exist, filter) operators. `skipped`
+/// is the zone-map block-skip count, always surfaced in the scan detail.
 void TraceScanOps(obs::QueryTrace* trace, int table_id, bool has_filters,
-                  int64_t scanned, const LaneTrace& t, int64_t scan_ns) {
+                  int64_t scanned, int64_t skipped, const LaneTrace& t,
+                  int64_t scan_ns) {
   obs::TraceOp scan;
   scan.op = "scan";
-  scan.detail = "table=" + std::to_string(table_id);
+  scan.detail = "table=" + std::to_string(table_id) +
+                " zskip=" + std::to_string(skipped);
   scan.rows_in = scanned;
   scan.rows_out = scanned;
   // The fused scan+filter loop is timed as a whole; the filter's share is
@@ -682,18 +689,29 @@ bool UseParallel(const VecExecOptions& opts, const VecSink& sink) {
 
 // NormalizedMorselRows lives in vectorized.h (the router mirrors it).
 
+/// Per-driver block accounting: chunk-sized blocks actually read vs.
+/// skipped whole via the zone-map mask.
+struct ScanBlocks {
+  int64_t scanned = 0;
+  int64_t skipped = 0;
+};
+
 /// Pins `table` and drives `body` over its chunks from `lanes` execution
 /// lanes; each claimed morsel accumulates into its own SinkState slot in
-/// `partials` (indexed by ordinal, i.e. scan order). `body(lane, state,
-/// chunk, sel)` runs the per-chunk pipeline; the first failing status
-/// cancels the dispatcher and is returned. Adds live rows visited to
-/// *visited and reports the fan-out width in *lanes_used.
+/// `partials` (indexed by ordinal, i.e. scan order). Blocks the zone-map
+/// mask built from `preds` refutes are skipped without being decoded.
+/// `body(lane, state, chunk, sel)` runs the per-chunk pipeline; the first
+/// failing status cancels the dispatcher and is returned. Adds live rows
+/// visited to *visited, block counts to *blocks (also recorded on the
+/// table), and reports the fan-out width in *lanes_used.
 template <typename Body>
 Status RunMorselFanOut(const storage::ColumnTable& table,
                        const VecExecOptions& opts,
+                       std::span<const storage::ZonePred> preds,
                        std::vector<SinkState>* partials, int* lanes_used,
-                       int64_t* visited, Body&& body) {
+                       int64_t* visited, ScanBlocks* blocks, Body&& body) {
   storage::ColumnTable::ScanPin pin(table);
+  const std::vector<uint8_t> skip = pin.ComputeSkipMask(preds);
   MorselDispatcher dispatcher(pin.total_slots(),
                               NormalizedMorselRows(opts.morsel_rows));
   const int lanes = static_cast<int>(std::min<size_t>(
@@ -703,11 +721,20 @@ Status RunMorselFanOut(const storage::ColumnTable& table,
   partials->resize(dispatcher.morsel_count());
   std::vector<Status> lane_status(lanes, Status::OK());
   std::vector<int64_t> lane_visited(lanes, 0);
+  std::vector<ScanBlocks> lane_blocks(lanes);
   opts.pool->Run(lanes, [&](int lane) {
     MorselDispatcher::Morsel m;
     while (dispatcher.Next(&m)) {
       SinkState* st = &(*partials)[m.ordinal];
       for (size_t off = 0; off < m.rows; off += kVecChunkRows) {
+        // Morsel bases are multiples of the (normalized) chunk size, so
+        // every chunk maps to exactly one kBlockSlots-aligned mask entry.
+        const size_t b = (m.base + off) / storage::kBlockSlots;
+        if (b < skip.size() && skip[b] != 0) {
+          ++lane_blocks[lane].skipped;
+          continue;
+        }
+        ++lane_blocks[lane].scanned;
         storage::ColumnChunkView chunk =
             pin.Chunk(m.base + off, std::min(kVecChunkRows, m.rows - off));
         Sel sel = LiveRows(chunk);
@@ -726,10 +753,54 @@ Status RunMorselFanOut(const storage::ColumnTable& table,
   }
   *lanes_used = lanes;
   for (int64_t v : lane_visited) *visited += v;
+  for (const ScanBlocks& lb : lane_blocks) {
+    blocks->scanned += lb.scanned;
+    blocks->skipped += lb.skipped;
+  }
+  table.RecordScanBlocks(blocks->scanned, blocks->skipped);
   if (opts.morsel_counter != nullptr) {
     opts.morsel_counter->Add(static_cast<int64_t>(dispatcher.morsel_count()));
   }
   return Status::OK();
+}
+
+/// Serial scan driver shared by the single-table and join-stream paths:
+/// same pin + zone-map skipping as the fan-out, one chunk at a time in
+/// slot order. `body(chunk, sel)` returns false to stop early (LIMIT).
+/// Returns live rows visited; block counts land in *blocks and on the
+/// table's telemetry.
+template <typename Body>
+StatusOr<int64_t> RunSerialScan(const storage::ColumnTable& table,
+                                std::span<const storage::ZonePred> preds,
+                                ScanBlocks* blocks, Body&& body) {
+  storage::ColumnTable::ScanPin pin(table);
+  const std::vector<uint8_t> skip = pin.ComputeSkipMask(preds);
+  const size_t total = pin.total_slots();
+  int64_t visited = 0;
+  Status inner = Status::OK();
+  for (size_t base = 0; base < total;) {
+    const size_t b = base / storage::kBlockSlots;
+    if (b < skip.size() && skip[b] != 0) {
+      ++blocks->skipped;
+      base = (b + 1) * storage::kBlockSlots;
+      continue;
+    }
+    storage::ColumnChunkView chunk = pin.Chunk(base, kVecChunkRows);
+    if (chunk.rows == 0) break;
+    ++blocks->scanned;
+    Sel sel = LiveRows(chunk);
+    visited += static_cast<int64_t>(sel.size());
+    auto more = body(chunk, sel);
+    if (!more.ok()) {
+      inner = more.status();
+      break;
+    }
+    base += chunk.rows;
+    if (!*more) break;
+  }
+  table.RecordScanBlocks(blocks->scanned, blocks->skipped);
+  if (!inner.ok()) return inner;
+  return visited;
 }
 
 // ---------------------------- single-table path ----------------------------
@@ -748,16 +819,22 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
     filters.push_back(std::move(lowered).value());
   }
 
+  // Zone-refutable bounds from the scan conjuncts: both drivers consult
+  // the pinned blocks' zone maps through the same mask, so serial and
+  // parallel scans skip identically.
+  const std::vector<storage::ZonePred> zpreds = ExtractZonePreds(filters);
+
   const bool tracing = opts.trace != nullptr;
   if (UseParallel(opts, sink)) {
     std::vector<SinkState> partials;
     int lanes = 1;
     int64_t visited = 0;
+    ScanBlocks blocks;
     std::vector<LaneTrace> lt(
         tracing ? static_cast<size_t>(opts.pool->lanes()) : 0);
     const int64_t t_drv = tracing ? NowNanos() : 0;
     OLXP_RETURN_NOT_OK(RunMorselFanOut(
-        table, opts, &partials, &lanes, &visited,
+        table, opts, zpreds, &partials, &lanes, &visited, &blocks,
         [&](int lane, SinkState* st, const storage::ColumnChunkView& chunk,
             Sel& sel) -> Status {
           int64_t t0 = tracing ? NowNanos() : 0;
@@ -779,6 +856,8 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
       stats->rows_scanned += visited;
       stats->rows_scanned_driver += visited;
       stats->lanes_used = std::max(stats->lanes_used, lanes);
+      stats->blocks_scanned += blocks.scanned;
+      stats->blocks_skipped += blocks.skipped;
     }
     SinkState merged;
     for (SinkState& p : partials) sink.MergeState(&merged, std::move(p));
@@ -787,7 +866,7 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
     opts.trace->lanes = std::max(opts.trace->lanes, lanes);
     opts.trace->morsels += static_cast<int64_t>(partials.size());
     TraceScanOps(opts.trace, plan.steps[0].table_id, !filters.empty(),
-                 visited, t, NowNanos() - t_drv);
+                 visited, blocks.skipped, t, NowNanos() - t_drv);
     const int64_t sink_rows = SinkRows(plan, merged);
     const int64_t t_fin = NowNanos();
     auto rs = sink.Finish(std::move(merged));
@@ -798,18 +877,15 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
   }
 
   SinkState state;
-  Status inner = Status::OK();
   LaneTrace t;
+  ScanBlocks blocks;
   const int64_t t_drv = tracing ? NowNanos() : 0;
-  int64_t scanned = table.BatchScan(
-      kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
-        Sel sel = LiveRows(chunk);
+  auto scanned_or = RunSerialScan(
+      table, zpreds, &blocks,
+      [&](const storage::ColumnChunkView& chunk,
+          Sel& sel) -> StatusOr<bool> {
         int64_t t0 = tracing ? NowNanos() : 0;
-        Status st = ApplyConjuncts(filters, chunk, &sel);
-        if (!st.ok()) {
-          inner = st;
-          return false;
-        }
+        OLXP_RETURN_NOT_OK(ApplyConjuncts(filters, chunk, &sel));
         if (tracing) {
           const int64_t t1 = NowNanos();
           t.filter_ns += t1 - t0;
@@ -818,20 +894,19 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
         }
         auto more = sink.Consume(&state, chunk, sel, /*serial=*/true);
         if (tracing) t.consume_ns += NowNanos() - t0;
-        if (!more.ok()) {
-          inner = more.status();
-          return false;
-        }
-        return *more;
+        return more;
       });
-  if (!inner.ok()) return inner;
+  if (!scanned_or.ok()) return scanned_or.status();
+  const int64_t scanned = *scanned_or;
   if (stats != nullptr) {
     stats->rows_scanned += scanned;
     stats->rows_scanned_driver += scanned;
+    stats->blocks_scanned += blocks.scanned;
+    stats->blocks_skipped += blocks.skipped;
   }
   if (!tracing) return sink.Finish(std::move(state));
   TraceScanOps(opts.trace, plan.steps[0].table_id, !filters.empty(), scanned,
-               t, NowNanos() - t_drv);
+               blocks.skipped, t, NowNanos() - t_drv);
   const int64_t sink_rows = SinkRows(plan, state);
   const int64_t t_fin = NowNanos();
   auto rs = sink.Finish(std::move(state));
@@ -849,13 +924,11 @@ StatusOr<sql::ResultSet> RunSingleTable(const BoundSelect& plan,
 /// read.
 struct Batch {
   std::vector<std::vector<Value>> cols;
-  std::vector<const std::vector<Value>*> ptrs;
+  std::vector<storage::ColumnSpan> desc;
   std::vector<uint8_t> live;
   size_t rows = 0;
 
-  explicit Batch(size_t nslots) : cols(nslots), ptrs(nslots) {
-    for (size_t i = 0; i < nslots; ++i) ptrs[i] = &cols[i];
-  }
+  explicit Batch(size_t nslots) : cols(nslots), desc(nslots) {}
 
   void Clear() {
     rows = 0;
@@ -866,11 +939,20 @@ struct Batch {
     // Grow-only all-ones array: View is called several times per batch
     // (probe keys, residuals, sink) and must not re-memset each time.
     if (live.size() < rows) live.resize(rows, 1);
+    // Span descriptors are refreshed every View(): the column vectors may
+    // have reallocated since the last batch. Joined batches are always
+    // boxed (kRaw) — only replica blocks carry typed encodings.
+    for (size_t i = 0; i < cols.size(); ++i) {
+      desc[i] = storage::ColumnSpan{};
+      desc[i].enc = storage::EncodedColumn::Enc::kRaw;
+      desc[i].flat = cols[i].data();
+    }
     storage::ColumnChunkView v;
     v.base = 0;
     v.rows = rows;
     v.live = live.data();
-    v.columns = ptrs.data();
+    v.cols = desc.data();
+    v.num_cols = static_cast<int>(cols.size());
     return v;
   }
 };
@@ -969,7 +1051,7 @@ class JoinPipeline {
       if (matches[i] == nullptr) continue;
       for (uint32_t r : *matches[i]) {
         for (size_t j = 0; j < in_cols.size(); ++j) {
-          next.cols[out_slots[j]].push_back(src.at(in_cols[j], sel[i]));
+          next.cols[out_slots[j]].push_back(src.value_at(in_cols[j], sel[i]));
         }
         for (int c : level.copy_cols) {
           next.cols[level.base + c].push_back(level.ht.at(c, r));
@@ -1206,6 +1288,11 @@ StatusOr<sql::ResultSet> RunHashJoin(
     levels.push_back(std::move(level));
   }
 
+  // Stream-side zone bounds: the probe fan-out and the serial probe skip
+  // stream blocks the local stream filters refute.
+  const std::vector<storage::ZonePred> zpreds =
+      ExtractZonePreds(stream_filters);
+
   const bool tracing = opts.trace != nullptr;
   if (UseParallel(opts, sink)) {
     // Parallel probe fan-out: every lane owns a pipeline (its own batch
@@ -1220,10 +1307,11 @@ StatusOr<sql::ResultSet> RunHashJoin(
     std::vector<SinkState> partials;
     int lanes = 1;
     int64_t visited = 0;
+    ScanBlocks blocks;
     std::vector<LaneTrace> lt(tracing ? static_cast<size_t>(max_lanes) : 0);
     const int64_t t_drv = tracing ? NowNanos() : 0;
     OLXP_RETURN_NOT_OK(RunMorselFanOut(
-        *tables[stream], opts, &partials, &lanes, &visited,
+        *tables[stream], opts, zpreds, &partials, &lanes, &visited, &blocks,
         [&](int lane, SinkState* st, const storage::ColumnChunkView& chunk,
             Sel& sel) -> Status {
           int64_t t0 = tracing ? NowNanos() : 0;
@@ -1254,6 +1342,8 @@ StatusOr<sql::ResultSet> RunHashJoin(
       stats->rows_scanned_driver += visited;
       stats->lanes_used = std::max(stats->lanes_used, lanes);
       stats->rows_joined += joined;
+      stats->blocks_scanned += blocks.scanned;
+      stats->blocks_skipped += blocks.skipped;
     }
     SinkState merged;
     for (SinkState& p : partials) sink.MergeState(&merged, std::move(p));
@@ -1262,7 +1352,8 @@ StatusOr<sql::ResultSet> RunHashJoin(
     opts.trace->lanes = std::max(opts.trace->lanes, lanes);
     opts.trace->morsels += static_cast<int64_t>(partials.size());
     TraceScanOps(opts.trace, plan.steps[stream].table_id,
-                 !stream_filters.empty(), visited, t, NowNanos() - t_drv);
+                 !stream_filters.empty(), visited, blocks.skipped, t,
+                 NowNanos() - t_drv);
     obs::TraceOp probe;
     probe.op = "probe";
     probe.detail = std::to_string(levels.size()) + " levels";
@@ -1287,18 +1378,15 @@ StatusOr<sql::ResultSet> RunHashJoin(
   const int64_t joined_before = jstats != nullptr ? jstats->rows_joined : 0;
   JoinPipeline pipeline(levels, total_slots, sink, jstats, /*serial=*/true);
   SinkState state;
-  Status inner = Status::OK();
   LaneTrace t;
+  ScanBlocks blocks;
   const int64_t t_drv = tracing ? NowNanos() : 0;
-  int64_t scanned = tables[stream]->BatchScan(
-      kVecChunkRows, [&](const storage::ColumnChunkView& chunk) -> bool {
-        Sel sel = LiveRows(chunk);
+  auto scanned_or = RunSerialScan(
+      *tables[stream], zpreds, &blocks,
+      [&](const storage::ColumnChunkView& chunk,
+          Sel& sel) -> StatusOr<bool> {
         int64_t t0 = tracing ? NowNanos() : 0;
-        Status st = ApplyConjuncts(stream_filters, chunk, &sel);
-        if (!st.ok()) {
-          inner = st;
-          return false;
-        }
+        OLXP_RETURN_NOT_OK(ApplyConjuncts(stream_filters, chunk, &sel));
         if (tracing) {
           const int64_t t1 = NowNanos();
           t.filter_ns += t1 - t0;
@@ -1311,21 +1399,21 @@ StatusOr<sql::ResultSet> RunHashJoin(
         auto more =
             pipeline.Probe(&state, 0, chunk, sel, stream_copy, stream_out);
         if (tracing) t.consume_ns += NowNanos() - t0;
-        if (!more.ok()) {
-          inner = more.status();
-          return false;
-        }
-        return *more;
+        return more;
       });
-  if (!inner.ok()) return inner;
+  if (!scanned_or.ok()) return scanned_or.status();
+  const int64_t scanned = *scanned_or;
   if (stats != nullptr) {
     stats->rows_scanned += scanned;
     stats->rows_scanned_driver += scanned;
+    stats->blocks_scanned += blocks.scanned;
+    stats->blocks_skipped += blocks.skipped;
   }
   if (!tracing) return sink.Finish(std::move(state));
   const int64_t joined = jstats->rows_joined - joined_before;
   TraceScanOps(opts.trace, plan.steps[stream].table_id,
-               !stream_filters.empty(), scanned, t, NowNanos() - t_drv);
+               !stream_filters.empty(), scanned, blocks.skipped, t,
+               NowNanos() - t_drv);
   obs::TraceOp probe;
   probe.op = "probe";
   probe.detail = std::to_string(levels.size()) + " levels";
@@ -1437,6 +1525,26 @@ StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
     return RunSingleTable(plan, params, *tables[0], sink, opts, stats);
   }
   return RunHashJoin(plan, params, tables, slot_types, sink, opts, stats);
+}
+
+size_t EstimateScanSlots(const sql::CompiledStatement& stmt,
+                         std::span<const Value> params,
+                         const storage::ColumnTable& table) {
+  const auto& impl = stmt.impl();
+  if (impl.kind != sql::StmtKind::kSelect || !impl.select ||
+      impl.select->steps.size() != 1) {
+    return table.SlotCount();
+  }
+  std::vector<VExpr> filters;
+  filters.reserve(impl.select->steps[0].filters.size());
+  for (const auto& f : impl.select->steps[0].filters) {
+    auto lowered = LowerExpr(*f, table.schema(), params);
+    if (!lowered.ok()) return table.SlotCount();  // interpreter-only shape
+    filters.push_back(std::move(lowered).value());
+  }
+  const std::vector<storage::ZonePred> preds = ExtractZonePreds(filters);
+  if (preds.empty()) return table.SlotCount();
+  return table.EstimateScanSlots(preds);
 }
 
 }  // namespace olxp::exec

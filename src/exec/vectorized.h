@@ -93,6 +93,10 @@ struct VecExecStats {
   /// latency model divides the vectorized work by the effective parallel
   /// speedup derived from this.
   int lanes_used = 1;
+  /// Chunk-sized blocks the driving scan read vs. skipped outright via
+  /// zone maps (sealed blocks whose min/max refute a filter conjunct).
+  int64_t blocks_scanned = 0;
+  int64_t blocks_skipped = 0;
 };
 
 /// Execution-environment knobs (the plan-independent half of the profile).
@@ -125,6 +129,16 @@ StatusOr<sql::ResultSet> ExecuteVectorized(const sql::CompiledStatement& stmt,
                                            const storage::ColumnStore& store,
                                            const VecExecOptions& opts,
                                            VecExecStats* stats);
+
+/// Slots a vectorized scan of `table` would actually read for this plan:
+/// single-table SELECT filters are lowered, zone-refutable bounds extracted,
+/// and `table`'s block zone maps consulted (sealed blocks a predicate can
+/// refute drop out; the tail always counts). Any non-lowerable shape falls
+/// back to SlotCount(). The router's cost model charges columnar scans by
+/// this instead of the raw slot count.
+size_t EstimateScanSlots(const sql::CompiledStatement& stmt,
+                         std::span<const Value> params,
+                         const storage::ColumnTable& table);
 
 }  // namespace olxp::exec
 

@@ -168,57 +168,273 @@ StatusOr<Vec> ArithKernel(BinaryOp op, const Vec& l, const Vec& r) {
   return out;
 }
 
-/// Gathers a table column over the selection into a typed vector. Columns
-/// hold NormalizeRow output, so every non-NULL value has the declared type.
+/// Gathers a table column over the selection into a typed vector, decoding
+/// the block encoding with flat-array loops (no boxed Value is built).
+/// Columns hold NormalizeRow output, so every non-NULL value of an encoded
+/// span has the declared type; kRaw spans (tail, fallback blocks) keep the
+/// historical boxed behavior.
 Vec Gather(int col, ValueType decl, const storage::ColumnChunkView& chunk,
            const Sel& sel) {
+  using Enc = storage::EncodedColumn::Enc;
   const size_t n = sel.size();
+  const storage::ColumnSpan& s = chunk.span(col);
+  const size_t off = chunk.offset;
   Vec out;
   out.n = n;
   out.type = decl;
   out.nulls.assign(n, 0);
   bool any_value = false;
   bool any_null = false;
-  if (IsIntFamily(decl)) {
-    out.ints.assign(n, 0);
-    for (size_t i = 0; i < n; ++i) {
-      const Value& v = chunk.at(col, sel[i]);
-      if (v.is_null()) {
-        out.nulls[i] = 1;
-        any_null = true;
-      } else {
-        out.ints[i] = v.AsInt();
-        any_value = true;
+  switch (s.enc) {
+    case Enc::kFlatInt:
+      out.ints.assign(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t p = off + sel[i];
+        if (s.nulls != nullptr && s.nulls[p]) {
+          out.nulls[i] = 1;
+          any_null = true;
+        } else {
+          out.ints[i] = s.ints[p];
+          any_value = true;
+        }
       }
-    }
-  } else if (decl == ValueType::kDouble) {
-    out.dbls.assign(n, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const Value& v = chunk.at(col, sel[i]);
-      if (v.is_null()) {
-        out.nulls[i] = 1;
-        any_null = true;
-      } else {
-        out.dbls[i] = v.AsDouble();
-        any_value = true;
+      break;
+    case Enc::kPacked:
+      out.ints.assign(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t p = off + sel[i];
+        if (s.nulls != nullptr && s.nulls[p]) {
+          out.nulls[i] = 1;
+          any_null = true;
+        } else {
+          out.ints[i] = static_cast<int64_t>(
+              static_cast<uint64_t>(s.pack_base) +
+              storage::UnpackBits(s.packed, s.pack_width, p));
+          any_value = true;
+        }
       }
-    }
-  } else {
-    out.strs.assign(n, nullptr);
-    for (size_t i = 0; i < n; ++i) {
-      const Value& v = chunk.at(col, sel[i]);
-      if (v.is_null()) {
-        out.nulls[i] = 1;
-        any_null = true;
-      } else {
-        out.strs[i] = &v.AsString();
-        any_value = true;
+      break;
+    case Enc::kRle: {
+      // sel is ascending, so the covering run only ever moves forward:
+      // a pointer walk instead of a binary search per row.
+      out.ints.assign(n, 0);
+      size_t ri = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t p = off + sel[i];
+        while (ri + 1 < s.num_runs && s.runs[ri + 1].start <= p) ++ri;
+        if (s.nulls != nullptr && s.nulls[p]) {
+          out.nulls[i] = 1;
+          any_null = true;
+        } else {
+          out.ints[i] = s.runs[ri].value;
+          any_value = true;
+        }
       }
+      break;
     }
+    case Enc::kFlatDbl:
+      out.dbls.assign(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t p = off + sel[i];
+        if (s.nulls != nullptr && s.nulls[p]) {
+          out.nulls[i] = 1;
+          any_null = true;
+        } else {
+          out.dbls[i] = s.dbls[p];
+          any_value = true;
+        }
+      }
+      break;
+    case Enc::kDict:
+      // Borrow string pointers from the dictionary — stable for the scan's
+      // lifetime, exactly like borrowing from boxed column storage.
+      out.strs.assign(n, nullptr);
+      for (size_t i = 0; i < n; ++i) {
+        const size_t p = off + sel[i];
+        if (s.nulls != nullptr && s.nulls[p]) {
+          out.nulls[i] = 1;
+          any_null = true;
+        } else {
+          out.strs[i] = &s.dict[s.codes[p]];
+          any_value = true;
+        }
+      }
+      break;
+    case Enc::kRaw:
+      if (IsIntFamily(decl)) {
+        out.ints.assign(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value& v = s.flat[off + sel[i]];
+          if (v.is_null()) {
+            out.nulls[i] = 1;
+            any_null = true;
+          } else {
+            out.ints[i] = v.AsInt();
+            any_value = true;
+          }
+        }
+      } else if (decl == ValueType::kDouble) {
+        out.dbls.assign(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          const Value& v = s.flat[off + sel[i]];
+          if (v.is_null()) {
+            out.nulls[i] = 1;
+            any_null = true;
+          } else {
+            out.dbls[i] = v.AsDouble();
+            any_value = true;
+          }
+        }
+      } else {
+        out.strs.assign(n, nullptr);
+        for (size_t i = 0; i < n; ++i) {
+          const Value& v = s.flat[off + sel[i]];
+          if (v.is_null()) {
+            out.nulls[i] = 1;
+            any_null = true;
+          } else {
+            out.strs[i] = &v.AsString();
+            any_value = true;
+          }
+        }
+      }
+      break;
   }
+  // Typed encodings exist only when every live value matched the declared
+  // type at seal time (Encode falls back to kRaw otherwise), so `decl` is
+  // always the right Vec type for the non-raw arms above.
   if (!any_value) return AllNull(n);
   if (!any_null) out.nulls.clear();
   return out;
+}
+
+/// Mirrors swapping a comparison's operands: `lit op col` -> `col op' lit`.
+BinaryOp FlipCompare(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsCompareOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Decomposes a leaf `col <cmp> literal` conjunct (either operand order;
+/// the returned op is normalized to column-on-the-left). Returns false for
+/// every other shape.
+bool MatchSlotLiteralCompare(const VExpr& f, int* col, BinaryOp* op,
+                             const Value** lit) {
+  if (f.kind != BKind::kBinary || !IsCompareOp(f.bop)) return false;
+  if (f.children.size() != 2) return false;
+  const VExpr& a = f.children[0];
+  const VExpr& b = f.children[1];
+  if (a.kind == BKind::kSlot && b.kind == BKind::kLiteral) {
+    *col = a.col;
+    *op = f.bop;
+    *lit = &b.literal;
+    return true;
+  }
+  if (a.kind == BKind::kLiteral && b.kind == BKind::kSlot) {
+    *col = b.col;
+    *op = FlipCompare(f.bop);
+    *lit = &a.literal;
+    return true;
+  }
+  return false;
+}
+
+/// Narrows `sel` for a `col <cmp> literal` conjunct directly on the encoded
+/// arrays — packed/RLE/flat integers compared without reboxing, string
+/// compares turned into one dictionary probe plus code compares. Returns
+/// false (sel untouched) when the shape or encoding doesn't qualify; the
+/// generic EvalVec kernel then runs. Must match CompareKernel exactly:
+/// NULL operands reject the row, integers compare exactly.
+bool TryFastFilter(const VExpr& f, const storage::ColumnChunkView& chunk,
+                   Sel* sel) {
+  using Enc = storage::EncodedColumn::Enc;
+  int col = -1;
+  BinaryOp op = BinaryOp::kEq;
+  const Value* lit = nullptr;
+  if (!MatchSlotLiteralCompare(f, &col, &op, &lit)) return false;
+  if (lit->is_null()) return false;  // generic kernel yields all-false
+  const storage::ColumnSpan& s = chunk.span(col);
+  const size_t off = chunk.offset;
+
+  const auto narrow_ints = [&](auto&& value_at) {
+    const int64_t lv = lit->AsInt();
+    size_t w = 0;
+    for (size_t k = 0; k < sel->size(); ++k) {
+      const size_t p = off + (*sel)[k];
+      if (s.nulls != nullptr && s.nulls[p]) continue;
+      const int64_t x = value_at(p);
+      const int c = x < lv ? -1 : (x > lv ? 1 : 0);
+      if (CmpMatches(op, c)) (*sel)[w++] = (*sel)[k];
+    }
+    sel->resize(w);
+  };
+
+  switch (s.enc) {
+    case Enc::kFlatInt:
+      if (!IsIntFamily(lit->type())) return false;  // e.g. double literal
+      narrow_ints([&](size_t p) { return s.ints[p]; });
+      return true;
+    case Enc::kPacked:
+      if (!IsIntFamily(lit->type())) return false;
+      narrow_ints([&](size_t p) {
+        return static_cast<int64_t>(
+            static_cast<uint64_t>(s.pack_base) +
+            storage::UnpackBits(s.packed, s.pack_width, p));
+      });
+      return true;
+    case Enc::kRle: {
+      if (!IsIntFamily(lit->type())) return false;
+      size_t ri = 0;  // sel ascends, so the covering run only moves forward
+      narrow_ints([&](size_t p) {
+        while (ri + 1 < s.num_runs && s.runs[ri + 1].start <= p) ++ri;
+        return s.runs[ri].value;
+      });
+      return true;
+    }
+    case Enc::kDict: {
+      if (lit->type() != ValueType::kString) return false;
+      // One dictionary binary search; the per-row compare is then a code
+      // compare (the dictionary is sorted, so code order == lex order).
+      const std::string& needle = lit->AsString();
+      const uint32_t lb = static_cast<uint32_t>(
+          std::lower_bound(s.dict, s.dict + s.dict_size, needle) - s.dict);
+      const bool present = lb < s.dict_size && s.dict[lb] == needle;
+      size_t w = 0;
+      for (size_t k = 0; k < sel->size(); ++k) {
+        const size_t p = off + (*sel)[k];
+        if (s.nulls != nullptr && s.nulls[p]) continue;
+        const uint32_t code = s.codes[p];
+        // Three-way outcome vs. the literal: codes below lb are < needle,
+        // lb itself is == only when present, everything else is >.
+        const int c = code < lb ? -1 : (present && code == lb ? 0 : 1);
+        if (CmpMatches(op, c)) (*sel)[w++] = (*sel)[k];
+      }
+      sel->resize(w);
+      return true;
+    }
+    case Enc::kRaw:
+    case Enc::kFlatDbl:
+      return false;  // boxed / double compares keep the generic kernel
+  }
+  return false;
 }
 
 Status RequireTruthyCapable(const Vec& v, const char* what) {
@@ -301,10 +517,36 @@ Sel LiveRows(const storage::ColumnChunkView& chunk) {
   return sel;
 }
 
+std::vector<storage::ZonePred> ExtractZonePreds(
+    std::span<const VExpr> filters) {
+  std::vector<storage::ZonePred> preds;
+  for (const VExpr& f : filters) {
+    int col = -1;
+    BinaryOp op = BinaryOp::kEq;
+    const Value* lit = nullptr;
+    if (!MatchSlotLiteralCompare(f, &col, &op, &lit)) continue;
+    if (lit->is_null()) continue;
+    storage::ZonePred p;
+    p.col = col;
+    p.lit = *lit;
+    switch (op) {
+      case BinaryOp::kEq: p.op = storage::ZonePred::Op::kEq; break;
+      case BinaryOp::kLt: p.op = storage::ZonePred::Op::kLt; break;
+      case BinaryOp::kLe: p.op = storage::ZonePred::Op::kLe; break;
+      case BinaryOp::kGt: p.op = storage::ZonePred::Op::kGt; break;
+      case BinaryOp::kGe: p.op = storage::ZonePred::Op::kGe; break;
+      default: continue;  // a min/max zone cannot refute kNe
+    }
+    preds.push_back(std::move(p));
+  }
+  return preds;
+}
+
 Status ApplyConjuncts(std::span<const VExpr> filters,
                       const storage::ColumnChunkView& chunk, Sel* sel) {
   for (const VExpr& f : filters) {
     if (sel->empty()) return Status::OK();
+    if (TryFastFilter(f, chunk, sel)) continue;
     auto cond = EvalVec(f, chunk, *sel);
     if (!cond.ok()) return cond.status();
     if (cond->type == ValueType::kString) {

@@ -58,9 +58,19 @@ Sel LiveRows(const storage::ColumnChunkView& chunk);
 /// string-typed conjunct has no vector truthiness; the interpreter owns the
 /// (degenerate) semantics, so it surfaces as Unsupported. Shared by the
 /// scan, hash-build and join-probe stages so their fallback rules can never
-/// diverge.
+/// diverge. Leaf comparisons against literals take flat-array fast paths
+/// over encoded blocks (packed/RLE integers compared without reboxing,
+/// string compares turned into dictionary-code compares) with semantics
+/// bit-identical to the generic kernel.
 Status ApplyConjuncts(std::span<const VExpr> filters,
                       const storage::ColumnChunkView& chunk, Sel* sel);
+
+/// Extracts zone-map predicate bounds from lowered filter conjuncts: every
+/// top-level `col <cmp> literal` (either operand order) with a non-null
+/// literal and an op a min/max range can refute (=, <, <=, >, >=). The
+/// result is sound for block skipping regardless of the remaining
+/// conjuncts — skipping only needs SOME conjunct to be refutable.
+std::vector<storage::ZonePred> ExtractZonePreds(std::span<const VExpr> filters);
 
 }  // namespace olxp::exec
 

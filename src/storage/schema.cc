@@ -5,8 +5,8 @@
 namespace olxp::storage {
 
 int TableSchema::ColumnIndex(std::string_view col_name) const {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (EqualsNoCase(columns_[i].name, col_name)) return static_cast<int>(i);
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (EqualsNoCase(cols_[i].name, col_name)) return static_cast<int>(i);
   }
   return -1;
 }
@@ -41,7 +41,7 @@ Row TableSchema::ExtractIndexKey(const IndexDef& idx, const Row& row) const {
 }
 
 StatusOr<Row> TableSchema::NormalizeRow(const Row& row) const {
-  if (row.size() != columns_.size()) {
+  if (row.size() != cols_.size()) {
     return Status::InvalidArgument(
         StrFormat("table %s expects %d values, got %d", name_.c_str(),
                   num_columns(), static_cast<int>(row.size())));
@@ -50,16 +50,16 @@ StatusOr<Row> TableSchema::NormalizeRow(const Row& row) const {
   out.reserve(row.size());
   for (size_t i = 0; i < row.size(); ++i) {
     if (row[i].is_null()) {
-      if (!columns_[i].nullable) {
-        return Status::InvalidArgument("column " + columns_[i].name +
+      if (!cols_[i].nullable) {
+        return Status::InvalidArgument("column " + cols_[i].name +
                                        " is NOT NULL");
       }
       out.push_back(Value::Null());
       continue;
     }
-    auto cast = row[i].CastTo(columns_[i].type);
+    auto cast = row[i].CastTo(cols_[i].type);
     if (!cast.ok()) {
-      return Status::InvalidArgument("column " + columns_[i].name + ": " +
+      return Status::InvalidArgument("column " + cols_[i].name + ": " +
                                      cast.status().message());
     }
     out.push_back(std::move(cast).value());

@@ -40,12 +40,12 @@ class TableSchema {
   TableSchema(std::string name, std::vector<ColumnDef> columns,
               std::vector<int> pk_columns)
       : name_(std::move(name)),
-        columns_(std::move(columns)),
+        cols_(std::move(columns)),
         pk_columns_(std::move(pk_columns)) {}
 
   const std::string& name() const { return name_; }
-  const std::vector<ColumnDef>& columns() const { return columns_; }
-  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::vector<ColumnDef>& columns() const { return cols_; }
+  int num_columns() const { return static_cast<int>(cols_.size()); }
   const std::vector<int>& pk_columns() const { return pk_columns_; }
   const std::vector<IndexDef>& indexes() const { return indexes_; }
   const std::vector<ForeignKeyDef>& foreign_keys() const {
@@ -77,7 +77,7 @@ class TableSchema {
 
  private:
   std::string name_;
-  std::vector<ColumnDef> columns_;
+  std::vector<ColumnDef> cols_;
   std::vector<int> pk_columns_;
   std::vector<IndexDef> indexes_;
   std::vector<ForeignKeyDef> foreign_keys_;

@@ -68,10 +68,16 @@ void ExpectParity(engine::Database& db, engine::Session& s,
   db.set_exec_threads(orig_threads);
 }
 
-class ExecParityTest : public ::testing::Test {
+/// Parameterized over EngineProfile::columnar_encoding: every parity shape
+/// runs once with sealed blocks compressed (dictionary/RLE/bit-packing)
+/// and once with boxed raw blocks, at each swept thread count — results
+/// must be bit-identical across the whole {raw, encoded} × {1, 2, 8} grid.
+class ExecParityTest : public ::testing::TestWithParam<bool> {
  protected:
   void SetUp() override {
-    db_ = std::make_unique<engine::Database>(TestProfile());
+    auto p = TestProfile();
+    p.columnar_encoding = GetParam();
+    db_ = std::make_unique<engine::Database>(p);
     s_ = db_->CreateSession();
     s_->set_charging_enabled(false);
     ASSERT_TRUE(s_->Execute("CREATE TABLE t (a INT PRIMARY KEY, b INT, "
@@ -101,7 +107,13 @@ class ExecParityTest : public ::testing::Test {
   std::unique_ptr<engine::Session> s_;
 };
 
-TEST_F(ExecParityTest, FiltersAndProjections) {
+INSTANTIATE_TEST_SUITE_P(
+    Storage, ExecParityTest, ::testing::Bool(),
+    [](const ::testing::TestParamInfo<bool>& info) {
+      return info.param ? std::string("Encoded") : std::string("Raw");
+    });
+
+TEST_P(ExecParityTest, FiltersAndProjections) {
   ExpectParity(*db_, *s_, "SELECT * FROM t WHERE b > 500");
   ExpectParity(*db_, *s_, "SELECT a, b FROM t WHERE b BETWEEN 100 AND 300 "
                           "AND c < 0.5");
@@ -119,7 +131,7 @@ TEST_F(ExecParityTest, FiltersAndProjections) {
                {Value::Int(250)});
 }
 
-TEST_F(ExecParityTest, Aggregates) {
+TEST_P(ExecParityTest, Aggregates) {
   ExpectParity(*db_, *s_, "SELECT COUNT(*) FROM t");
   ExpectParity(*db_, *s_,
                "SELECT COUNT(*), COUNT(b), SUM(b), AVG(c), MIN(b), MAX(c), "
@@ -130,7 +142,7 @@ TEST_F(ExecParityTest, Aggregates) {
   ExpectParity(*db_, *s_, "SELECT SUM(b), COUNT(*) FROM t WHERE b > 100000");
 }
 
-TEST_F(ExecParityTest, GroupByHavingOrderLimit) {
+TEST_P(ExecParityTest, GroupByHavingOrderLimit) {
   ExpectParity(*db_, *s_, "SELECT d, COUNT(*), SUM(b) FROM t GROUP BY d "
                           "ORDER BY d", {}, /*ordered=*/true);
   ExpectParity(*db_, *s_, "SELECT e, AVG(b) FROM t GROUP BY e "
@@ -147,7 +159,7 @@ TEST_F(ExecParityTest, GroupByHavingOrderLimit) {
                /*ordered=*/true);
 }
 
-TEST_F(ExecParityTest, PostDeleteSlotReuseParity) {
+TEST_P(ExecParityTest, PostDeleteSlotReuseParity) {
   // Delete a third of the rows, then insert fresh keys that recycle the
   // freed column-store slots; the vectorized scan must skip dead slots and
   // see recycled ones exactly like the interpreter.
@@ -168,7 +180,7 @@ TEST_F(ExecParityTest, PostDeleteSlotReuseParity) {
   ExpectParity(*db_, *s_, "SELECT d, COUNT(*) FROM t GROUP BY d");
 }
 
-TEST_F(ExecParityTest, UnsupportedShapesFallBackToInterpreter) {
+TEST_P(ExecParityTest, UnsupportedShapesFallBackToInterpreter) {
   ASSERT_TRUE(s_->Execute("CREATE TABLE u (k INT PRIMARY KEY, v INT)").ok());
   ASSERT_TRUE(s_->Execute("INSERT INTO u VALUES (1, 10), (2, 20)").ok());
   db_->WaitReplicaCaughtUp();
@@ -198,7 +210,7 @@ TEST_F(ExecParityTest, UnsupportedShapesFallBackToInterpreter) {
   ASSERT_TRUE(s_->Commit().ok());
 }
 
-TEST_F(ExecParityTest, MixedTypeCaseFallsBackToInterpreter) {
+TEST_P(ExecParityTest, MixedTypeCaseFallsBackToInterpreter) {
   // CASE branches with different payload families (INT column vs DOUBLE
   // column) must not be promoted to one vector type: the interpreter
   // returns each row with its picked branch's own type, so the vectorized
@@ -262,7 +274,7 @@ TEST(ExecParityChunks, CrossChunkCaseTypeFlipKeepsMinMaxExact) {
                {}, /*ordered=*/true);
 }
 
-TEST_F(ExecParityTest, StringPredicateFallsBackInsteadOfCrashing) {
+TEST_P(ExecParityTest, StringPredicateFallsBackInsteadOfCrashing) {
   // A bare string-typed WHERE conjunct has no vector truthiness; the
   // engine must hand the statement to the interpreter, not misread the
   // string vector as booleans.
@@ -273,7 +285,7 @@ TEST_F(ExecParityTest, StringPredicateFallsBackInsteadOfCrashing) {
   EXPECT_EQ(s_->last_route(), engine::RoutedStore::kColumnStore);
 }
 
-TEST_F(ExecParityTest, SnapshotWatermarkIsReported) {
+TEST_P(ExecParityTest, SnapshotWatermarkIsReported) {
   db_->set_vectorized_execution(true);
   auto rs = s_->Execute("SELECT COUNT(*) FROM t");
   ASSERT_TRUE(rs.ok());
@@ -290,10 +302,12 @@ TEST_F(ExecParityTest, SnapshotWatermarkIsReported) {
 /// sprinkled in), `item` (second dimension). Every query below must produce
 /// identical results through the vectorized hash join and the interpreter's
 /// nested-loop join.
-class JoinParityTest : public ::testing::Test {
+class JoinParityTest : public ::testing::TestWithParam<bool> {
  protected:
   void SetUp() override {
-    db_ = std::make_unique<engine::Database>(TestProfile());
+    auto p = TestProfile();
+    p.columnar_encoding = GetParam();
+    db_ = std::make_unique<engine::Database>(p);
     s_ = db_->CreateSession();
     s_->set_charging_enabled(false);
     ASSERT_TRUE(s_->Execute("CREATE TABLE cust (id INT PRIMARY KEY, "
@@ -343,7 +357,13 @@ class JoinParityTest : public ::testing::Test {
   std::unique_ptr<engine::Session> s_;
 };
 
-TEST_F(JoinParityTest, TwoTableEquiJoins) {
+INSTANTIATE_TEST_SUITE_P(
+    Storage, JoinParityTest, ::testing::Bool(),
+    [](const ::testing::TestParamInfo<bool>& info) {
+      return info.param ? std::string("Encoded") : std::string("Raw");
+    });
+
+TEST_P(JoinParityTest, TwoTableEquiJoins) {
   ExpectParity(*db_, *s_,
                "SELECT COUNT(*), SUM(o.amount) FROM ord o, cust c "
                "WHERE o.cust_id = c.id");
@@ -358,7 +378,7 @@ TEST_F(JoinParityTest, TwoTableEquiJoins) {
                "SELECT COUNT(*) FROM cust c JOIN ord o ON c.id = o.cust_id");
 }
 
-TEST_F(JoinParityTest, JoinAggregatesAndOrdering) {
+TEST_P(JoinParityTest, JoinAggregatesAndOrdering) {
   ExpectParity(*db_, *s_,
                "SELECT c.region, COUNT(*), SUM(o.amount), MAX(o.qty) "
                "FROM ord o JOIN cust c ON o.cust_id = c.id "
@@ -379,7 +399,7 @@ TEST_F(JoinParityTest, JoinAggregatesAndOrdering) {
                "ON o.cust_id = c.id");
 }
 
-TEST_F(JoinParityTest, ThreeTableJoin) {
+TEST_P(JoinParityTest, ThreeTableJoin) {
   ExpectParity(*db_, *s_,
                "SELECT i.grp, COUNT(*), SUM(o.qty * i.price) "
                "FROM ord o JOIN cust c ON o.cust_id = c.id "
@@ -392,7 +412,7 @@ TEST_F(JoinParityTest, ThreeTableJoin) {
                "AND i.grp = o.qty % 4");
 }
 
-TEST_F(JoinParityTest, CompositeAndCrossFamilyKeys) {
+TEST_P(JoinParityTest, CompositeAndCrossFamilyKeys) {
   // Composite hash key (two equi conjuncts on one step).
   ExpectParity(*db_, *s_,
                "SELECT COUNT(*), SUM(o.amount) FROM ord o JOIN cust c "
@@ -408,7 +428,7 @@ TEST_F(JoinParityTest, CompositeAndCrossFamilyKeys) {
                "ON o.cust_id = c.id AND o.amount > c.credit * 100");
 }
 
-TEST_F(JoinParityTest, GroupRepresentativeSlotsMatchInterpreter) {
+TEST_P(JoinParityTest, GroupRepresentativeSlotsMatchInterpreter) {
   // c.credit is not a GROUP BY key: its per-group value comes from the
   // group's first joined tuple, which depends on the driving order. cust is
   // the smaller side here, so a bare smaller-side build swap would stream
@@ -426,7 +446,7 @@ TEST_F(JoinParityTest, GroupRepresentativeSlotsMatchInterpreter) {
                {}, /*ordered=*/true);
 }
 
-TEST_F(JoinParityTest, NullKeysNeverJoin) {
+TEST_P(JoinParityTest, NullKeysNeverJoin) {
   // The NULL cust_ids must not match anything (NULL = NULL is false).
   db_->set_vectorized_execution(true);
   auto joined = s_->Execute(
@@ -439,7 +459,7 @@ TEST_F(JoinParityTest, NullKeysNeverJoin) {
                "SELECT COUNT(*) FROM ord o JOIN cust c ON o.cust_id = c.id");
 }
 
-TEST_F(JoinParityTest, PostDeleteSlotReuseParity) {
+TEST_P(JoinParityTest, PostDeleteSlotReuseParity) {
   // Free build-side slots and recycle them: the hash build must skip dead
   // slots and see recycled ones exactly like the interpreter.
   ASSERT_TRUE(s_->Execute("DELETE FROM cust WHERE id % 3 = 0").ok());
@@ -459,7 +479,7 @@ TEST_F(JoinParityTest, PostDeleteSlotReuseParity) {
                "ON o.cust_id = c.id GROUP BY c.name");
 }
 
-TEST_F(JoinParityTest, JoinInsideTransactionPinsToRowStore) {
+TEST_P(JoinParityTest, JoinInsideTransactionPinsToRowStore) {
   ASSERT_TRUE(s_->Begin().ok());
   auto rs = s_->Execute(
       "SELECT COUNT(*) FROM ord o JOIN cust c ON o.cust_id = c.id");

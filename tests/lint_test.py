@@ -131,6 +131,29 @@ class LintFixtureTest(unittest.TestCase):
         # Test code is exempt (gtest macros wrap most calls anyway).
         self.assert_rules({"tests/a.cc": "  txn->Commit();\n"}, [])
 
+    # ---- columns-access ----
+
+    def test_columns_access_in_engine_fails(self):
+        self.assert_rules(
+            {"src/exec/foo.cc": "auto& c = table.columns_[0];\n"},
+            ["columns-access"])
+
+    def test_columns_access_in_tests_fails(self):
+        # The ban covers tests too: readers go through the block API.
+        self.assert_rules(
+            {"tests/foo_test.cc": "t.columns_.size();\n"},
+            ["columns-access"])
+
+    def test_columns_access_in_column_store_passes(self):
+        self.assert_rules(
+            {"src/storage/column_store.cc":
+             "std::vector<std::vector<Value>> columns_;\n"}, [])
+
+    def test_columns_access_in_column_block_passes(self):
+        self.assert_rules(
+            {"src/storage/column_block.h": "size_t n = columns_.size();\n"},
+            [])
+
     # ---- end-to-end on the real repo ----
 
     def test_real_repo_is_clean(self):

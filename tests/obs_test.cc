@@ -254,6 +254,10 @@ TEST_F(ObsEngineTest, TracingChangesNoResults) {
       "SELECT k, v FROM m WHERE v > 25 AND w < 900.0",
       "SELECT k FROM m ORDER BY w DESC LIMIT 7",
       "SELECT COUNT(*) FROM m WHERE k = 17",
+      // Zone-refutable pk range: most sealed blocks are skipped outright;
+      // tracing (and the skip accounting it surfaces) must not perturb the
+      // result.
+      "SELECT COUNT(*), SUM(v) FROM m WHERE k < 100",
   };
   for (bool vectorized : {true, false}) {
     db.set_vectorized_execution(vectorized);
@@ -313,6 +317,55 @@ TEST_F(ObsEngineTest, ExplainAnalyzeReturnsTraceAndExecutesInner) {
 
   // Plain EXPLAIN (no ANALYZE) is not claimed by the prefix parser.
   EXPECT_FALSE(s->Execute("EXPLAIN SELECT COUNT(*) FROM m").ok());
+}
+
+TEST_F(ObsEngineTest, ColumnStorageGaugesAndZoneSkipTelemetry) {
+  engine::Database db(Profile());
+  auto s = db.CreateSession();
+  s->set_charging_enabled(false);
+  RunMixedWorkload(db, *s);  // 3000 sequential keys: 2 sealed blocks + tail
+
+  // A pk-range predicate whose bounds refute the second sealed block's
+  // zone map: the scan must read fewer blocks than exist and say so.
+  auto rs = s->Execute("SELECT COUNT(*) FROM m WHERE k < 100");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(s->last_vectorized());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 100);
+
+  // StatsJson() refreshes the per-table storage gauges into the registry.
+  const std::string json = db.StatsJson();
+  for (const char* name :
+       {"column.m.blocks_scanned", "column.m.blocks_skipped",
+        "column.m.bytes_encoded", "column.m.bytes_raw"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name << "\n" << json;
+  }
+  auto snap = db.metrics().Snapshot();
+  EXPECT_GT(snap.gauges.at("column.m.blocks_scanned"), 0);
+  EXPECT_GT(snap.gauges.at("column.m.blocks_skipped"), 0);
+  EXPECT_GT(snap.gauges.at("column.m.bytes_encoded"), 0);
+  // Sealed blocks compress below their boxed footprint.
+  EXPECT_LT(snap.gauges.at("column.m.bytes_encoded"),
+            snap.gauges.at("column.m.bytes_raw"));
+  // The Prometheus endpoint exposes the same gauges (dots to underscores).
+  const std::string prom = db.MetricsText();
+  EXPECT_NE(prom.find("column_m_blocks_skipped"), std::string::npos) << prom;
+
+  // EXPLAIN ANALYZE surfaces the skip count on the scan operator.
+  auto explained =
+      s->Execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM m WHERE k < 100");
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  std::string all;
+  for (const Row& r : explained->rows) all += r[0].AsString() + "\n";
+  EXPECT_NE(all.find("zskip="), std::string::npos) << all;
+  EXPECT_EQ(all.find("zskip=0"), std::string::npos) << all;
+
+  // An exhaustive predicate skips nothing and the trace reports that too.
+  auto full = s->Execute("EXPLAIN ANALYZE SELECT COUNT(*) FROM m WHERE "
+                         "v <> 123456");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  all.clear();
+  for (const Row& r : full->rows) all += r[0].AsString() + "\n";
+  EXPECT_NE(all.find("zskip=0"), std::string::npos) << all;
 }
 
 TEST_F(ObsEngineTest, SlowQueryLogAdmitsByThresholdIntoBoundedRing) {

@@ -310,14 +310,25 @@ TEST(ParallelRouting, ParallelCostTermPullsIndexedScansToReplica) {
   // serial replica the row store's index path wins; a pool divides the
   // replica's cost below it and the router flips. Both executions are
   // correct — this pins the cost model's parallel term. 20k rows = ~5
-  // morsels, so the lane clamp still leaves a real fan-out.
+  // morsels, so the lane clamp still leaves a real fan-out. Keys insert in
+  // shuffled order so every sealed block's zone map spans the whole key
+  // range: zone pruning estimates a full read and the parallel term is
+  // pinned in isolation (zone-based routing has its own coverage in
+  // obs_test / encoding_test).
   auto p = ParallelProfile(1);
   p.cost_based_routing = true;
   engine::Database db(p);
   auto s = db.CreateSession();
   s->set_charging_enabled(false);
   ASSERT_TRUE(s->Execute("CREATE TABLE ix (k INT PRIMARY KEY, v INT)").ok());
-  for (int k = 0; k < 20000; ++k) {
+  uint64_t lcg = 1;
+  std::vector<int> keys(20000);
+  for (int k = 0; k < 20000; ++k) keys[k] = k;
+  for (int k = 19999; k > 0; --k) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::swap(keys[k], keys[lcg % (k + 1)]);
+  }
+  for (int k : keys) {
     ASSERT_TRUE(s->Execute("INSERT INTO ix VALUES (?, ?)",
                            {Value::Int(k), Value::Int(k)})
                     .ok());
