@@ -4,13 +4,18 @@
 Stdlib-only; runs from CI (static-analysis job) and from ctest. Rules:
 
   raw-sync        std::mutex / std::shared_mutex / std lock guards /
-                  std::condition_variable are banned outside
-                  src/common/sync.h — all engine synchronization goes
-                  through the Clang-TSA-annotated wrappers so every new
-                  lock is born analyzable.
-  tsa-escape      NO_THREAD_SAFETY_ANALYSIS is banned outside
-                  src/common/sync.h: fix the locking, don't mute the
-                  analysis.
+                  std::condition_variable are banned outside the sync
+                  core (src/common/sync.h and the lock-order witness it
+                  hooks into) — all engine synchronization goes through
+                  the Clang-TSA-annotated wrappers so every new lock is
+                  born analyzable. Findings carry the suggested sync::
+                  replacement.
+  tsa-escape      NO_THREAD_SAFETY_ANALYSIS is banned outside the sync
+                  core: fix the locking, don't mute the analysis.
+  lock-rank       Every sync::Mutex / sync::SharedMutex construction in
+                  engine code must pass a named LockRank:: and a name,
+                  so the lock-order witness (common/lockorder.h) covers
+                  every lock from birth.
   todo-tag        TODO comments must carry an issue tag — TODO(#123) —
                   so they are findable and owned, not permanent.
   parent-include  #include "../foo.h" is banned; include internal
@@ -42,14 +47,39 @@ import sys
 SCAN_DIRS = ["src", "tests", "bench", "examples"]
 # Engine (non-test) code: raw-sync, tsa-escape and naked-status apply here.
 ENGINE_DIRS = ["src"]
-# The one file allowed to touch raw primitives and the escape hatch.
-SYNC_HEADER = pathlib.PurePosixPath("src/common/sync.h")
+# The sync core: the only files allowed to touch raw primitives and the
+# escape hatch (the wrappers themselves and the lock-order witness they
+# call into, which cannot use the wrappers it instruments).
+SYNC_CORE = {
+    "src/common/sync.h",
+    "src/common/lockorder.h",
+    "src/common/lockorder.cc",
+}
 
 CC_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
 
 RAW_SYNC_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
     r"unique_lock|shared_lock|scoped_lock|condition_variable(_any)?)\b")
+# Fix-hint appended to raw-sync findings: the wrapper that replaces each
+# banned primitive.
+RAW_SYNC_SUGGEST = {
+    "mutex": "sync::Mutex",
+    "shared_mutex": "sync::SharedMutex",
+    "recursive_mutex": "sync::Mutex (restructure: no recursive locking)",
+    "timed_mutex": "sync::Mutex",
+    "lock_guard": "sync::MutexLock",
+    "unique_lock": "sync::MutexLock",
+    "scoped_lock": "sync::MutexLock",
+    "shared_lock": "sync::ReaderLock",
+    "condition_variable": "sync::CondVar",
+    "condition_variable_any": "sync::CondVar",
+}
+# A sync wrapper lock being CONSTRUCTED (declaration followed by an
+# identifier). Pointer/reference parameters (`sync::Mutex* mu`) and the
+# guards (sync::MutexLock etc.) don't match.
+LOCK_DECL_RE = re.compile(r"\bsync::(?:Mutex|SharedMutex)\b\s+[A-Za-z_]")
+LOCK_RANK_RE = re.compile(r"\bLockRank::k[A-Za-z]+\b")
 TSA_ESCAPE_RE = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b|"
                            r"\bno_thread_safety_analysis\b")
 TODO_RE = re.compile(r"\bTODO\b")
@@ -87,10 +117,11 @@ def lint_file(root, rel, findings):
     except OSError as e:
         findings.append((rel, 0, "io", f"unreadable: {e}"))
         return
-    is_sync_header = rel.as_posix() == SYNC_HEADER.as_posix()
+    in_sync_core = rel.as_posix() in SYNC_CORE
     in_engine = is_under(rel, ENGINE_DIRS)
     columns_ok = rel.as_posix().startswith(COLUMNS_ALLOWED_PREFIXES)
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
         if TODO_RE.search(line) and not TODO_TAGGED_RE.search(line):
             findings.append((rel, lineno, "todo-tag",
                              "TODO without an issue tag (use TODO(#N))"))
@@ -103,17 +134,33 @@ def lint_file(root, rel, findings):
                              "direct columns_ access outside the block "
                              "storage core; go through the ColumnChunkView "
                              "block API"))
-        if is_sync_header:
+        if in_sync_core:
             continue
         if in_engine:
-            if RAW_SYNC_RE.search(line):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                suggest = RAW_SYNC_SUGGEST.get(m.group(1))
+                hint = f"; replace std::{m.group(1)} with {suggest}" \
+                    if suggest else ""
                 findings.append((rel, lineno, "raw-sync",
                                  "raw std sync primitive; use the annotated "
-                                 "wrappers in common/sync.h"))
+                                 f"wrappers in common/sync.h{hint}"))
             if TSA_ESCAPE_RE.search(line):
                 findings.append((rel, lineno, "tsa-escape",
-                                 "NO_THREAD_SAFETY_ANALYSIS outside "
-                                 "common/sync.h; fix the locking instead"))
+                                 "NO_THREAD_SAFETY_ANALYSIS outside the "
+                                 "sync core; fix the locking instead"))
+            if (LOCK_DECL_RE.search(line)
+                    and not LINE_COMMENT_RE.match(line)):
+                # The rank may sit on the declaration line or (wrapped
+                # initializer) on the next one.
+                window = line + (lines[lineno] if lineno < len(lines)
+                                 else "")
+                if not LOCK_RANK_RE.search(window):
+                    findings.append((rel, lineno, "lock-rank",
+                                     "sync lock constructed without a "
+                                     "named LockRank:: (and name); the "
+                                     "lock-order witness must cover every "
+                                     "lock — see common/lockorder.h"))
             if (NAKED_STATUS_RE.match(line)
                     and not LINE_COMMENT_RE.match(line)
                     # Unbalanced parens = continuation of a wrapping call

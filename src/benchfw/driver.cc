@@ -168,7 +168,7 @@ StatusOr<RunResult> RunCell(engine::Database& db, const BenchmarkSuite& suite,
     to0 = ls.timeouts.load();
   });
 
-  sync::Mutex out_mu;
+  sync::Mutex out_mu{sync::LockRank::kClient, "benchfw.stats"};
   std::vector<std::thread> threads;
   uint64_t seed = cfg.seed;
   for (size_t g = 0; g < agents.size(); ++g) {

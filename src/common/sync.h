@@ -7,6 +7,8 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "common/lockorder.h"
+
 // ---------------------------------------------------------------------------
 // Clang Thread Safety Analysis attribute macros
 // ---------------------------------------------------------------------------
@@ -18,9 +20,12 @@
 // with it held (EXCLUDES). Under GCC and MSVC the attributes expand to
 // nothing, so the wrappers cost exactly one indirection that inlines away.
 //
-// Repo rule (enforced by ci/lint_engine.py): raw std::mutex /
-// std::shared_mutex and the std lock guards are banned outside this header;
-// NO_THREAD_SAFETY_ANALYSIS escapes are banned outside this header.
+// Repo rules (enforced by ci/lint_engine.py): raw std::mutex /
+// std::shared_mutex and the std lock guards are banned outside the sync core
+// (this header + common/lockorder.{h,cc}); NO_THREAD_SAFETY_ANALYSIS escapes
+// are banned outside this header; and every Mutex/SharedMutex construction
+// must name its LockRank (the lock-rank hierarchy lives in
+// common/lockorder.h — witness builds verify acquisition order at runtime).
 
 #if defined(__clang__)
 #define OLXP_TSA_(x) __attribute__((x))
@@ -59,37 +64,103 @@ namespace olxp::sync {
 /// std::mutex carrying the "mutex" capability. Prefer the MutexLock guard;
 /// the raw Lock/Unlock surface exists for guard classes and the rare
 /// split-scope pattern (and keeps the analysis informed either way).
+///
+/// Construction requires a LockRank + name (common/lockorder.h). Witness
+/// builds check every acquisition against the thread's held-lock stack;
+/// Release builds discard both arguments at compile time.
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name)
+#if defined(OLXP_LOCK_ORDER)
+      : rank_(rank), name_(name)
+#endif
+  {
+    (void)rank;
+    (void)name;
+  }
+  ~Mutex() { lockorder::OnDestroy(this); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+#if defined(OLXP_LOCK_ORDER)
+    lockorder::OnAcquire(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lockorder::OnRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if defined(OLXP_LOCK_ORDER)
+    lockorder::OnAcquire(this, rank_, name_);
+#endif
+    return true;
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if defined(OLXP_LOCK_ORDER)
+  const LockRank rank_;
+  const char* const name_;
+#endif
 };
 
 /// std::shared_mutex carrying the "shared_mutex" capability. Writers take
 /// the exclusive side (WriterLock), readers the shared side (ReaderLock).
+/// Shared and exclusive acquisitions rank identically: a shared hold still
+/// participates in hold-and-wait cycles against writers.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  explicit SharedMutex(LockRank rank, const char* name)
+#if defined(OLXP_LOCK_ORDER)
+      : rank_(rank), name_(name)
+#endif
+  {
+    (void)rank;
+    (void)name;
+  }
+  ~SharedMutex() { lockorder::OnDestroy(this); }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+#if defined(OLXP_LOCK_ORDER)
+    lockorder::OnAcquire(this, rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lockorder::OnRelease(this);
+    mu_.unlock();
+  }
+  void LockShared() ACQUIRE_SHARED() {
+#if defined(OLXP_LOCK_ORDER)
+    lockorder::OnAcquire(this, rank_, name_);
+#endif
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    lockorder::OnRelease(this);
+    mu_.unlock_shared();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if defined(OLXP_LOCK_ORDER)
+    lockorder::OnAcquire(this, rank_, name_);
+#endif
+    return true;
+  }
 
  private:
   std::shared_mutex mu_;
+#if defined(OLXP_LOCK_ORDER)
+  const LockRank rank_;
+  const char* const name_;
+#endif
 };
 
 // ---------------------------------------------------------------------------

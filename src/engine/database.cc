@@ -162,6 +162,11 @@ std::string Database::StatsJson() {
   // Storage gauges (per-table footprint and block-skip telemetry) are
   // pull-published: refresh them right before snapshotting.
   column_store_.PublishMetrics(&metrics_);
+  // Lock-hierarchy coverage: distinct acquired-after pairs the debug
+  // witness has observed (0 in Release builds, where the witness compiles
+  // out entirely).
+  metrics_.GetGauge("lockorder.edges_observed")
+      ->Set(sync::lockorder::EdgesObserved());
   std::string out = "{\"metrics\":";
   out += metrics_.Snapshot().ToJson();
   out += ",\"slow_query_total\":";
@@ -183,6 +188,8 @@ std::string Database::StatsJson() {
 
 std::string Database::MetricsText() {
   column_store_.PublishMetrics(&metrics_);
+  metrics_.GetGauge("lockorder.edges_observed")
+      ->Set(sync::lockorder::EdgesObserved());
   return metrics_.Snapshot().ToPrometheusText();
 }
 

@@ -181,7 +181,9 @@ class Database : public sql::Catalog {
   /// Declared last: destroyed first, flushing its tail while the rest of
   /// the substrate is still alive. No transaction runs during destruction.
   std::unique_ptr<storage::WalWriter> wal_;
-  sync::Mutex checkpoint_mu_;  ///< serializes Checkpoint() callers
+  /// Serializes Checkpoint() callers; outermost rank — a checkpoint pins
+  /// the commit scope, the snapshot registry, table latches and the WAL.
+  sync::Mutex checkpoint_mu_{sync::LockRank::kCheckpoint, "db.checkpoint"};
   Status recovery_status_;
 };
 

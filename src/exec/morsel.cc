@@ -17,22 +17,29 @@ WorkerPool::WorkerPool(int lanes) : lanes_(std::max(1, lanes)) {
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 void WorkerPool::set_metrics(obs::MetricsRegistry* metrics) {
+  // Registry lookups happen BEFORE taking mu_: the registry mutex ranks
+  // below the pool mutex (workers hold mu_ far more often than anyone
+  // touches the registry), so looking up under mu_ would invert the lock
+  // order. Only the member stores need the pool lock.
+  obs::Counter* runs = nullptr;
+  obs::Counter* jobs = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  std::vector<obs::Counter*> lane_busy;
+  if (metrics != nullptr) {
+    runs = metrics->GetCounter("exec.pool.runs");
+    jobs = metrics->GetCounter("exec.pool.jobs");
+    queue_depth = metrics->GetGauge("exec.pool.queue_depth");
+    lane_busy.resize(static_cast<size_t>(lanes_));
+    for (int lane = 0; lane < lanes_; ++lane) {
+      lane_busy[static_cast<size_t>(lane)] = metrics->GetCounter(
+          "exec.pool.lane" + std::to_string(lane) + ".busy_ns");
+    }
+  }
   sync::MutexLock lk(mu_);
-  if (metrics == nullptr) {
-    m_runs_ = nullptr;
-    m_jobs_ = nullptr;
-    m_queue_depth_ = nullptr;
-    lane_busy_ns_.clear();
-    return;
-  }
-  m_runs_ = metrics->GetCounter("exec.pool.runs");
-  m_jobs_ = metrics->GetCounter("exec.pool.jobs");
-  m_queue_depth_ = metrics->GetGauge("exec.pool.queue_depth");
-  lane_busy_ns_.resize(static_cast<size_t>(lanes_));
-  for (int lane = 0; lane < lanes_; ++lane) {
-    lane_busy_ns_[static_cast<size_t>(lane)] = metrics->GetCounter(
-        "exec.pool.lane" + std::to_string(lane) + ".busy_ns");
-  }
+  m_runs_ = runs;
+  m_jobs_ = jobs;
+  m_queue_depth_ = queue_depth;
+  lane_busy_ns_ = std::move(lane_busy);
 }
 
 void WorkerPool::Shutdown() {

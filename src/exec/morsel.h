@@ -61,7 +61,8 @@ class WorkerPool {
   void WorkerLoop();
 
   const int lanes_;
-  sync::Mutex mu_;
+  /// Entered by Run() with a scan pin (TableLatch) held, hence the rank.
+  sync::Mutex mu_{sync::LockRank::kWorkerPool, "workerpool"};
   sync::CondVar work_cv_;  ///< workers wait for jobs here
   sync::CondVar done_cv_;  ///< Run() callers wait for lanes here
   std::deque<Job> jobs_ GUARDED_BY(mu_);

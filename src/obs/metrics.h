@@ -71,7 +71,7 @@ class Histogram {
   }
 
  private:
-  mutable sync::Mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kObs, "obs.histogram"};
   LatencyHistogram hist_ GUARDED_BY(mu_);
 };
 
@@ -123,7 +123,7 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable sync::Mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kObs, "obs.registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_

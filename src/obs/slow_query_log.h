@@ -51,7 +51,7 @@ class SlowQueryLog {
 
  private:
   const size_t capacity_;
-  mutable sync::Mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kObs, "obs.slowlog"};
   uint64_t seq_ GUARDED_BY(mu_) = 0;
   std::deque<SlowQueryEntry> ring_ GUARDED_BY(mu_);
 };

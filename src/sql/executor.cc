@@ -721,6 +721,48 @@ StatusOr<const std::vector<Row>*> MaterializeSubquery(const BoundExpr& e,
   return &*ctx->sub_cache[e.sub_id];
 }
 
+/// Executes every subquery reachable from `e` into the sub_cache. RunJoin
+/// calls this before taking any table latch: evaluating a subquery lazily
+/// from inside a scan callback would open a nested scan under the SHARED
+/// table latch — the lock-order hazard that kept TSan's deadlock detection
+/// off. Correlation is unsupported (subqueries compile in a fresh scope),
+/// so every subquery is loop-invariant and safe to run up front.
+Status PrematerializeSubqueries(const BoundExpr& e, ExecContext* ctx) {
+  if (e.sub_id >= 0) {
+    auto rows = MaterializeSubquery(e, ctx);
+    if (!rows.ok()) return rows.status();
+  }
+  for (const auto& c : e.children) {
+    OLXP_RETURN_NOT_OK(PrematerializeSubqueries(*c, ctx));
+  }
+  return Status::OK();
+}
+
+/// Walks every expression position in the plan (step keys, ranges and
+/// filters; projections; grouping, aggregate arguments, HAVING; ORDER BY)
+/// and pre-materializes the subqueries found there.
+Status PrematerializePlanSubqueries(const BoundSelect& plan,
+                                    ExecContext* ctx) {
+  auto walk = [&](const BoundExprPtr& p) -> Status {
+    if (p == nullptr) return Status::OK();
+    return PrematerializeSubqueries(*p, ctx);
+  };
+  for (const TableStep& step : plan.steps) {
+    for (const auto& k : step.key_exprs) OLXP_RETURN_NOT_OK(walk(k));
+    OLXP_RETURN_NOT_OK(walk(step.range_lo));
+    OLXP_RETURN_NOT_OK(walk(step.range_hi));
+    for (const auto& f : step.filters) OLXP_RETURN_NOT_OK(walk(f));
+  }
+  for (const auto& p : plan.projections) OLXP_RETURN_NOT_OK(walk(p));
+  for (const auto& g : plan.group_by) OLXP_RETURN_NOT_OK(walk(g));
+  for (const AggSpec& a : plan.aggs) OLXP_RETURN_NOT_OK(walk(a.arg));
+  OLXP_RETURN_NOT_OK(walk(plan.having));
+  for (const BoundOrderItem& oi : plan.order_by) {
+    OLXP_RETURN_NOT_OK(walk(oi.expr));
+  }
+  return Status::OK();
+}
+
 /// Numeric binary op with int/double promotion.
 StatusOr<Value> Arith(BinaryOp op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
@@ -944,10 +986,40 @@ struct Group {
 };
 
 /// Drives the join pipeline: emits every joined tuple passing all filters.
+///
+/// Latch discipline: multi-step plans take ONE table latch at a time, like
+/// the vectorized path's one-ScanPin-per-table rule. Recursing into the
+/// next step from inside a scan callback would nest that table's SHARED
+/// latch under the current one; two joins ordering the tables differently
+/// (or a concurrent exclusive-latch taker such as CREATE INDEX backfill)
+/// then form an acquired-after cycle — a real deadlock, and the reason
+/// TSan ran with detect_deadlocks=0. So for nested plans every scan-style
+/// step materializes its rows first and recursion only ever walks
+/// in-memory vectors; kFull inner tables cache once per statement, which
+/// also removes the O(outer x inner) rescan. Single-step plans keep the
+/// streaming path (LIMIT early-stop, no copy): with subqueries
+/// pre-materialized, their callbacks touch no storage.
 Status RunJoin(const BoundSelect& plan, ExecContext* ctx,
                const std::function<Status(const Row&)>& emit,
                bool* stop_flag) {
+  OLXP_RETURN_NOT_OK(PrematerializePlanSubqueries(plan, ctx));
+
   Row tuple(plan.total_slots, Value::Null());
+  const bool nested = plan.steps.size() > 1;
+  // Per-statement cache of fully-scanned tables (kFull and degenerate
+  // range steps of nested plans), keyed by step index.
+  std::vector<std::optional<std::vector<Row>>> full_cache(plan.steps.size());
+  auto ensure_full = [&](size_t k) -> Status {
+    if (full_cache[k].has_value()) return Status::OK();
+    std::vector<Row> rows;
+    OLXP_RETURN_NOT_OK(
+        ctx->storage->ScanTable(plan.steps[k].table_id, [&](const Row& row) {
+          rows.push_back(row);
+          return true;
+        }));
+    full_cache[k] = std::move(rows);
+    return Status::OK();
+  };
 
   // Recursive step executor.
   std::function<Status(size_t)> do_step = [&](size_t k) -> Status {
@@ -1012,7 +1084,28 @@ Status RunJoin(const BoundSelect& plan, ExecContext* ctx,
         }
         if (lo.empty() && hi.empty()) {
           // Degenerate: treat as full scan.
+          if (nested) {
+            OLXP_RETURN_NOT_OK(ensure_full(k));
+            for (const Row& row : *full_cache[k]) {
+              if (!consume(row)) break;
+            }
+            return inner_status;
+          }
           OLXP_RETURN_NOT_OK(ctx->storage->ScanTable(step.table_id, consume));
+          return inner_status;
+        }
+        if (nested) {
+          // Key depends on outer slots: collect under the latch, consume
+          // (and recurse) after it drops.
+          std::vector<Row> rows;
+          OLXP_RETURN_NOT_OK(ctx->storage->ScanPkRange(
+              step.table_id, lo, hi, [&](const Row& row) {
+                rows.push_back(row);
+                return true;
+              }));
+          for (const Row& row : rows) {
+            if (!consume(row)) break;
+          }
           return inner_status;
         }
         OLXP_RETURN_NOT_OK(
@@ -1036,6 +1129,13 @@ Status RunJoin(const BoundSelect& plan, ExecContext* ctx,
         return inner_status;
       }
       case TableStep::Path::kFull: {
+        if (nested) {
+          OLXP_RETURN_NOT_OK(ensure_full(k));
+          for (const Row& row : *full_cache[k]) {
+            if (!consume(row)) break;
+          }
+          return inner_status;
+        }
         OLXP_RETURN_NOT_OK(ctx->storage->ScanTable(step.table_id, consume));
         return inner_status;
       }

@@ -211,7 +211,7 @@ class ColumnTable {
 
   TableSchema schema_;
   const bool encode_;
-  mutable sync::SharedMutex mu_;
+  mutable sync::SharedMutex mu_{sync::LockRank::kTableLatch, "column.table"};
   std::vector<ColumnBlock> blocks_ GUARDED_BY(mu_);
   size_t sealed_slots_ GUARDED_BY(mu_) = 0;  // == blocks_.size()*kBlockSlots
   std::vector<std::vector<Value>> tail_cols_ GUARDED_BY(mu_);  // [col][idx]

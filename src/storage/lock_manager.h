@@ -124,7 +124,8 @@ class LockManager {
     }
   };
   struct Shard {
-    sync::Mutex mu;
+    /// All shards share one rank: two shard mutexes are never nested.
+    sync::Mutex mu{sync::LockRank::kLockManagerShard, "lockmgr.shard"};
     sync::CondVar cv;
     std::unordered_map<TableKey, LockEntry, TableKeyHash, TableKeyEq> locks
         GUARDED_BY(mu);

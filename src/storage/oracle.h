@@ -65,7 +65,7 @@ class TimestampOracle {
  private:
   friend class CommitScope;
   std::atomic<uint64_t> counter_{0};
-  sync::Mutex commit_mu_;
+  sync::Mutex commit_mu_{sync::LockRank::kOracleCommit, "oracle.commit"};
 };
 
 }  // namespace olxp::storage

@@ -74,7 +74,7 @@ class Replicator {
   ColumnStore* store_;
   /// apply_mu_ serializes ApplyUpTo between the shipping thread and
   /// CatchUp, and guards the registry/metrics wiring the apply path reads.
-  sync::Mutex apply_mu_;
+  sync::Mutex apply_mu_{sync::LockRank::kReplicatorApply, "replicator.apply"};
   SnapshotRegistry* registry_ GUARDED_BY(apply_mu_) = nullptr;
   SnapshotRegistry::Handle frontier_handle_ GUARDED_BY(apply_mu_) = 0;
   std::atomic<int64_t> lag_micros_;

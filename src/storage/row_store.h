@@ -43,7 +43,7 @@ class RowStore {
   std::atomic<int>& active_scans() { return active_scans_; }
 
  private:
-  mutable sync::SharedMutex mu_;
+  mutable sync::SharedMutex mu_{sync::LockRank::kCatalog, "rowstore.catalog"};
   std::vector<std::unique_ptr<MvccTable>> tables_ GUARDED_BY(mu_);
   /// Lower-cased names.
   std::unordered_map<std::string, int> name_to_id_ GUARDED_BY(mu_);

@@ -192,7 +192,9 @@ class MvccTable {
 
   const int table_id_;
 
-  mutable sync::SharedMutex mu_;
+  /// All table latches share one rank: the executor pins one table per
+  /// scan and never acquires another table's latch inside a scan callback.
+  mutable sync::SharedMutex mu_{sync::LockRank::kTableLatch, "mvcc.table"};
   /// Every schema snapshot ever published, oldest first; the newest is the
   /// one schema() serves. Grows only on AddIndex (bounded by DDL count), so
   /// retaining the history keeps old references valid forever instead of

@@ -87,7 +87,7 @@ class SnapshotRegistry {
   }
 
  private:
-  mutable sync::Mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kSnapshotRegistry, "snapshots"};
   std::unordered_map<Handle, uint64_t> active_ GUARDED_BY(mu_);
   Handle next_handle_ GUARDED_BY(mu_) = 1;
 };
@@ -155,18 +155,21 @@ class Vacuum {
   const TimestampOracle* oracle_;
   const VacuumConfig config_;
 
-  sync::Mutex pass_mu_;  ///< serializes RunOnce between thread and callers
-  mutable sync::Mutex totals_mu_;
+  /// Serializes RunOnce between thread and callers. Held across table
+  /// latches and the snapshot registry, hence the outer rank.
+  sync::Mutex pass_mu_{sync::LockRank::kVacuumPass, "vacuum.pass"};
+  mutable sync::Mutex totals_mu_{sync::LockRank::kVacuumState,
+                                 "vacuum.totals"};
   VacuumStats totals_ GUARDED_BY(totals_mu_);
 
-  sync::Mutex history_mu_;
+  sync::Mutex history_mu_{sync::LockRank::kVacuumState, "vacuum.history"};
   /// (wall_us, oracle ts) samples driving the gc_history_us mapping.
   std::deque<std::pair<int64_t, uint64_t>> history_ GUARDED_BY(history_mu_);
 
   std::atomic<uint64_t> last_watermark_{0};
   std::atomic<uint64_t> passes_{0};
 
-  sync::Mutex wake_mu_;
+  sync::Mutex wake_mu_{sync::LockRank::kVacuumState, "vacuum.wake"};
   sync::CondVar wake_cv_;  ///< interruptible inter-pass sleep
   std::atomic<bool> running_{false};
   std::thread thread_;

@@ -192,8 +192,9 @@ class WalWriter {
   /// Flush() never interleave frames; mu_ orders sequence assignment and
   /// guards the pending buffer. Whenever both are held, io_mu_ is taken
   /// first and mu_ only for the short buffer swap.
-  sync::Mutex io_mu_;
-  mutable sync::Mutex mu_ ACQUIRED_AFTER(io_mu_);
+  sync::Mutex io_mu_{sync::LockRank::kWalIo, "wal.io"};
+  mutable sync::Mutex mu_ ACQUIRED_AFTER(io_mu_){sync::LockRank::kWalPending,
+                                                 "wal.pending"};
   sync::CondVar pending_cv_;  ///< wakes the flusher
   sync::CondVar durable_cv_;  ///< wakes group-commit waiters
   std::string pending_ GUARDED_BY(mu_);  ///< encoded frames awaiting write
@@ -322,7 +323,7 @@ class CommitLog {
   uint64_t OldestPendingCommitTs(uint64_t from_seq) const;
 
  private:
-  mutable sync::Mutex mu_;
+  mutable sync::Mutex mu_{sync::LockRank::kCommitLog, "commitlog"};
   std::deque<CommitRecord> records_ GUARDED_BY(mu_);
   uint64_t base_seq_ GUARDED_BY(mu_) = 0;  ///< seq of records_.front()
   bool retain_records_ GUARDED_BY(mu_) = true;

@@ -322,6 +322,7 @@ Status Transaction::Commit() {
     return Status::OK();
   }
   uint64_t durable_ticket = 0;
+  Status validate = Status::OK();
   {
     // Two-phase commit publish: versions install with a reserved timestamp
     // that no open snapshot can observe until the scope ends (see
@@ -329,6 +330,10 @@ Status Transaction::Commit() {
     // append with the publish so the log stays in commit order. Row locks
     // MUST outlive the publish: releasing them earlier lets a waiting
     // read-committed writer read the pre-publish value and lose our update.
+    // Conversely, lock RELEASE must wait for the scope to end: the oracle's
+    // commit mutex ranks above the lock-manager shards, so releasing inside
+    // the scope would invert the lock order (and needlessly extend the
+    // publish critical section).
     storage::TimestampOracle::CommitScope scope(oracle_);
     const uint64_t commit_ts = scope.commit_ts();
     // Validate EVERY chain head against commit_ts before installing
@@ -340,40 +345,49 @@ Status Transaction::Commit() {
       storage::MvccTable* t = store_->table(table_id);
       assert(t != nullptr);
       for (auto& [pk, w] : ws) {
+        (void)w;
         if (t->LatestCommitTs(pk) > commit_ts) {
-          write_sets_.clear();
-          state_ = TxnState::kAborted;
-          ReleaseAllLocks();
-          ReleaseSnapshot();
-          return Status::Internal("non-monotone commit ts on " +
-                                  t->schema().name());
+          validate = Status::Internal("non-monotone commit ts on " +
+                                      t->schema().name());
+          break;
         }
       }
+      if (!validate.ok()) break;
     }
-    storage::CommitRecord rec;
-    rec.commit_ts = commit_ts;
-    rec.commit_wall_us = NowMicros();
-    for (auto& [table_id, ws] : write_sets_) {
-      storage::MvccTable* t = store_->table(table_id);
-      for (auto& [pk, w] : ws) {
-        // Cannot fail: the chain heads were validated above and are pinned
-        // by our row locks. The check stays for non-commit callers
-        // (recovery, loaders); a failure here would be a locking bug.
-        Status install = t->InstallVersion(pk, commit_ts, w.deleted, w.data);
-        assert(install.ok());
-        (void)install;
-        storage::LogOp op;
-        op.kind = w.deleted ? storage::LogOp::Kind::kDelete
-                            : storage::LogOp::Kind::kUpsert;
-        op.table_id = table_id;
-        op.pk = pk;
-        op.data = std::move(w.data);
-        rec.ops.push_back(std::move(op));
+    if (validate.ok()) {
+      storage::CommitRecord rec;
+      rec.commit_ts = commit_ts;
+      rec.commit_wall_us = NowMicros();
+      for (auto& [table_id, ws] : write_sets_) {
+        storage::MvccTable* t = store_->table(table_id);
+        for (auto& [pk, w] : ws) {
+          // Cannot fail: the chain heads were validated above and are
+          // pinned by our row locks. The check stays for non-commit
+          // callers (recovery, loaders); a failure here would be a
+          // locking bug.
+          Status install = t->InstallVersion(pk, commit_ts, w.deleted,
+                                             w.data);
+          assert(install.ok());
+          (void)install;
+          storage::LogOp op;
+          op.kind = w.deleted ? storage::LogOp::Kind::kDelete
+                              : storage::LogOp::Kind::kUpsert;
+          op.table_id = table_id;
+          op.pk = pk;
+          op.data = std::move(w.data);
+          rec.ops.push_back(std::move(op));
+        }
       }
+      if (log_ != nullptr) durable_ticket = log_->Append(std::move(rec));
     }
-    if (log_ != nullptr) durable_ticket = log_->Append(std::move(rec));
-  }  // timestamp published here
+  }  // timestamp published (or reservation retired) here
   write_sets_.clear();
+  if (!validate.ok()) {
+    state_ = TxnState::kAborted;
+    ReleaseAllLocks();
+    ReleaseSnapshot();
+    return validate;
+  }
   state_ = TxnState::kCommitted;
   ReleaseAllLocks();
   ReleaseSnapshot();

@@ -322,15 +322,21 @@ TEST(ColumnBlocks, SkipMaskMatchesBruteForceAndEstimates) {
   pred.lit = Value::Int(1500);  // survives blocks 0-1, refutes 2-3
   const std::span<const ZonePred> preds(&pred, 1);
 
-  ColumnTable::ScanPin pin(t);
-  const std::vector<uint8_t> mask = pin.ComputeSkipMask(preds);
-  ASSERT_EQ(mask.size(), 5u);
-  EXPECT_EQ(mask[0], 0);
-  EXPECT_EQ(mask[1], 0);
-  EXPECT_EQ(mask[2], 1);
-  EXPECT_EQ(mask[3], 1);
-  EXPECT_EQ(mask[4], 0);  // tail is never skippable
-  // The router's estimate charges exactly the non-skipped slots.
+  {
+    ColumnTable::ScanPin pin(t);
+    const std::vector<uint8_t> mask = pin.ComputeSkipMask(preds);
+    ASSERT_EQ(mask.size(), 5u);
+    EXPECT_EQ(mask[0], 0);
+    EXPECT_EQ(mask[1], 0);
+    EXPECT_EQ(mask[2], 1);
+    EXPECT_EQ(mask[3], 1);
+    EXPECT_EQ(mask[4], 0);  // tail is never skippable
+  }
+  // The router's estimate charges exactly the non-skipped slots. The pin
+  // must be gone first: EstimateScanSlots takes its own shared latch, and
+  // re-acquiring a latch this thread already holds is UB (and deadlocks
+  // behind a queued writer) — the router only ever estimates BEFORE
+  // pinning, so the test mirrors that order.
   EXPECT_EQ(t.EstimateScanSlots(preds),
             2 * kBlockSlots + (5000 - 4 * kBlockSlots));
 }

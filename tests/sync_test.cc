@@ -17,7 +17,7 @@ namespace {
 // ------------------------- wrapper smoke tests -------------------------
 
 TEST(SyncMutex, LockUnlockAndTryLock) {
-  sync::Mutex mu;
+  sync::Mutex mu{sync::LockRank::kClient, "test.mu"};
   mu.Lock();
   EXPECT_FALSE(mu.TryLock());
   mu.Unlock();
@@ -26,7 +26,7 @@ TEST(SyncMutex, LockUnlockAndTryLock) {
 }
 
 TEST(SyncMutex, MutexLockIsRelockable) {
-  sync::Mutex mu;
+  sync::Mutex mu{sync::LockRank::kClient, "test.mu"};
   sync::MutexLock lk(mu);
   lk.Unlock();
   EXPECT_TRUE(mu.TryLock());  // really released
@@ -35,11 +35,20 @@ TEST(SyncMutex, MutexLockIsRelockable) {
 }
 
 TEST(SyncSharedMutex, ManyReadersOneWriter) {
-  sync::SharedMutex mu;
+  sync::SharedMutex mu{sync::LockRank::kClient, "test.shared"};
   {
     sync::ReaderLock a(mu);
-    sync::ReaderLock b(mu);  // shared: second reader does not block
-    EXPECT_FALSE(mu.TryLock());  // writer blocked while readers hold it
+    // Shared: a concurrent second reader does not block. (On its own
+    // thread — re-acquiring a latch the thread already holds is UB for
+    // std::shared_mutex, and the lock-order witness rejects it.)
+    std::atomic<bool> second_reader_ran{false};
+    std::thread second([&] {
+      sync::ReaderLock b(mu);
+      second_reader_ran.store(true);
+    });
+    second.join();
+    EXPECT_TRUE(second_reader_ran.load());
+    EXPECT_FALSE(mu.TryLock());  // writer blocked while a reader holds it
   }
   {
     sync::WriterLock w(mu);
@@ -49,7 +58,7 @@ TEST(SyncSharedMutex, ManyReadersOneWriter) {
 }
 
 TEST(SyncMutex, GuardsCounterAcrossThreads) {
-  sync::Mutex mu;
+  sync::Mutex mu{sync::LockRank::kClient, "test.counter"};
   int64_t counter = 0;  // guarded by mu (by convention in this test)
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
@@ -65,7 +74,7 @@ TEST(SyncMutex, GuardsCounterAcrossThreads) {
 }
 
 TEST(SyncCondVar, WaitAndNotify) {
-  sync::Mutex mu;
+  sync::Mutex mu{sync::LockRank::kClient, "test.cv"};
   sync::CondVar cv;
   bool ready = false;
   std::thread waiter([&] {
@@ -82,7 +91,7 @@ TEST(SyncCondVar, WaitAndNotify) {
 }
 
 TEST(SyncCondVar, WaitForTimesOutWhenNeverNotified) {
-  sync::Mutex mu;
+  sync::Mutex mu{sync::LockRank::kClient, "test.cv"};
   sync::CondVar cv;
   sync::MutexLock lk(mu);
   bool result = cv.WaitFor(lk, std::chrono::milliseconds(10),
