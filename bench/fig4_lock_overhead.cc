@@ -20,6 +20,13 @@ int Main(int argc, char** argv) {
   PrintHeader("Figure 4: lock overhead by schema model (tidb-like)",
               "NLO gap between schemas ~1.76x (1 OLAP thr), ~1.68x (2)");
 
+  benchfw::BenchJsonReport jreport("fig4");
+  jreport.AddConfig("quick", opts.quick);
+  jreport.AddConfig("measure_seconds", opts.measure);
+  jreport.AddConfig("scale", static_cast<double>(opts.scale));
+  jreport.AddConfig("seed", static_cast<double>(opts.seed));
+  jreport.AddConfig("oltp_threads", 10.0);
+
   struct Case {
     const char* label;
     benchfw::BenchmarkSuite suite;
@@ -68,6 +75,9 @@ int Main(int argc, char** argv) {
   for (const Case& c : cases) {
     std::printf("%-15s %10.3f %10.3f %10.3f\n", c.label, c.nlo[0], c.nlo[1],
                 c.nlo[2]);
+    for (int n = 0; n <= 2; ++n) {
+      jreport.AddMetric(c.label, "nlo_olap" + std::to_string(n), c.nlo[n]);
+    }
   }
   // Paper's normalized overhead *decreases* as OLAP pressure throttles
   // OLTP; the headline number is the gap between the two schemas.
@@ -76,6 +86,7 @@ int Main(int argc, char** argv) {
     double gap = (a > 0 && b > 0) ? (a > b ? a / b : b / a) : 0;
     std::printf("gap at %d OLAP thread(s): %.2fx (paper: %.2fx)\n", n, gap,
                 n == 1 ? 1.76 : 1.68);
+    jreport.AddMetric("schema_gap", "gap_olap" + std::to_string(n), gap);
   }
 
   // Chunked-scan ablation (§V-B interference path): subench OLTP under
@@ -155,7 +166,10 @@ int Main(int argc, char** argv) {
                 benchfw::FigureRow("fig4", 1, "oltp_inflation_unchunked",
                                    infl_unchunked)
                     .c_str());
+    jreport.AddMetric("ablation", "oltp_inflation_chunked", infl_chunked);
+    jreport.AddMetric("ablation", "oltp_inflation_unchunked", infl_unchunked);
   }
+  jreport.Write();
   return 0;
 }
 

@@ -33,12 +33,26 @@ Stdlib-only; runs from CI (static-analysis job) and from ctest. Rules:
                   block API (ColumnChunkView spans / value_at). Also
                   keeps anyone from reintroducing a member with the old
                   name and poking at it directly.
+  blocking-under-lock
+                  A blocking call — fsync/fdatasync, ::sleep/usleep/
+                  nanosleep, std::this_thread::sleep_for/until, or
+                  file-stream construction — lexically inside a
+                  sync::MutexLock / sync::WriterLock scope stalls every
+                  thread queued on that lock for the duration of the
+                  syscall. Engine code must drop the lock first (baton /
+                  leader-follower handoff). The sync core and the WAL
+                  writer (src/storage/wal.cc) are exempt: the group-
+                  commit leader fsyncs while holding the baton by
+                  design, with followers deliberately parked.
 
-Usage: lint_engine.py [--root DIR]
-Exits 0 when clean, 1 with `path:line: rule: message` findings otherwise.
+Usage: lint_engine.py [--root DIR] [--json]
+Exits 0 when clean, 1 otherwise. Default output is one human-readable
+`path:line: rule: message` line per finding; --json emits a JSON array of
+{"path", "line", "rule", "message"} objects for tooling.
 """
 
 import argparse
+import json
 import pathlib
 import re
 import sys
@@ -105,6 +119,18 @@ COLUMNS_ALLOWED_PREFIXES = (
 
 LINE_COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
+# blocking-under-lock: guard construction opens a lexical critical section
+# that lasts until the enclosing brace scope closes.
+GUARD_DECL_RE = re.compile(r"\bsync::(?:MutexLock|WriterLock)\b\s+[A-Za-z_]")
+BLOCKING_CALL_RE = re.compile(
+    r"(?<![\w:])(?:::)?(?:fsync|fdatasync|sleep|usleep|nanosleep)\s*\(|"
+    r"\bstd::this_thread::sleep_(?:for|until)\b|"
+    r"\bstd::[io]?fstream\b")
+# Files whose critical sections block by design (see docstring).
+BLOCKING_ALLOWED = {
+    "src/storage/wal.cc",
+}
+
 
 def is_under(path, dirs):
     return any(path.parts and path.parts[0] == d for d in dirs)
@@ -120,6 +146,14 @@ def lint_file(root, rel, findings):
     in_sync_core = rel.as_posix() in SYNC_CORE
     in_engine = is_under(rel, ENGINE_DIRS)
     columns_ok = rel.as_posix().startswith(COLUMNS_ALLOWED_PREFIXES)
+    blocking_exempt = rel.as_posix() in BLOCKING_ALLOWED
+    # blocking-under-lock scope state: brace depth, plus the depth at which
+    # each live guard was declared (a guard dies when its enclosing scope
+    # closes). Lexical heuristic — strings/comments containing braces can
+    # skew the depth, but engine code is clang-formatted and the rule only
+    # needs to see ordinary guard blocks.
+    depth = 0
+    guard_depths = []
     lines = text.splitlines()
     for lineno, line in enumerate(lines, start=1):
         if TODO_RE.search(line) and not TODO_TAGGED_RE.search(line):
@@ -169,12 +203,28 @@ def lint_file(root, rel, findings):
                 findings.append((rel, lineno, "naked-status",
                                  "discarded Status result; handle it or "
                                  "write (void)... with a comment"))
+            if not LINE_COMMENT_RE.match(line):
+                if GUARD_DECL_RE.search(line):
+                    guard_depths.append(depth)
+                elif (guard_depths and not blocking_exempt
+                        and BLOCKING_CALL_RE.search(line)):
+                    findings.append(
+                        (rel, lineno, "blocking-under-lock",
+                         "blocking call (fsync/sleep/file I/O) inside a "
+                         "sync::MutexLock/WriterLock scope; drop the lock "
+                         "before blocking"))
+            depth += line.count("{") - line.count("}")
+            while guard_depths and depth < guard_depths[-1]:
+                guard_depths.pop()
 
 
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=".",
                     help="repo root to lint (default: cwd)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as a JSON array instead of "
+                         "path:line text")
     args = ap.parse_args(argv)
     root = pathlib.Path(args.root).resolve()
 
@@ -187,8 +237,14 @@ def main(argv):
             if path.suffix in CC_SUFFIXES and path.is_file():
                 lint_file(root, path.relative_to(root), findings)
 
-    for rel, lineno, rule, msg in findings:
-        print(f"{rel.as_posix()}:{lineno}: {rule}: {msg}")
+    if args.json:
+        print(json.dumps([{"path": rel.as_posix(), "line": lineno,
+                           "rule": rule, "message": msg}
+                          for rel, lineno, rule, msg in findings],
+                         indent=2))
+    else:
+        for rel, lineno, rule, msg in findings:
+            print(f"{rel.as_posix()}:{lineno}: {rule}: {msg}")
     if findings:
         print(f"lint_engine: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -1,0 +1,95 @@
+#ifndef OLXP_FUZZ_COMMON_BYTE_READER_H_
+#define OLXP_FUZZ_COMMON_BYTE_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace olxp::fuzz {
+
+/// Consumes fuzzer-provided bytes as structured decisions (the
+/// FuzzedDataProvider idiom, stdlib-only). Every accessor is total: an
+/// exhausted reader keeps returning zeros, so harnesses never have to
+/// bounds-check the input — short inputs just make degenerate choices.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool empty() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | U8();
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | U8();
+    return v;
+  }
+
+  bool Bool() { return U8() & 1; }
+
+  /// Uniform-ish pick in [lo, hi] (inclusive). lo > hi returns lo.
+  int64_t Int(int64_t lo, int64_t hi) {
+    if (lo >= hi) return lo;
+    const uint64_t range = static_cast<uint64_t>(hi) -
+                           static_cast<uint64_t>(lo) + 1;
+    // One byte covers small ranges (keeps inputs dense); wider ranges
+    // consume more.
+    uint64_t raw = range <= 256 ? U8() : range <= (1u << 16) ? (U8() << 8) | U8()
+                                                             : U64();
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + raw % range);
+  }
+
+  /// Picks one element of a fixed candidate array.
+  template <typename T, size_t N>
+  const T& Pick(const T (&options)[N]) {
+    return options[static_cast<size_t>(Int(0, static_cast<int64_t>(N) - 1))];
+  }
+
+  /// Up to `max_len` characters drawn from `alphabet`.
+  std::string Ascii(size_t max_len, const char* alphabet) {
+    size_t alpha_len = 0;
+    while (alphabet[alpha_len] != '\0') ++alpha_len;
+    const size_t len = static_cast<size_t>(Int(0, static_cast<int64_t>(max_len)));
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[static_cast<size_t>(
+          Int(0, static_cast<int64_t>(alpha_len) - 1))]);
+    }
+    return s;
+  }
+
+  /// Raw byte string (for binary payload fuzzing).
+  std::string Bytes(size_t max_len) {
+    const size_t len = static_cast<size_t>(
+        Int(0, static_cast<int64_t>(max_len < remaining() ? max_len
+                                                          : remaining())));
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s.push_back(static_cast<char>(U8()));
+    return s;
+  }
+
+  /// Everything not yet consumed, verbatim.
+  std::string Rest() {
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), size_ - pos_);
+    pos_ = size_;
+    return s;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace olxp::fuzz
+
+#endif  // OLXP_FUZZ_COMMON_BYTE_READER_H_

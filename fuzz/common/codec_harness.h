@@ -1,0 +1,23 @@
+#ifndef OLXP_FUZZ_COMMON_CODEC_HARNESS_H_
+#define OLXP_FUZZ_COMMON_CODEC_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace olxp::fuzz {
+
+/// Sealed-block codec harness: derives one block's worth of column values
+/// (plus null/dead maps) from fuzzer bytes, encodes it both ways —
+/// compressed (dict/RLE/bit-packed/flat) and raw boxed — and checks the
+/// property set that the scan kernels rely on:
+///   - ValueAt parity between the encoded and raw forms, slot by slot
+///   - Materialize() round-trips to the same values
+///   - re-encoding the materialized column is value-identical
+///   - zone min/max match across forms and bracket every live non-null value
+///   - ZoneExcludes never refutes a block that holds a satisfying value
+/// Aborts on any violation.
+int CodecOne(const uint8_t* data, size_t size);
+
+}  // namespace olxp::fuzz
+
+#endif  // OLXP_FUZZ_COMMON_CODEC_HARNESS_H_

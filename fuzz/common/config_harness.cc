@@ -1,0 +1,41 @@
+#include "fuzz/common/config_harness.h"
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+
+namespace olxp::fuzz {
+
+int ConfigOne(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInput = 1u << 18;  // bound per-input parse work
+  if (size > kMaxInput) size = kMaxInput;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto cfg = Config::Parse(text);
+  if (!cfg.ok()) return 0;
+
+  // Closed-key-set validation: every parsed key runs through the unknown-key
+  // rejection and its Levenshtein nearest-neighbour suggestion.
+  static const std::vector<std::string> kKnown = {
+      "workload.benchmark", "workload.txn_weights", "sut.profile",
+      "sut.exec_threads",   "sut.durability",
+  };
+  (void)cfg->ValidateKeys(kKnown);
+
+  // Typed getters over every parsed key: malformed numerics must surface
+  // as InvalidArgument, not crash.
+  for (const std::string& key : cfg->Keys()) {
+    (void)cfg->GetString(key, "");
+    (void)cfg->GetInt(key, 0);
+    (void)cfg->GetDouble(key, 0.0);
+    (void)cfg->GetBool(key, false);
+    (void)cfg->GetDoubleList(key, {});
+  }
+
+  // Re-parse with validation in one call (the other Parse overload).
+  (void)Config::Parse(text, kKnown);
+  return 0;
+}
+
+}  // namespace olxp::fuzz

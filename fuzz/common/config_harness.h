@@ -1,0 +1,16 @@
+#ifndef OLXP_FUZZ_COMMON_CONFIG_HARNESS_H_
+#define OLXP_FUZZ_COMMON_CONFIG_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace olxp::fuzz {
+
+/// Config::Parse harness: arbitrary bytes as INI text through the parser,
+/// the closed-key-set validator (Levenshtein suggestion path included) and
+/// every typed getter. Malformed input must come back as Status, never UB.
+int ConfigOne(const uint8_t* data, size_t size);
+
+}  // namespace olxp::fuzz
+
+#endif  // OLXP_FUZZ_COMMON_CONFIG_HARNESS_H_

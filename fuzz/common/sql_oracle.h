@@ -1,0 +1,46 @@
+#ifndef OLXP_FUZZ_COMMON_SQL_ORACLE_H_
+#define OLXP_FUZZ_COMMON_SQL_ORACLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fuzz/common/byte_reader.h"
+#include "sql/storage_iface.h"
+
+namespace olxp::fuzz {
+
+/// Executes one statement against the shared fuzz database through every
+/// execution engine — the row interpreter, the serial vectorized path and
+/// the morsel-parallel path at exec_threads 2 and 8 — and cross-checks the
+/// results (the differential oracle). Returns "" when all paths agree;
+/// otherwise a human-readable divergence report. Statements that fail to
+/// parse/bind are fine (every path must fail identically); only divergence
+/// is an error.
+///
+/// Comparison rules mirror tests/exec_test.cc ExpectParity: parallel runs
+/// must equal the serial vectorized run row-for-row (morsel merge order is
+/// deterministic by contract); interpreter vs vectorized compares sorted
+/// multisets (hash-group output order is engine-dependent), downgraded to
+/// row-count-only when the statement carries LIMIT (which rows survive a
+/// LIMIT without a total order is engine-dependent too).
+std::string RunSqlDifferential(const std::string& sql);
+
+/// Structure-aware generator: derives one syntactically valid statement
+/// (heavily weighted toward analytical SELECT shapes) from fuzzer bytes.
+std::string GenerateSql(ByteReader& r);
+
+/// Harness entry shared by the libFuzzer target, the corpus replayer and
+/// the smoke test. Input format: a leading 0xFF byte selects generator mode
+/// (remaining bytes drive GenerateSql); anything else is raw SQL text.
+/// Aborts the process on divergence.
+int SqlOne(const uint8_t* data, size_t size);
+
+/// Test-only hook: mutates the serial vectorized result before the oracle
+/// compares it, proving the differential comparison actually fires.
+/// nullptr (default) disables.
+void SetResultPerturberForTest(std::function<void(sql::ResultSet*)> fn);
+
+}  // namespace olxp::fuzz
+
+#endif  // OLXP_FUZZ_COMMON_SQL_ORACLE_H_

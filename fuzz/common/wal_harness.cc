@@ -1,0 +1,154 @@
+#include "fuzz/common/wal_harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "engine/database.h"
+#include "engine/session.h"
+#include "storage/wal.h"
+
+namespace olxp::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per input, removed on scope exit. Uses TMPDIR
+/// when set (CI points it at runner-local scratch).
+struct TmpDir {
+  fs::path path;
+
+  TmpDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string templ =
+        (fs::path(base && *base ? base : "/tmp") / "olxp_fuzz_wal_XXXXXX")
+            .string();
+    char* made = ::mkdtemp(templ.data());
+    if (made == nullptr) {
+      std::perror("mkdtemp");
+      std::abort();
+    }
+    path = made;
+  }
+  ~TmpDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+void WriteFile(const fs::path& p, const std::string& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "wal fuzz: cannot write %s\n", p.string().c_str());
+    std::abort();
+  }
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+/// Wraps `payload` as one CRC-valid WAL frame: [len][crc][payload].
+std::string FrameBytes(const std::string& payload) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU32(&out, storage::Crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+/// Wraps `body` in the checkpoint file header: [magic][crc][body_len][body].
+std::string CheckpointBytes(const std::string& body) {
+  std::string out;
+  AppendU64(&out, 0x4F4C585043503031ull);  // kCheckpointMagic "OLXPCP01"
+  AppendU32(&out, storage::Crc32(body.data(), body.size()));
+  AppendU64(&out, body.size());
+  out.append(body);
+  return out;
+}
+
+/// Decodes the bytes frame-by-frame in memory (no filesystem), then again
+/// through ReplayWal on a real segment file. Both must terminate cleanly.
+void RawSegmentScan(const std::string& bytes) {
+  size_t offset = 0;
+  storage::WalFrame frame;
+  while (storage::DecodeFrame(bytes, &offset, &frame)) {
+  }
+
+  TmpDir dir;
+  WriteFile(dir.path / "wal-00000000000000000001.seg", bytes);
+  uint64_t max_seq = 0;
+  Status st = storage::ReplayWal(
+      dir.path.string(), 1,
+      [](storage::WalFrame&&) { return Status::OK(); }, &max_seq);
+  (void)st;  // OK or a clean error are both acceptable; crashing is not.
+}
+
+/// Opens a full engine on a directory holding `segment` (and optionally a
+/// checkpoint image): the complete recovery path — catalog rebuild, row
+/// install, replica rebuild — must absorb hostile frames with a clean
+/// recovery_status(). A statement afterwards proves the engine stayed
+/// usable either way.
+void RecoverDatabase(const std::string& segment, const std::string* ckpt) {
+  TmpDir dir;
+  if (!segment.empty()) {
+    WriteFile(dir.path / "wal-00000000000000000001.seg", segment);
+  }
+  if (ckpt != nullptr) {
+    WriteFile(dir.path / "checkpoint", *ckpt);
+    // Direct decoder first: must return a Status (any Status), never UB.
+    auto image = storage::ReadCheckpoint(dir.path.string());
+    (void)image;
+  }
+
+  engine::EngineProfile p = engine::EngineProfile::TiDbLike();
+  p.replication_lag_micros = 0;
+  p.vacuum_interval_us = 0;
+  p.durability = storage::DurabilityMode::kGroup;
+  p.wal_dir = dir.path.string();
+  engine::Database db(p);
+  (void)db.recovery_status();  // any Status is fine; UB/crash is the bug
+  auto session = db.CreateSession();
+  session->set_charging_enabled(false);
+  (void)session->Execute("CREATE TABLE fz (a INT PRIMARY KEY, b INT)");
+  (void)session->Execute("INSERT INTO fz VALUES (1, 2)");
+  (void)session->Execute("SELECT COUNT(*) FROM fz");
+}
+
+}  // namespace
+
+int WalOne(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  constexpr size_t kMaxInput = 1u << 20;  // bound per-input filesystem work
+  if (size > kMaxInput) size = kMaxInput;
+  const uint8_t mode = data[0] & 3;
+  const std::string rest(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  switch (mode) {
+    case 0:
+      RawSegmentScan(rest);
+      break;
+    case 1:
+      RecoverDatabase(rest, nullptr);
+      break;
+    case 2:
+      // CRC-valid wrapper: mutations reach the semantic payload decoders
+      // (type/seq/schema/row codecs) instead of dying at the checksum.
+      RecoverDatabase(FrameBytes(rest), nullptr);
+      break;
+    default: {
+      const std::string ckpt = CheckpointBytes(rest);
+      RecoverDatabase(std::string(), &ckpt);
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace olxp::fuzz

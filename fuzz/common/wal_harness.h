@@ -1,0 +1,28 @@
+#ifndef OLXP_FUZZ_COMMON_WAL_HARNESS_H_
+#define OLXP_FUZZ_COMMON_WAL_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace olxp::fuzz {
+
+/// WAL/recovery harness: feeds attacker-controlled bytes through every
+/// recovery surface. Torn, corrupt or semantically hostile input must
+/// produce a clean Status (or an empty-but-usable database) — never UB.
+///
+/// Input format — the first byte selects the mode, the rest is payload:
+///   0  raw segment bytes: in-memory DecodeFrame loop, then ReplayWal over
+///      a tmpdir segment file (exercises CRC/torn-tail rejection)
+///   1  segment bytes through full engine recovery: Database construction
+///      on a tmpdir holding the bytes as a segment, recovery_status()
+///      checked, then teardown
+///   2  structure-aware frame payload: the bytes are wrapped in a
+///      correctly-CRC'd frame (bypasses the checksum so mutations reach the
+///      semantic decode paths), then full engine recovery as in mode 1
+///   3  structure-aware checkpoint body: wrapped with magic + CRC + length
+///      and fed through ReadCheckpoint and full engine recovery
+int WalOne(const uint8_t* data, size_t size);
+
+}  // namespace olxp::fuzz
+
+#endif  // OLXP_FUZZ_COMMON_WAL_HARNESS_H_

@@ -1,0 +1,6 @@
+// libFuzzer entry for the sealed-block codec property harness.
+#include "fuzz/common/codec_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return olxp::fuzz::CodecOne(data, size);
+}

@@ -1,0 +1,6 @@
+// libFuzzer entry for the Config::Parse harness.
+#include "fuzz/common/config_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return olxp::fuzz::ConfigOne(data, size);
+}

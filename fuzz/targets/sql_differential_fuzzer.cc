@@ -1,0 +1,8 @@
+// libFuzzer entry for the structure-aware SQL differential oracle; the same
+// function backs fuzz_sql_differential_replay (see fuzz/common/
+// standalone_main.cc), so the seed corpus replays as a ctest target.
+#include "fuzz/common/sql_oracle.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return olxp::fuzz::SqlOne(data, size);
+}

@@ -1,0 +1,6 @@
+// libFuzzer entry for the WAL/recovery harness.
+#include "fuzz/common/wal_harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return olxp::fuzz::WalOne(data, size);
+}

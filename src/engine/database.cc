@@ -270,6 +270,21 @@ Status Database::RecoverFromWal() {
                 return Status::Internal("WAL commit references unknown table " +
                                         std::to_string(op.table_id));
               }
+              // A CRC-valid frame can still carry rows that don't fit the
+              // table; installing them would plant out-of-arity tuples that
+              // blow up much later, under a scan. Reject at the source.
+              const storage::TableSchema& schema = t->schema();
+              if (op.pk.size() != schema.pk_columns().size()) {
+                return Status::Internal(
+                    "WAL commit pk arity mismatch for table " +
+                    std::to_string(op.table_id));
+              }
+              if (op.kind == storage::LogOp::Kind::kUpsert &&
+                  op.data.size() != schema.columns().size()) {
+                return Status::Internal(
+                    "WAL commit row arity mismatch for table " +
+                    std::to_string(op.table_id));
+              }
               OLXP_RETURN_NOT_OK(t->InstallVersion(
                   op.pk, frame.commit.commit_ts,
                   op.kind == storage::LogOp::Kind::kDelete, op.data));

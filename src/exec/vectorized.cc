@@ -37,7 +37,7 @@ void AccumulateVec(AggAccum* acc, const Vec& v) {
       if (v.null_at(i)) continue;
       int64_t x = v.int_at(i);
       ++acc->count;
-      acc->isum += x;
+      acc->AddInt(x);
       acc->AddDouble(static_cast<double>(x));
       if (!has) {
         lo = hi = x;
@@ -127,7 +127,7 @@ void AccumulateGrouped(std::vector<VGroup>& groups,
       AggAccum& acc = groups[gidx[i]].accums[a];
       int64_t x = v.int_at(i);
       ++acc.count;
-      acc.isum += x;
+      acc.AddInt(x);
       acc.AddDouble(static_cast<double>(x));
       // AsInt on a kDouble extreme would round; an expression's payload can
       // flip family between chunks when a branch is all-NULL in one chunk,

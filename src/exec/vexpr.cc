@@ -1,7 +1,9 @@
 #include "exec/vexpr.h"
 
 #include <cmath>
+#include <optional>
 
+#include "common/checked_arith.h"
 #include "common/strings.h"
 
 namespace olxp::exec {
@@ -146,21 +148,23 @@ StatusOr<Vec> ArithKernel(BinaryOp op, const Vec& l, const Vec& r) {
         any_null = true;
         continue;
       }
+      // Overflow and INT64_MIN % -1 yield NULL, matching the interpreter's
+      // checked path (common/checked_arith.h).
       int64_t x = l.int_at(i), y = r.int_at(i);
+      std::optional<int64_t> res;
       switch (op) {
-        case BinaryOp::kAdd: out.ints[i] = x + y; break;
-        case BinaryOp::kSub: out.ints[i] = x - y; break;
-        case BinaryOp::kMul: out.ints[i] = x * y; break;
-        case BinaryOp::kMod:
-          if (y == 0) {
-            out.nulls[i] = 1;
-            any_null = true;
-          } else {
-            out.ints[i] = x % y;
-          }
-          break;
+        case BinaryOp::kAdd: res = CheckedAdd(x, y); break;
+        case BinaryOp::kSub: res = CheckedSub(x, y); break;
+        case BinaryOp::kMul: res = CheckedMul(x, y); break;
+        case BinaryOp::kMod: res = CheckedMod(x, y); break;
         default:
           return Status::Internal("bad arith op");
+      }
+      if (res) {
+        out.ints[i] = *res;
+      } else {
+        out.nulls[i] = 1;
+        any_null = true;
       }
     }
   }
@@ -593,7 +597,15 @@ StatusOr<Vec> EvalVec(const VExpr& e, const storage::ColumnChunkView& chunk,
           } else {
             out.type = ValueType::kInt;  // interpreter yields INT
             out.ints.resize(n);
-            for (size_t i = 0; i < n; ++i) out.ints[i] = -v.int_at(i);
+            for (size_t i = 0; i < n; ++i) {
+              if (!out.nulls.empty() && out.nulls[i]) continue;
+              if (auto r = CheckedNeg(v.int_at(i))) {
+                out.ints[i] = *r;
+              } else {  // -INT64_MIN: NULL, as in the interpreter
+                if (out.nulls.empty()) out.nulls.assign(n, 0);
+                out.nulls[i] = 1;
+              }
+            }
           }
           return out;
         }

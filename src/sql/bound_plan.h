@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/checked_arith.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "sql/ast.h"
@@ -162,8 +163,19 @@ struct AggAccum {
   double dsum = 0;
   double dcomp = 0;  ///< Neumaier compensation term for dsum
   int64_t isum = 0;
+  bool isum_overflow = false;  ///< SUM over INTs left int64 range -> NULL
   bool any_double = false;
   Value min, max;  // NULL until first value
+
+  /// Checked integer-sum accumulation: overflow poisons the integer sum
+  /// (SUM yields NULL) instead of signed-overflow UB.
+  void AddInt(int64_t x) {
+    if (auto r = CheckedAdd(isum, x)) {
+      isum = *r;
+    } else {
+      isum_overflow = true;
+    }
+  }
 
   void AddDouble(double x) {
     double t = dsum + x;
@@ -185,7 +197,7 @@ struct AggAccum {
         any_double = true;
         AddDouble(v.AsDouble());
       } else {
-        isum += v.AsInt();
+        AddInt(v.AsInt());
         AddDouble(v.AsDouble());
       }
     }
@@ -199,7 +211,8 @@ struct AggAccum {
   /// sums and extremes exactly; double sums to compensated precision).
   void MergeFrom(const AggAccum& o) {
     count += o.count;
-    isum += o.isum;
+    isum_overflow = isum_overflow || o.isum_overflow;
+    AddInt(o.isum);
     any_double = any_double || o.any_double;
     AddDouble(o.dsum);
     AddDouble(o.dcomp);
@@ -219,7 +232,8 @@ struct AggAccum {
         return Value::Int(count);
       case AggFunc::kSum:
         if (count == 0) return Value::Null();
-        return any_double ? Value::Double(DoubleSum()) : Value::Int(isum);
+        if (any_double) return Value::Double(DoubleSum());
+        return isum_overflow ? Value::Null() : Value::Int(isum);
       case AggFunc::kAvg:
         if (count == 0) return Value::Null();
         return Value::Double(DoubleSum() / static_cast<double>(count));

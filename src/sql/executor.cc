@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/checked_arith.h"
 #include "common/clock.h"
 #include "common/strings.h"
 #include "sql/bound_plan.h"
@@ -787,16 +789,18 @@ StatusOr<Value> Arith(BinaryOp op, const Value& a, const Value& b) {
       default: break;
     }
   } else {
+    // Overflow (and INT64_MIN % -1, which traps in hardware) is NULL, the
+    // same answer the dialect gives x % 0.
     int64_t x = a.AsInt(), y = b.AsInt();
+    std::optional<int64_t> r;
     switch (op) {
-      case BinaryOp::kAdd: return Value::Int(x + y);
-      case BinaryOp::kSub: return Value::Int(x - y);
-      case BinaryOp::kMul: return Value::Int(x * y);
-      case BinaryOp::kMod:
-        if (y == 0) return Value::Null();
-        return Value::Int(x % y);
-      default: break;
+      case BinaryOp::kAdd: r = CheckedAdd(x, y); break;
+      case BinaryOp::kSub: r = CheckedSub(x, y); break;
+      case BinaryOp::kMul: r = CheckedMul(x, y); break;
+      case BinaryOp::kMod: r = CheckedMod(x, y); break;
+      default: return Status::Internal("bad arith op");
     }
+    return r ? Value::Int(*r) : Value::Null();
   }
   return Status::Internal("bad arith op");
 }
@@ -830,7 +834,8 @@ StatusOr<Value> Eval(const BoundExpr& e, const Row& tuple, ExecContext* ctx,
           if (v.type() == ValueType::kDouble) {
             return Value::Double(-v.AsDouble());
           }
-          return Value::Int(-v.AsInt());
+          if (auto r = CheckedNeg(v.AsInt())) return Value::Int(*r);
+          return Value::Null();  // -INT64_MIN is unrepresentable
         case UnaryOp::kNot:
           return Value::Bool(!v.AsBool());
         case UnaryOp::kIsNull:

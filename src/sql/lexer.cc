@@ -1,6 +1,7 @@
 #include "sql/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_set>
 
@@ -96,7 +97,14 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
         t.double_val = std::strtod(num.c_str(), nullptr);
       } else {
         t.kind = TokenKind::kIntLiteral;
+        errno = 0;
         t.int_val = std::strtoll(num.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          // strtoll saturates silently; surface the range error instead of
+          // lexing a wrong INT64_MAX.
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         num);
+        }
       }
       out.push_back(std::move(t));
       continue;

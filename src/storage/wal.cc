@@ -237,6 +237,12 @@ void PutSchema(std::string* out, const TableSchema& schema) {
   }
 }
 
+// A CRC match only proves the bytes we wrote are the bytes we read; a bug
+// (or a hostile log) can still deliver structurally valid, semantically
+// poisonous schemas. Everything recovery later trusts blindly — column type
+// bytes, pk/index/fk column indices — is validated here, so a bad frame
+// degrades to !c->ok (clean replay stop) instead of out-of-bounds indexing
+// in ExtractPrimaryKey or an invalid ValueType reaching the type switches.
 TableSchema GetSchema(Cursor* c) {
   std::string name = c->GetString();
   uint32_t ncols = c->GetU32();
@@ -249,14 +255,28 @@ TableSchema GetSchema(Cursor* c) {
   for (uint32_t i = 0; i < ncols && c->ok; ++i) {
     ColumnDef col;
     col.name = c->GetString();
-    col.type = static_cast<ValueType>(c->GetU8());
+    const uint8_t type_byte = c->GetU8();
+    if (type_byte > static_cast<uint8_t>(ValueType::kTimestamp)) {
+      c->ok = false;
+      return TableSchema();
+    }
+    col.type = static_cast<ValueType>(type_byte);
     col.nullable = c->GetU8() != 0;
     cols.push_back(std::move(col));
   }
-  TableSchema schema(std::move(name), std::move(cols), GetIntVec(c));
+  std::vector<int> pk = GetIntVec(c);
+  for (int idx : pk) {
+    if (idx < 0 || static_cast<uint32_t>(idx) >= ncols) {
+      c->ok = false;
+      return TableSchema();
+    }
+  }
+  TableSchema schema(std::move(name), std::move(cols), std::move(pk));
   uint32_t nidx = c->GetU32();
   for (uint32_t i = 0; i < nidx && c->ok; ++i) {
-    (void)schema.AddIndex(GetIndexDef(c));
+    // AddIndex bounds-checks the column indices against the schema; a
+    // rejected index means a corrupt frame, not an ignorable detail.
+    if (!schema.AddIndex(GetIndexDef(c)).ok()) c->ok = false;
   }
   uint32_t nfk = c->GetU32();
   for (uint32_t i = 0; i < nfk && c->ok; ++i) {
@@ -264,6 +284,10 @@ TableSchema GetSchema(Cursor* c) {
     fk.column_idx = GetIntVec(c);
     fk.ref_table = c->GetString();
     fk.ref_column_idx = GetIntVec(c);
+    for (int idx : fk.column_idx) {
+      if (idx < 0 || static_cast<uint32_t>(idx) >= ncols) c->ok = false;
+    }
+    if (!c->ok) break;
     schema.AddForeignKey(std::move(fk));
   }
   return schema;
@@ -915,7 +939,11 @@ StatusOr<CheckpointImage> ReadCheckpoint(const std::string& dir) {
     t.rows.reserve(nrows);
     for (uint64_t r = 0; r < nrows && c.ok; ++r) {
       uint64_t ts = c.GetU64();
-      t.rows.emplace_back(ts, GetRow(&c));
+      Row row = GetRow(&c);
+      // Recovery indexes these rows by the schema's pk columns without
+      // further checks; reject arity mismatches here.
+      if (c.ok && row.size() != t.schema.columns().size()) c.ok = false;
+      t.rows.emplace_back(ts, std::move(row));
     }
     image.tables.push_back(std::move(t));
   }

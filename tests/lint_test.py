@@ -205,6 +205,127 @@ class LintFixtureTest(unittest.TestCase):
             {"src/storage/column_block.h": "size_t n = columns_.size();\n"},
             [])
 
+    # ---- blocking-under-lock ----
+
+    def test_fsync_under_mutex_lock_fails(self):
+        src = ("void F() {\n"
+               "  sync::MutexLock lk(mu_);\n"
+               "  ::fsync(fd_);\n"
+               "}\n")
+        self.assert_rules({"src/engine/foo.cc": src},
+                          ["blocking-under-lock"])
+
+    def test_sleep_under_writer_lock_fails(self):
+        src = ("void F() {\n"
+               "  sync::WriterLock lk(mu_);\n"
+               "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+               "}\n")
+        self.assert_rules({"src/exec/foo.cc": src},
+                          ["blocking-under-lock"])
+
+    def test_fstream_under_lock_fails(self):
+        src = ("void F() {\n"
+               "  sync::MutexLock lk(mu_);\n"
+               "  std::ifstream in(path);\n"
+               "}\n")
+        self.assert_rules({"src/engine/foo.cc": src},
+                          ["blocking-under-lock"])
+
+    def test_blocking_in_nested_scope_under_lock_fails(self):
+        src = ("void F() {\n"
+               "  sync::MutexLock lk(mu_);\n"
+               "  if (dirty_) {\n"
+               "    ::fdatasync(fd_);\n"
+               "  }\n"
+               "}\n")
+        self.assert_rules({"src/engine/foo.cc": src},
+                          ["blocking-under-lock"])
+
+    def test_blocking_after_guard_scope_closes_passes(self):
+        src = ("void F() {\n"
+               "  {\n"
+               "    sync::MutexLock lk(mu_);\n"
+               "    queued_ = true;\n"
+               "  }\n"
+               "  ::fsync(fd_);\n"
+               "}\n")
+        self.assert_rules({"src/engine/foo.cc": src}, [])
+
+    def test_blocking_in_sibling_function_passes(self):
+        # A guard in one function must not taint the next function.
+        src = ("void F() {\n"
+               "  sync::MutexLock lk(mu_);\n"
+               "}\n"
+               "void G() {\n"
+               "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+               "}\n")
+        self.assert_rules({"src/storage/foo.cc": src}, [])
+
+    def test_fsync_counter_identifier_passes(self):
+        # Identifiers that merely contain the token are not calls.
+        src = ("void F() {\n"
+               "  sync::MutexLock lk(mu_);\n"
+               "  fsyncs_.fetch_add(1);\n"
+               "  m_fsyncs_->Add(1);\n"
+               "}\n")
+        self.assert_rules({"src/storage/foo.cc": src}, [])
+
+    def test_wal_writer_is_exempt(self):
+        # The group-commit leader fsyncs while holding the baton by design.
+        src = ("void F() {\n"
+               "  sync::MutexLock lk(mu_);\n"
+               "  ::fsync(fd_);\n"
+               "}\n")
+        self.assert_rules({"src/storage/wal.cc": src}, [])
+
+    def test_blocking_without_lock_passes(self):
+        self.assert_rules(
+            {"src/common/foo.cc": "void F() { ::fsync(fd); }\n"}, [])
+
+    def test_blocking_under_lock_in_tests_passes(self):
+        src = ("void F() {\n"
+               "  sync::MutexLock lk(mu_);\n"
+               "  ::fsync(fd_);\n"
+               "}\n")
+        self.assert_rules({"tests/foo_test.cc": src}, [])
+
+    # ---- --json output ----
+
+    def test_json_output_is_machine_readable(self):
+        import io
+        import json as json_mod
+        import contextlib
+        import tempfile as tf
+        with tf.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            (root / "src").mkdir()
+            (root / "src" / "a.cc").write_text("// TODO fix\n")
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                rc = lint_engine.main(["--root", td, "--json"])
+            self.assertEqual(rc, 1)
+            findings = json_mod.loads(buf.getvalue())
+            self.assertEqual(len(findings), 1)
+            self.assertEqual(findings[0]["path"], "src/a.cc")
+            self.assertEqual(findings[0]["line"], 1)
+            self.assertEqual(findings[0]["rule"], "todo-tag")
+            self.assertIn("message", findings[0])
+
+    def test_json_output_empty_when_clean(self):
+        import io
+        import json as json_mod
+        import contextlib
+        import tempfile as tf
+        with tf.TemporaryDirectory() as td:
+            root = pathlib.Path(td)
+            (root / "src").mkdir()
+            (root / "src" / "a.cc").write_text("int x = 0;\n")
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                rc = lint_engine.main(["--root", td, "--json"])
+            self.assertEqual(rc, 0)
+            self.assertEqual(json_mod.loads(buf.getvalue()), [])
+
     # ---- end-to-end on the real repo ----
 
     def test_real_repo_is_clean(self):
